@@ -1,0 +1,187 @@
+// Outlierlb runs the paper's dynamic-change scenarios end-to-end and
+// narrates the controller's diagnosis and retuning actions.
+//
+//	outlierlb -scenario cpu            # §5.2 sinusoid load, reactive provisioning
+//	outlierlb -scenario indexdrop      # §5.3 O_DATE index drop, quota enforcement
+//	outlierlb -scenario consolidation  # §5.4 two apps in one DBMS, class reschedule
+//	outlierlb -scenario iocontention   # §5.5 two VMs, dom-0 I/O interference
+//	outlierlb -scenario lockcontention # §7 future work: lock-wait outliers
+//	outlierlb -record tpcw.trace       # dump a TPC-W page-access trace for mrctool
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"outlierlb/internal/experiments"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/trace"
+	"outlierlb/internal/workload/rubis"
+	"outlierlb/internal/workload/tpcw"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "cpu|indexdrop|consolidation|iocontention")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	record := flag.String("record", "", "write a synthetic TPC-W page-access trace to FILE and exit")
+	recordApp := flag.String("record-app", "tpcw", "application to record: tpcw|tpcw-noindex|rubis")
+	recordN := flag.Int("record-n", 500000, "accesses to record")
+	flag.Parse()
+
+	if *record != "" {
+		if err := recordTrace(*record, *recordApp, *recordN, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "outlierlb:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d accesses to %s\n", *recordN, *record)
+		return
+	}
+
+	switch *scenario {
+	case "cpu":
+		runCPU(*seed)
+	case "indexdrop":
+		runIndexDrop(*seed)
+	case "consolidation":
+		runConsolidation(*seed)
+	case "iocontention":
+		runIOContention(*seed)
+	case "lockcontention":
+		runLockContention(*seed)
+	case "failure":
+		runFailure(*seed)
+	default:
+		fmt.Fprintln(os.Stderr, "outlierlb: need -scenario cpu|indexdrop|consolidation|iocontention|lockcontention|failure or -record FILE")
+		os.Exit(2)
+	}
+}
+
+func runFailure(seed uint64) {
+	fmt.Println("scenario: one of two TPC-W replicas crashes under load")
+	fmt.Println()
+	r := experiments.FailureRecovery(seed)
+	fmt.Printf("healthy latency:   %.3fs (two replicas)\n", r.BeforeLatency)
+	fmt.Printf("failover latency:  %.3fs (survivor saturated)\n", r.DuringLatency)
+	fmt.Printf("recovered latency: %.3fs (replacement provisioned: %v)\n", r.AfterLatency, r.Provisioned)
+	fmt.Printf("client errors:     %d\n", r.ClientErrors)
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
+}
+
+func runLockContention(seed uint64) {
+	fmt.Println("scenario: a write query invoked with wrong arguments convoys the accounts table")
+	fmt.Println("(the paper's §7 future work: outlier detection for lock contention)")
+	fmt.Println()
+	r := experiments.LockContention(seed)
+	fmt.Printf("stable latency:    %.3fs\n", r.StableLatency)
+	fmt.Printf("contended latency: %.3fs (%.0fx)\n", r.ContendedLatency, r.ContendedLatency/r.StableLatency)
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
+	if r.ReportedVictim != "" {
+		fmt.Printf("\nthe detector flagged %q as the most affected context and named the holder in the report.\n", r.ReportedVictim)
+	}
+}
+
+func runCPU(seed uint64) {
+	fmt.Println("scenario: sinusoid client load against TPC-W (§5.2)")
+	fmt.Println("the controller provisions replicas on CPU saturation and releases them at the trough")
+	fmt.Println()
+	r := experiments.Figure3(seed)
+	for i := range r.Times {
+		if i%6 != 0 && r.Latency[i] <= r.SLA {
+			continue
+		}
+		status := "ok"
+		if r.Latency[i] > r.SLA {
+			status = "SLA VIOLATION"
+		}
+		fmt.Printf("t=%5.0fs clients=%4d machines=%d latency=%6.3fs %s\n",
+			r.Times[i], r.Clients[i], r.Machines[i], r.Latency[i], status)
+	}
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
+}
+
+func runIndexDrop(seed uint64) {
+	fmt.Println("scenario: the O_DATE index is dropped; BestSeller degrades to a table scan (§5.3)")
+	fmt.Println()
+	r := experiments.Figure4(seed)
+	fmt.Println("per-class ratios vs stable state (latency / throughput / misses / read-ahead):")
+	for i, c := range r.Classes {
+		fmt.Printf("  %2d %-22s %7.2f %7.2f %7.2f %10.2f\n", i+1, c,
+			r.LatencyRatio[i], r.ThroughputRatio[i], r.MissesRatio[i], r.ReadAheadRatio[i])
+	}
+	fmt.Printf("\noutlier contexts on memory counters: %v\n", r.MemoryOutliers)
+	fmt.Printf("MRC recomputation confirms: %v\n", r.Confirmed)
+	quota, migrate := experiments.AblationQuotaVsMigrate(seed)
+	fmt.Printf("\nremedies: quota keeps 1 machine at %.3fs avg; migration spends %d machines for %.3fs\n",
+		quota.FinalLatency, migrate.ServersUsed, migrate.FinalLatency)
+}
+
+func runConsolidation(seed uint64) {
+	fmt.Println("scenario: RUBiS starts inside TPC-W's database engine, sharing its buffer pool (§5.4)")
+	fmt.Println()
+	r := experiments.Table2(seed)
+	for _, row := range r.Rows {
+		fmt.Printf("%-38s latency=%6.3fs WIPS=%6.2f\n", row.Placement, row.Latency, row.WIPS)
+	}
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
+	fmt.Printf("\nthe diagnosis rescheduled %q onto a different replica\n", r.MovedClass)
+}
+
+func runIOContention(seed uint64) {
+	fmt.Println("scenario: two RUBiS instances in two Xen domains on one physical server (§5.5)")
+	fmt.Println()
+	r := experiments.Table3(seed)
+	for _, row := range r.Rows {
+		fmt.Printf("domain-1=%-8s domain-2=%-22s latency=%6.3fs WIPS=%6.2f\n",
+			row.Domain1, row.Domain2, row.Latency, row.WIPS)
+	}
+	fmt.Printf("\ndiagnosis from dom-0 statistics: CPU %.0f%% (not saturated); %s contributes %.0f%% of its application's I/O\n",
+		100*r.CPUUtilization, r.TopIOClass, 100*r.TopIOShare)
+	fmt.Println("remedy: reschedule that class onto a different physical machine")
+}
+
+func recordTrace(path, app string, n int, seed uint64) error {
+	rng := sim.NewRNG(seed)
+	var classes []string
+	var gens []trace.Generator
+	var weights []float64
+	switch app {
+	case "tpcw", "tpcw-noindex":
+		a := tpcw.New(rng, tpcw.Options{DropODateIndex: app == "tpcw-noindex"})
+		mix := tpcw.Mix()
+		for i, spec := range a.Classes {
+			classes = append(classes, spec.ID.Class)
+			gens = append(gens, spec.Pattern)
+			weights = append(weights, mix[i].Weight*float64(spec.PagesPerQuery))
+		}
+	case "rubis":
+		a := rubis.New(rng, "")
+		mix := rubis.Mix("")
+		for i, spec := range a.Classes {
+			classes = append(classes, spec.ID.Class)
+			gens = append(gens, spec.Pattern)
+			weights = append(weights, mix[i].Weight*float64(spec.PagesPerQuery))
+		}
+	default:
+		return fmt.Errorf("unknown application %q", app)
+	}
+	tr := trace.Interleave(rng.Fork(), n, classes, gens, weights)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.Write(f)
+}

@@ -1,0 +1,19 @@
+// Package outlierlb reproduces "Outlier Detection for Fine-grained Load
+// Balancing in Database Clusters" (Chen, Soundararajan, Mihailescu, Amza
+// — ICDE 2007) as a Go library.
+//
+// The paper's contribution — per-query-class statistics collection,
+// stable-state signatures, IQR outlier-context detection, miss-ratio-
+// curve-based memory-interference diagnosis, and selective retuning
+// (buffer-pool quotas and fine-grained query-class load balancing across
+// database replicas) — lives in internal/core. Every substrate it needs
+// is implemented in this module: a deterministic discrete-event
+// simulator, an LRU buffer pool with partitions and read-ahead, Mattson's
+// stack algorithm, a disk and CPU model with Xen-style dom-0 I/O
+// contention, a replicated cluster with read-one-write-all schedulers,
+// and TPC-W / RUBiS workload models.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see EXPERIMENTS.md for paper-versus-measured
+// values and README.md for a tour.
+package outlierlb

@@ -1,0 +1,98 @@
+// Schemadrop replays the §5.3 index drop through the catalog and
+// planner: the BestSeller query is *compiled* against a schema, so
+// dropping the O_DATE index changes its execution plan — and its page
+// pattern, read-ahead behaviour and miss-ratio curve — exactly the way
+// it does in a real engine, with no hand-authored access patterns.
+//
+//	go run ./examples/schemadrop
+package main
+
+import (
+	"fmt"
+
+	"outlierlb/internal/bufferpool"
+	"outlierlb/internal/catalog"
+	"outlierlb/internal/engine"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+	"outlierlb/internal/planner"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/storage"
+)
+
+func main() {
+	rng := sim.NewRNG(42)
+
+	// The TPC-W order_line table with the O_DATE index (clustered on
+	// date, the BestSeller query's access path).
+	schema := catalog.NewSchema(0)
+	must1(schema.AddTable("order_line", 3_000_000, 80))
+	must1(schema.AddIndex("O_DATE", "order_line", 16, true))
+
+	bestSeller := planner.Query{
+		Table: "order_line", Kind: planner.RangeScan,
+		Selectivity: 0.003, // the last 3,333 orders, as in TPC-W
+	}
+
+	srv := server.MustNew(server.Config{
+		Name: "db1", Cores: 4, MemoryPages: 16384,
+		Disk: storage.Params{Seek: 0.004, PerPage: 0.0001},
+	})
+	eng := engine.MustNew(engine.Config{
+		Name: "mysql-1",
+		Pool: bufferpool.Config{Capacity: 8192, ReadAheadRun: 4, ReadAheadPages: 32},
+	}, srv)
+	id := metrics.ClassID{App: "tpcw", Class: "BestSeller"}
+
+	register := func(label string) {
+		plan, err := planner.Compile(bestSeller, schema, rng)
+		must(err)
+		fmt.Printf("%s plan: %s — %d pages/query, %.1f ms CPU\n",
+			label, plan.Access, plan.PagesPerQuery, 1000*plan.CPUPerQuery)
+		must(eng.Register(engine.ClassSpec{
+			ID: id, CPUPerQuery: plan.CPUPerQuery,
+			PagesPerQuery: plan.PagesPerQuery, Pattern: plan.Pattern,
+		}))
+	}
+
+	run := func(n int, from float64) (avgLatency float64) {
+		now := from
+		total := 0.0
+		for i := 0; i < n; i++ {
+			done, err := eng.Execute(now, id)
+			must(err)
+			total += done - now
+			now = done + 0.2
+		}
+		return total / float64(n)
+	}
+
+	register("indexed")
+	warm := run(400, 0)
+	fmt.Printf("indexed avg latency: %.1f ms\n\n", 1000*warm)
+
+	curve := mrc.Compute(eng.Window(id))
+	p := curve.ParamsFor(8192, mrc.DefaultThreshold)
+	fmt.Printf("indexed MRC: total %d pages, acceptable %d\n\n", p.TotalMemory, p.AcceptableMemory)
+
+	fmt.Println("DROP INDEX O_DATE;")
+	must(schema.DropIndex("O_DATE"))
+	register("unindexed")
+	broken := run(400, 1e6)
+	fmt.Printf("unindexed avg latency: %.1f ms (%.0fx)\n", 1000*broken, broken/warm)
+
+	snap := eng.Snapshot(1)
+	fmt.Printf("read-ahead requests now flowing: %v\n", snap[id].Get(metrics.ReadAhead) > 0)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
+}

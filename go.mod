@@ -1,0 +1,3 @@
+module outlierlb
+
+go 1.22

@@ -1,0 +1,563 @@
+// Package bufferpool simulates a database buffer pool with LRU
+// replacement, per-query-class statistics, sequential read-ahead
+// (prefetching) and optional per-class partitions with fixed memory
+// quotas.
+//
+// This is the substrate the paper instruments in MySQL/InnoDB and also the
+// "simulator of buffer pool management driven by traces of page accesses
+// per query class" it uses to evaluate buffer partitioning (§5.3). A pool
+// starts fully shared; enforcing a quota for a query class (the selective
+// retuning action of §3.3.2) carves a dedicated partition out of the pool
+// and shrinks the shared remainder accordingly.
+package bufferpool
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// shared is the partition key for all classes without an explicit quota.
+const shared = ""
+
+// Stats aggregates the per-class counters the engine logs.
+type Stats struct {
+	Accesses   int64 // logical page requests
+	Hits       int64 // requests served from the pool
+	Misses     int64 // requests that required a disk read
+	Prefetches int64 // pages brought in by read-ahead
+	Evictions  int64 // pages evicted to make room
+	Flushes    int64 // dirty pages written back on eviction
+}
+
+// HitRatio reports Hits/Accesses, or 0 with no accesses.
+func (s Stats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type page struct {
+	id    uint64
+	class string // owning partition key
+	dirty bool
+}
+
+type partition struct {
+	capacity int
+	// The LRU list is split at a midpoint into a young (MRU-side) and an
+	// old (LRU-side) sublist, as in InnoDB. With midpoint = 0 the old
+	// sublist is unused and the partition is a classic LRU.
+	young *list.List // front = MRU
+	old   *list.List // front = midpoint boundary, back = eviction victim
+	table map[uint64]*entry
+	// oldCap is the old sublist's target size; 0 disables midpoint
+	// insertion.
+	oldCap int
+}
+
+type entry struct {
+	el    *list.Element
+	inOld bool
+}
+
+func newPartition(capacity int, midpoint float64) *partition {
+	p := &partition{
+		capacity: capacity,
+		young:    list.New(),
+		old:      list.New(),
+		table:    make(map[uint64]*entry),
+	}
+	p.setCapacity(capacity, midpoint)
+	return p
+}
+
+func (p *partition) setCapacity(capacity int, midpoint float64) {
+	p.capacity = capacity
+	if midpoint > 0 {
+		if midpoint > 1 {
+			midpoint = 1
+		}
+		p.oldCap = int(float64(capacity) * midpoint)
+		if p.oldCap < 1 && capacity > 0 {
+			p.oldCap = 1
+		}
+	} else {
+		p.oldCap = 0
+	}
+}
+
+func (p *partition) len() int { return p.young.Len() + p.old.Len() }
+
+// lookup returns the entry for id, if resident.
+func (p *partition) lookup(id uint64) (*entry, bool) {
+	e, ok := p.table[id]
+	return e, ok
+}
+
+// touch records a hit on e: young pages move to the MRU end; old pages
+// are promoted into the young sublist (the midpoint policy's "second
+// access" promotion).
+func (p *partition) touch(e *entry) {
+	if !e.inOld {
+		p.young.MoveToFront(e.el)
+		return
+	}
+	pg := e.el.Value.(page)
+	p.old.Remove(e.el)
+	e.el = p.young.PushFront(pg)
+	e.inOld = false
+	p.rebalance()
+}
+
+// add inserts pg, assuming capacity has been made available. With
+// midpoint insertion enabled, new pages enter at the head of the old
+// sublist; otherwise at the MRU end.
+func (p *partition) add(pg page) {
+	e := &entry{}
+	if p.oldCap > 0 {
+		e.el = p.old.PushFront(pg)
+		e.inOld = true
+	} else {
+		e.el = p.young.PushFront(pg)
+	}
+	p.table[pg.id] = e
+	p.rebalance()
+}
+
+// rebalance demotes young-tail pages into the old sublist until the old
+// sublist holds its target share (only with midpoint insertion).
+func (p *partition) rebalance() {
+	if p.oldCap == 0 {
+		return
+	}
+	for p.old.Len() < p.oldCap && p.young.Len() > 0 && p.len() >= p.capacity {
+		tail := p.young.Back()
+		pg := tail.Value.(page)
+		p.young.Remove(tail)
+		e := p.table[pg.id]
+		e.el = p.old.PushFront(pg)
+		e.inOld = true
+	}
+}
+
+// evict removes the least valuable page and reports it (old tail first,
+// then young tail). ok is false when the partition is empty.
+func (p *partition) evict() (page, bool) {
+	if tail := p.old.Back(); tail != nil {
+		pg := tail.Value.(page)
+		p.old.Remove(tail)
+		delete(p.table, pg.id)
+		return pg, true
+	}
+	if tail := p.young.Back(); tail != nil {
+		pg := tail.Value.(page)
+		p.young.Remove(tail)
+		delete(p.table, pg.id)
+		return pg, true
+	}
+	return page{}, false
+}
+
+// remove deletes a specific resident page.
+func (p *partition) remove(id uint64) {
+	e, ok := p.table[id]
+	if !ok {
+		return
+	}
+	if e.inOld {
+		p.old.Remove(e.el)
+	} else {
+		p.young.Remove(e.el)
+	}
+	delete(p.table, id)
+}
+
+// Config controls pool construction.
+type Config struct {
+	// Capacity is the total pool size in pages. Must be positive.
+	Capacity int
+	// ReadAheadRun is the number of consecutive sequential accesses that
+	// trigger read-ahead. Zero disables read-ahead.
+	ReadAheadRun int
+	// ReadAheadPages is how many pages each read-ahead brings in.
+	// Defaults to 32 when read-ahead is enabled.
+	ReadAheadPages int
+	// MidpointFraction enables InnoDB-style midpoint insertion, the
+	// engine-level defence against scan pollution: newly read pages
+	// enter at this fraction from the LRU tail (InnoDB's "old sublist",
+	// typically 3/8) and are promoted to the MRU end only on a
+	// subsequent hit. Zero keeps classic insert-at-MRU LRU. The
+	// midpoint-vs-quota ablation quantifies how much of the §5.3 damage
+	// this engine knob absorbs on its own.
+	MidpointFraction float64
+}
+
+// Pool is a buffer pool. It is not safe for concurrent use; each simulated
+// engine owns one pool and drives it from the event loop.
+type Pool struct {
+	cfg      Config
+	parts    map[string]*partition // shared partition plus one per quota
+	quota    map[string]int        // class -> quota pages
+	stats    map[string]*Stats
+	lastPage map[string]uint64             // per-class previous page, for sequential detection
+	runLen   map[string]int                // per-class current sequential run length
+	onMiss   func(class string, pages int) // I/O hook: demand misses + prefetch batches
+	onFlush  func(class string, pages int) // I/O hook: dirty pages written back
+}
+
+// New returns a pool with the given configuration.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("bufferpool: capacity must be positive, got %d", cfg.Capacity)
+	}
+	if cfg.ReadAheadRun > 0 && cfg.ReadAheadPages <= 0 {
+		cfg.ReadAheadPages = 32
+	}
+	p := &Pool{
+		cfg:      cfg,
+		parts:    map[string]*partition{shared: newPartition(cfg.Capacity, cfg.MidpointFraction)},
+		quota:    make(map[string]int),
+		stats:    make(map[string]*Stats),
+		lastPage: make(map[string]uint64),
+		runLen:   make(map[string]int),
+	}
+	return p, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Pool {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// OnMiss registers a hook invoked with the number of pages read from disk
+// on each demand miss or read-ahead batch. The engine uses it to charge
+// I/O time and to count I/O block requests.
+func (p *Pool) OnMiss(fn func(class string, pages int)) { p.onMiss = fn }
+
+// OnFlush registers a hook invoked when a dirty page is written back to
+// disk at eviction, charged to the class that dirtied the page.
+func (p *Pool) OnFlush(fn func(class string, pages int)) { p.onFlush = fn }
+
+// Capacity reports the total configured capacity in pages.
+func (p *Pool) Capacity() int { return p.cfg.Capacity }
+
+// partitionFor returns the partition serving class.
+func (p *Pool) partitionFor(class string) *partition {
+	if _, ok := p.quota[class]; ok {
+		return p.parts[class]
+	}
+	return p.parts[shared]
+}
+
+func (p *Pool) statsFor(class string) *Stats {
+	s := p.stats[class]
+	if s == nil {
+		s = &Stats{}
+		p.stats[class] = s
+	}
+	return s
+}
+
+// insert places pg into part, evicting pages if needed, and reports
+// whether an eviction happened. Evicted dirty pages are written back,
+// charged to the class that dirtied them.
+func (p *Pool) insert(part *partition, pg page) bool {
+	if part.capacity <= 0 {
+		return false // zero-quota partition caches nothing
+	}
+	evicted := false
+	for part.len() >= part.capacity {
+		victim, ok := part.evict()
+		if !ok {
+			break
+		}
+		p.flushIfDirty(victim)
+		evicted = true
+	}
+	part.add(pg)
+	return evicted
+}
+
+// flushIfDirty accounts the write-back of an evicted dirty page.
+func (p *Pool) flushIfDirty(victim page) {
+	if !victim.dirty {
+		return
+	}
+	p.statsFor(victim.class).Flushes++
+	if p.onFlush != nil {
+		p.onFlush(victim.class, 1)
+	}
+}
+
+// AccessResult reports what one logical page access did.
+type AccessResult struct {
+	Hit        bool
+	Prefetched int // pages brought in by read-ahead triggered by this access
+}
+
+// Write performs one logical page access that also dirties the page:
+// the page will be written back to disk when evicted.
+func (p *Pool) Write(class string, pg uint64) AccessResult {
+	res := p.Access(class, pg)
+	part := p.partitionFor(class)
+	if e, ok := part.lookup(pg); ok {
+		v := e.el.Value.(page)
+		if !v.dirty {
+			v.dirty = true
+			e.el.Value = v
+		}
+	}
+	return res
+}
+
+// FlushAll writes back every dirty page (as at a checkpoint), returning
+// how many pages were flushed. Pages stay resident and become clean.
+func (p *Pool) FlushAll() int {
+	flushed := 0
+	for _, part := range p.parts {
+		for _, l := range []*list.List{part.young, part.old} {
+			for el := l.Front(); el != nil; el = el.Next() {
+				v := el.Value.(page)
+				if v.dirty {
+					v.dirty = false
+					el.Value = v
+					p.statsFor(v.class).Flushes++
+					if p.onFlush != nil {
+						p.onFlush(v.class, 1)
+					}
+					flushed++
+				}
+			}
+		}
+	}
+	return flushed
+}
+
+// DirtyPages counts currently dirty resident pages.
+func (p *Pool) DirtyPages() int {
+	n := 0
+	for _, part := range p.parts {
+		for _, l := range []*list.List{part.young, part.old} {
+			for el := l.Front(); el != nil; el = el.Next() {
+				if el.Value.(page).dirty {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Access performs one logical page access on behalf of class and returns
+// whether it hit and how many pages read-ahead fetched. The miss hook is
+// called for the demand read and for the prefetch batch (if any).
+func (p *Pool) Access(class string, pg uint64) AccessResult {
+	part := p.partitionFor(class)
+	st := p.statsFor(class)
+	st.Accesses++
+
+	var res AccessResult
+	if e, ok := part.lookup(pg); ok {
+		part.touch(e)
+		st.Hits++
+		res.Hit = true
+	} else {
+		st.Misses++
+		if p.insert(part, page{id: pg, class: class}) {
+			st.Evictions++
+		}
+		if p.onMiss != nil {
+			p.onMiss(class, 1)
+		}
+	}
+
+	// Sequential read-ahead: a run of consecutive pages triggers a
+	// prefetch of the next ReadAheadPages pages, mirroring InnoDB's
+	// linear read-ahead.
+	if p.cfg.ReadAheadRun > 0 {
+		if last, ok := p.lastPage[class]; ok && pg == last+1 {
+			p.runLen[class]++
+		} else {
+			p.runLen[class] = 0
+		}
+		p.lastPage[class] = pg
+		if p.runLen[class] >= p.cfg.ReadAheadRun {
+			p.runLen[class] = 0
+			n := p.prefetch(class, pg+1, p.cfg.ReadAheadPages)
+			st.Prefetches += int64(n)
+			res.Prefetched = n
+		}
+	}
+	return res
+}
+
+// prefetch brings up to n pages starting at first into class's partition,
+// skipping pages already resident, and returns how many were fetched.
+func (p *Pool) prefetch(class string, first uint64, n int) int {
+	part := p.partitionFor(class)
+	st := p.statsFor(class)
+	fetched := 0
+	for i := 0; i < n; i++ {
+		id := first + uint64(i)
+		if _, ok := part.table[id]; ok {
+			continue
+		}
+		if part.capacity <= 0 {
+			break
+		}
+		if p.insert(part, page{id: id, class: class}) {
+			st.Evictions++
+		}
+		fetched++
+	}
+	if fetched > 0 && p.onMiss != nil {
+		p.onMiss(class, fetched)
+	}
+	return fetched
+}
+
+// Contains reports whether page pg is resident in the partition serving
+// class.
+func (p *Pool) Contains(class string, pg uint64) bool {
+	_, ok := p.partitionFor(class).table[pg]
+	return ok
+}
+
+// Resident reports the number of pages currently cached across all
+// partitions.
+func (p *Pool) Resident() int {
+	total := 0
+	for _, part := range p.parts {
+		total += part.len()
+	}
+	return total
+}
+
+// Stats returns a copy of the counters for class.
+func (p *Pool) Stats(class string) Stats {
+	if s := p.stats[class]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes all per-class counters without touching pool contents.
+func (p *Pool) ResetStats() {
+	for _, s := range p.stats {
+		*s = Stats{}
+	}
+}
+
+// Quota reports the quota for class and whether one is set.
+func (p *Pool) Quota(class string) (int, bool) {
+	q, ok := p.quota[class]
+	return q, ok
+}
+
+// SetQuota gives class a dedicated partition of q pages, carved out of the
+// shared partition. The class's pages currently in the shared partition
+// are migrated (up to the quota); the shared partition shrinks by q and
+// evicts any overflow. Setting a quota for a class that already has one
+// resizes its partition. An error is returned if quotas would exceed the
+// pool capacity.
+func (p *Pool) SetQuota(class string, q int) error {
+	if class == shared {
+		return fmt.Errorf("bufferpool: empty class name is reserved")
+	}
+	if q < 0 {
+		return fmt.Errorf("bufferpool: negative quota %d for %q", q, class)
+	}
+	sum := q
+	for c, cq := range p.quota {
+		if c != class {
+			sum += cq
+		}
+	}
+	if sum > p.cfg.Capacity {
+		return fmt.Errorf("bufferpool: quotas %d pages exceed capacity %d", sum, p.cfg.Capacity)
+	}
+
+	if _, had := p.quota[class]; had {
+		p.quota[class] = q
+		part := p.parts[class]
+		part.setCapacity(q, p.cfg.MidpointFraction)
+		p.shrinkToCapacity(part)
+	} else {
+		p.quota[class] = q
+		part := newPartition(q, p.cfg.MidpointFraction)
+		p.parts[class] = part
+		// Migrate the class's resident pages from the shared partition,
+		// preserving recency order (walk MRU to LRU within each sublist
+		// and push to the back of the new partition's young list).
+		sh := p.parts[shared]
+		migrate := func(l *list.List) {
+			for el := l.Front(); el != nil; {
+				next := el.Next()
+				pg := el.Value.(page)
+				if pg.class == class {
+					sh.remove(pg.id)
+					if part.len() < part.capacity {
+						part.table[pg.id] = &entry{el: part.young.PushBack(pg)}
+					} else {
+						p.flushIfDirty(pg)
+					}
+				}
+				el = next
+			}
+		}
+		migrate(sh.young)
+		migrate(sh.old)
+	}
+	p.rebalanceShared()
+	return nil
+}
+
+// RemoveQuota dissolves class's partition, returning its capacity to the
+// shared partition. The class's pages are dropped (they fault back in).
+func (p *Pool) RemoveQuota(class string) {
+	if _, ok := p.quota[class]; !ok {
+		return
+	}
+	delete(p.quota, class)
+	delete(p.parts, class)
+	p.rebalanceShared()
+}
+
+// rebalanceShared recomputes the shared partition's capacity as the total
+// minus all quotas and evicts overflow.
+func (p *Pool) rebalanceShared() {
+	q := 0
+	for _, cq := range p.quota {
+		q += cq
+	}
+	sh := p.parts[shared]
+	sh.setCapacity(p.cfg.Capacity-q, p.cfg.MidpointFraction)
+	p.shrinkToCapacity(sh)
+}
+
+func (p *Pool) shrinkToCapacity(part *partition) {
+	for part.len() > part.capacity {
+		victim, ok := part.evict()
+		if !ok {
+			break
+		}
+		p.flushIfDirty(victim)
+	}
+}
+
+// Quotas returns a copy of the current class → quota map.
+func (p *Pool) Quotas() map[string]int {
+	out := make(map[string]int, len(p.quota))
+	for c, q := range p.quota {
+		out[c] = q
+	}
+	return out
+}
+
+// SharedCapacity reports the current capacity of the shared partition.
+func (p *Pool) SharedCapacity() int { return p.parts[shared].capacity }

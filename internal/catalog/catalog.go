@@ -1,0 +1,199 @@
+// Package catalog models the physical schema of a simulated database:
+// tables with row counts and widths, and B+-tree indexes with computed
+// heights and clustering factors. The planner turns queries over this
+// catalog into page-access patterns and CPU costs, so a schema change —
+// such as §5.3's dropped O_DATE index — changes execution plans the way
+// it does in a real engine, instead of by hand-editing access patterns.
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PageBytes is the page size (16 KiB, InnoDB's default).
+const PageBytes = 16 * 1024
+
+// Table describes one table's physical layout.
+type Table struct {
+	// Name identifies the table.
+	Name string
+	// Rows is the row count.
+	Rows int64
+	// RowBytes is the average row width including overhead.
+	RowBytes int
+	// BasePage is where the table's pages start in the global page space
+	// (assigned by the schema).
+	BasePage uint64
+}
+
+// RowsPerPage reports how many rows fit a page.
+func (t *Table) RowsPerPage() int {
+	if t.RowBytes <= 0 {
+		return 1
+	}
+	n := PageBytes / t.RowBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Pages reports the table's size in pages.
+func (t *Table) Pages() uint64 {
+	rpp := int64(t.RowsPerPage())
+	p := (t.Rows + rpp - 1) / rpp
+	if p < 1 {
+		p = 1
+	}
+	return uint64(p)
+}
+
+// Index describes a secondary B+-tree index.
+type Index struct {
+	// Name identifies the index (e.g. "O_DATE").
+	Name string
+	// Table is the indexed table's name.
+	Table string
+	// KeyBytes is the average key+pointer entry width.
+	KeyBytes int
+	// Clustered reports whether index order matches table order (range
+	// scans through a clustered index touch consecutive table pages).
+	Clustered bool
+	// BasePage is where the index's pages start in the global page
+	// space.
+	BasePage uint64
+
+	entries int64 // filled by the schema from the table's row count
+}
+
+// Fanout reports entries per index page.
+func (ix *Index) Fanout() int {
+	if ix.KeyBytes <= 0 {
+		return PageBytes / 16
+	}
+	f := PageBytes / ix.KeyBytes
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// Height reports the B+-tree height (root to leaf, inclusive), the
+// number of index pages a point traversal touches.
+func (ix *Index) Height() int {
+	if ix.entries <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(ix.entries))/math.Log(float64(ix.Fanout())))) + 1
+}
+
+// LeafPages reports the number of leaf pages.
+func (ix *Index) LeafPages() uint64 {
+	p := (ix.entries + int64(ix.Fanout()) - 1) / int64(ix.Fanout())
+	if p < 1 {
+		p = 1
+	}
+	return uint64(p)
+}
+
+// Schema is a set of tables and indexes laid out in a disjoint global
+// page space.
+type Schema struct {
+	tables  map[string]*Table
+	indexes map[string]*Index
+	next    uint64
+}
+
+// NewSchema returns an empty schema whose page space starts at base.
+func NewSchema(base uint64) *Schema {
+	return &Schema{
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+		next:    base,
+	}
+}
+
+// AddTable registers a table and assigns its page region.
+func (s *Schema) AddTable(name string, rows int64, rowBytes int) (*Table, error) {
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("catalog: duplicate table %q", name)
+	}
+	if rows <= 0 || rowBytes <= 0 {
+		return nil, fmt.Errorf("catalog: table %q needs positive rows and width", name)
+	}
+	t := &Table{Name: name, Rows: rows, RowBytes: rowBytes, BasePage: s.next}
+	s.tables[name] = t
+	s.next += t.Pages() + 1024 // guard gap between regions
+	return t, nil
+}
+
+// AddIndex registers a secondary index on an existing table.
+func (s *Schema) AddIndex(name, table string, keyBytes int, clustered bool) (*Index, error) {
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("catalog: index %q references unknown table %q", name, table)
+	}
+	if _, dup := s.indexes[name]; dup {
+		return nil, fmt.Errorf("catalog: duplicate index %q", name)
+	}
+	ix := &Index{Name: name, Table: table, KeyBytes: keyBytes, Clustered: clustered,
+		BasePage: s.next, entries: t.Rows}
+	s.indexes[name] = ix
+	s.next += ix.LeafPages() + 1024
+	return ix, nil
+}
+
+// DropIndex removes an index — the §5.3 environment change.
+func (s *Schema) DropIndex(name string) error {
+	if _, ok := s.indexes[name]; !ok {
+		return fmt.Errorf("catalog: unknown index %q", name)
+	}
+	delete(s.indexes, name)
+	return nil
+}
+
+// Table returns a table by name.
+func (s *Schema) Table(name string) (*Table, bool) {
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Index returns an index by name.
+func (s *Schema) Index(name string) (*Index, bool) {
+	ix, ok := s.indexes[name]
+	return ix, ok
+}
+
+// IndexOn returns an index over the given table, preferring clustered
+// ones, or false when the table has no index.
+func (s *Schema) IndexOn(table string) (*Index, bool) {
+	var names []string
+	for n, ix := range s.indexes {
+		if ix.Table == table {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	sort.Strings(names)
+	best := s.indexes[names[0]]
+	for _, n := range names[1:] {
+		if s.indexes[n].Clustered && !best.Clustered {
+			best = s.indexes[n]
+		}
+	}
+	return best, true
+}
+
+// Tables lists table names sorted.
+func (s *Schema) Tables() []string {
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package catalog
+
+import "testing"
+
+func TestTableLayout(t *testing.T) {
+	s := NewSchema(0)
+	tab, err := s.AddTable("orders", 1_000_000, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpp := tab.RowsPerPage(); rpp != PageBytes/160 {
+		t.Fatalf("rows/page = %d", rpp)
+	}
+	wantPages := uint64((1_000_000 + int64(tab.RowsPerPage()) - 1) / int64(tab.RowsPerPage()))
+	if tab.Pages() != wantPages {
+		t.Fatalf("pages = %d, want %d", tab.Pages(), wantPages)
+	}
+	if tab.BasePage != 0 {
+		t.Fatalf("base = %d", tab.BasePage)
+	}
+}
+
+func TestSchemaRegionsDisjoint(t *testing.T) {
+	s := NewSchema(1000)
+	a, _ := s.AddTable("a", 100_000, 100)
+	b, _ := s.AddTable("b", 100_000, 100)
+	if b.BasePage <= a.BasePage+a.Pages() {
+		t.Fatalf("regions overlap: a=[%d,%d) b starts %d", a.BasePage, a.BasePage+a.Pages(), b.BasePage)
+	}
+	ix, err := s.AddIndex("a_pk", "a", 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.BasePage <= b.BasePage+b.Pages() {
+		t.Fatal("index region overlaps table region")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	s := NewSchema(0)
+	if _, err := s.AddTable("t", 0, 100); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := s.AddTable("t", 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTable("t", 100, 100); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := s.AddIndex("ix", "ghost", 16, false); err == nil {
+		t.Fatal("index on unknown table accepted")
+	}
+	if _, err := s.AddIndex("ix", "t", 16, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("ix", "t", 16, false); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if err := s.DropIndex("ghost"); err == nil {
+		t.Fatal("dropping unknown index succeeded")
+	}
+	if err := s.DropIndex("ix"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Index("ix"); ok {
+		t.Fatal("index present after drop")
+	}
+}
+
+func TestIndexHeightGrowsWithEntries(t *testing.T) {
+	s := NewSchema(0)
+	if _, err := s.AddTable("small", 1000, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTable("big", 100_000_000, 100); err != nil {
+		t.Fatal(err)
+	}
+	smallIx, _ := s.AddIndex("s_ix", "small", 16, false)
+	bigIx, _ := s.AddIndex("b_ix", "big", 16, false)
+	if smallIx.Height() >= bigIx.Height() {
+		t.Fatalf("heights: small %d, big %d", smallIx.Height(), bigIx.Height())
+	}
+	if smallIx.Height() < 1 {
+		t.Fatal("height below 1")
+	}
+	if bigIx.LeafPages() <= smallIx.LeafPages() {
+		t.Fatal("leaf counts not ordered")
+	}
+}
+
+func TestIndexOnPrefersClustered(t *testing.T) {
+	s := NewSchema(0)
+	if _, err := s.AddTable("t", 100_000, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.IndexOn("t"); ok {
+		t.Fatal("index found on unindexed table")
+	}
+	if _, err := s.AddIndex("sec", "t", 16, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("pk", "t", 16, true); err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := s.IndexOn("t")
+	if !ok || !ix.Clustered {
+		t.Fatalf("IndexOn = %+v, want the clustered index", ix)
+	}
+	if got := s.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("Tables = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestAsyncWriteCompletesOnPrimary(t *testing.T) {
+	r1, r2 := newReplica(t, "s1"), newReplica(t, "s2")
+	s := newSched(t, r1, r2)
+	s.SetAsyncReplication(0.5)
+	done, err := s.Submit(0, writeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write completes when one replica finishes — well before the
+	// 0.5 s apply lag on the other.
+	if done >= 0.5 {
+		t.Fatalf("async write waited for remote apply: done = %v", done)
+	}
+	if err := s.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncReadWaitsForFreshness(t *testing.T) {
+	r1, r2 := newReplica(t, "s1"), newReplica(t, "s2")
+	s := newSched(t, r1, r2)
+	s.SetAsyncReplication(2.0)
+	// Restrict the read class to r1, then write: the first write's
+	// primary is r2 (sequence-number rotation), so r1 lags for 2 s and
+	// the read — pinned to r1 — must wait out the freshness horizon
+	// rather than return stale data.
+	if err := s.PlaceClass(readID, r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(0, writeID); err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Submit(0.01, readID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < 2.0 {
+		t.Fatalf("read served before the lagging replica was fresh: done = %v", done)
+	}
+}
+
+func TestAsyncReadsPreferFreshReplicas(t *testing.T) {
+	r1, r2, r3 := newReplica(t, "s1"), newReplica(t, "s2"), newReplica(t, "s3")
+	s := newSched(t, r1, r2, r3)
+	s.SetAsyncReplication(5.0)
+	if _, err := s.Submit(0, writeID); err != nil {
+		t.Fatal(err)
+	}
+	// With one fresh primary and two laggards, repeated reads served
+	// before the lag expires should all come back fast (the scheduler
+	// keeps picking the fresh one).
+	for i := 0; i < 6; i++ {
+		done, err := s.Submit(0.1, readID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done >= 5.0 {
+			t.Fatalf("read %d waited for a laggard despite a fresh replica", i)
+		}
+	}
+}
+
+func TestAsyncLagZeroIsSynchronous(t *testing.T) {
+	r1, r2 := newReplica(t, "s1"), newReplica(t, "s2")
+	s := newSched(t, r1, r2)
+	s.SetAsyncReplication(0)
+	done, err := s.Submit(0, writeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("write completed instantly")
+	}
+	if err := s.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetAsyncReplication(-3) // negative clamps to sync
+	if _, err := s.Submit(1, writeID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncInterleavedConsistency(t *testing.T) {
+	r1, r2 := newReplica(t, "s1"), newReplica(t, "s2")
+	s := newSched(t, r1, r2)
+	s.SetAsyncReplication(0.2)
+	now := 0.0
+	for i := 0; i < 60; i++ {
+		id := readID
+		if i%3 == 0 {
+			id = writeID
+		}
+		done, err := s.Submit(now, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done < now {
+			t.Fatalf("completion %v before submission %v", done, now)
+		}
+		now += 0.05
+	}
+	if err := s.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncRemoveLaggingReplica(t *testing.T) {
+	r1, r2 := newReplica(t, "s1"), newReplica(t, "s2")
+	s := newSched(t, r1, r2)
+	s.SetAsyncReplication(10)
+	if _, err := s.Submit(0, writeID); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the lagging replica must leave reads healthy.
+	if err := s.RemoveReplica(r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(0.1, readID); err != nil {
+		t.Fatal(err)
+	}
+}

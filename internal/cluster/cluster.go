@@ -1,0 +1,516 @@
+// Package cluster implements the replicated database tier of the paper
+// (§3.1): a set of physical servers hosting database engines, one query
+// scheduler per application distributing queries over the application's
+// replicas with read-one-write-all replication, and a resource manager
+// making global replica-allocation decisions across applications.
+//
+// Scheduling and placement happen at the granularity of query class
+// contexts: each query class is placed on a subset of its application's
+// replicas and load-balanced across that subset — the mechanism the
+// paper's fine-grained load balancing relies on.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"outlierlb/internal/engine"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sla"
+)
+
+// Replica is one copy of an application's data served by a database
+// engine on some physical server. Several applications may share one
+// replica's engine (multiple apps inside a single DBMS), and a server may
+// host several engines (one per VM or per database system).
+type Replica struct {
+	eng *engine.Engine
+	srv *server.Server
+
+	// appliedSeq tracks, per application, the last write sequence number
+	// applied on this replica — the consistency bookkeeping behind
+	// read-one-write-all.
+	appliedSeq map[string]int64
+
+	// failed marks a crashed replica: it receives no reads and applies
+	// no writes until recovery.
+	failed bool
+}
+
+// NewReplica wraps an engine hosted on srv as a replica.
+func NewReplica(eng *engine.Engine, srv *server.Server) *Replica {
+	return &Replica{eng: eng, srv: srv, appliedSeq: make(map[string]int64)}
+}
+
+// Engine returns the replica's database engine.
+func (r *Replica) Engine() *engine.Engine { return r.eng }
+
+// Server returns the physical server hosting the replica.
+func (r *Replica) Server() *server.Server { return r.srv }
+
+// AppliedSeq reports the last write sequence applied for app.
+func (r *Replica) AppliedSeq(app string) int64 { return r.appliedSeq[app] }
+
+// Failed reports whether the replica is currently crashed.
+func (r *Replica) Failed() bool { return r.failed }
+
+// Application describes one hosted database application.
+type Application struct {
+	// Name identifies the application (e.g. "tpcw").
+	Name string
+	// SLA is the application's latency agreement.
+	SLA sla.SLA
+	// Classes is the application's full query-class catalog. The
+	// scheduler determines templates on the fly in the real system; here
+	// the workload declares them.
+	Classes []engine.ClassSpec
+}
+
+// Scheduler distributes one application's queries over its replica set
+// using read-one-write-all replication, load-balancing each read-only
+// query class across the subset of replicas the class is placed on.
+type Scheduler struct {
+	app      *Application
+	tracker  *sla.Tracker
+	replicas []*Replica
+	// placement maps each query class to the replicas serving its reads.
+	placement map[metrics.ClassID][]*Replica
+	rr        map[metrics.ClassID]int
+	writeSeq  int64
+
+	// asyncLag > 0 switches the scheduler to asynchronous replication
+	// (the paper's underlying substrate is a scheduler-based asynchronous
+	// replication scheme with strong consistency): a write completes when
+	// the first replica finishes, while the remaining replicas apply it
+	// asyncLag seconds later. freshAt tracks, per replica, the virtual
+	// time by which it will have applied every write issued so far; reads
+	// preserve one-copy semantics by waiting for freshness when no
+	// up-to-date replica is available.
+	asyncLag float64
+	freshAt  map[*Replica]float64
+	balancer Balancer
+}
+
+// Balancer selects how reads spread over a class's placement.
+type Balancer int
+
+// The read-balancing policies.
+const (
+	// RoundRobin rotates through the placement (the default).
+	RoundRobin Balancer = iota
+	// LeastLoaded routes each read to the fresh replica whose server
+	// currently has the smallest CPU + disk backlog.
+	LeastLoaded
+)
+
+// NewScheduler returns a scheduler for app with no replicas yet.
+func NewScheduler(app *Application) (*Scheduler, error) {
+	if app == nil || app.Name == "" {
+		return nil, fmt.Errorf("cluster: scheduler needs a named application")
+	}
+	seen := make(map[metrics.ClassID]bool)
+	for _, spec := range app.Classes {
+		if spec.ID.App != app.Name {
+			return nil, fmt.Errorf("cluster: class %v does not belong to application %q", spec.ID, app.Name)
+		}
+		if seen[spec.ID] {
+			return nil, fmt.Errorf("cluster: duplicate class %v", spec.ID)
+		}
+		seen[spec.ID] = true
+	}
+	return &Scheduler{
+		app:       app,
+		tracker:   sla.NewTracker(app.SLA),
+		placement: make(map[metrics.ClassID][]*Replica),
+		rr:        make(map[metrics.ClassID]int),
+		freshAt:   make(map[*Replica]float64),
+	}, nil
+}
+
+// SetBalancer selects the read-balancing policy.
+func (s *Scheduler) SetBalancer(b Balancer) { s.balancer = b }
+
+// SetAsyncReplication switches write propagation to asynchronous with
+// the given apply lag in seconds; zero restores synchronous
+// read-one-write-all. Reads remain strongly consistent in both modes.
+func (s *Scheduler) SetAsyncReplication(lag float64) {
+	if lag < 0 {
+		lag = 0
+	}
+	s.asyncLag = lag
+}
+
+// App returns the scheduled application.
+func (s *Scheduler) App() *Application { return s.app }
+
+// Tracker returns the application-level SLA tracker.
+func (s *Scheduler) Tracker() *sla.Tracker { return s.tracker }
+
+// Replicas returns the application's current replica set.
+func (s *Scheduler) Replicas() []*Replica { return s.replicas }
+
+// WriteSeq returns the global write sequence number issued so far.
+func (s *Scheduler) WriteSeq() int64 { return s.writeSeq }
+
+// spec returns the catalog entry for id.
+func (s *Scheduler) spec(id metrics.ClassID) (engine.ClassSpec, bool) {
+	for _, sp := range s.app.Classes {
+		if sp.ID == id {
+			return sp, true
+		}
+	}
+	return engine.ClassSpec{}, false
+}
+
+// AddReplica attaches r to the application, registering every query class
+// on it and adding it to every class's placement (the default: all
+// classes load-balanced over all replicas). New replicas are brought up
+// to date by construction in this synchronous model.
+func (s *Scheduler) AddReplica(r *Replica) error {
+	for _, existing := range s.replicas {
+		if existing == r {
+			return fmt.Errorf("cluster: replica already attached")
+		}
+	}
+	for _, spec := range s.app.Classes {
+		if err := r.eng.Register(spec); err != nil {
+			return fmt.Errorf("cluster: registering %v on new replica: %w", spec.ID, err)
+		}
+	}
+	r.appliedSeq[s.app.Name] = s.writeSeq
+	s.replicas = append(s.replicas, r)
+	for _, spec := range s.app.Classes {
+		s.placement[spec.ID] = append(s.placement[spec.ID], r)
+	}
+	return nil
+}
+
+// RemoveReplica detaches r, dropping it from every placement. Classes
+// whose placement would become empty are moved to the remaining replicas;
+// removing the last replica is an error.
+func (s *Scheduler) RemoveReplica(r *Replica) error {
+	idx := -1
+	for i, existing := range s.replicas {
+		if existing == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("cluster: replica not attached")
+	}
+	if len(s.replicas) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last replica of %q", s.app.Name)
+	}
+	s.replicas = append(s.replicas[:idx], s.replicas[idx+1:]...)
+	delete(s.freshAt, r)
+	for id, reps := range s.placement {
+		out := reps[:0]
+		for _, rep := range reps {
+			if rep != r {
+				out = append(out, rep)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, s.replicas...)
+			spec, _ := s.spec(id)
+			for _, rep := range s.replicas {
+				if err := rep.eng.Register(spec); err != nil {
+					return err
+				}
+			}
+		}
+		s.placement[id] = out
+	}
+	for _, spec := range s.app.Classes {
+		r.eng.Deregister(spec.ID)
+	}
+	return nil
+}
+
+// PlaceClass restricts query class id to the given replicas (which must
+// be attached), registering the class there and deregistering it from
+// replicas no longer serving it. This is the fine-grained load-balancing
+// primitive: the §3.3.2 retuning action "schedule a suspect query class
+// on a different replica" is PlaceClass with a different subset.
+func (s *Scheduler) PlaceClass(id metrics.ClassID, reps ...*Replica) error {
+	spec, ok := s.spec(id)
+	if !ok {
+		return fmt.Errorf("cluster: unknown class %v", id)
+	}
+	if len(reps) == 0 {
+		return fmt.Errorf("cluster: class %v needs at least one replica", id)
+	}
+	attached := func(r *Replica) bool {
+		for _, existing := range s.replicas {
+			if existing == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range reps {
+		if !attached(r) {
+			return fmt.Errorf("cluster: replica not attached to %q", s.app.Name)
+		}
+	}
+	serving := make(map[*Replica]bool, len(reps))
+	for _, r := range reps {
+		serving[r] = true
+		if err := r.eng.Register(spec); err != nil {
+			return err
+		}
+	}
+	for _, old := range s.placement[id] {
+		if !serving[old] && !spec.Write {
+			// Write classes stay registered everywhere (ROWA); read-only
+			// classes are removed from replicas that no longer serve them.
+			old.eng.Deregister(id)
+		}
+	}
+	s.placement[id] = append([]*Replica(nil), reps...)
+	s.rr[id] = 0
+	return nil
+}
+
+// UpdateClass replaces a query class's definition at runtime — the
+// mechanism behind environment changes such as §5.3's index drop, where
+// the same query template suddenly executes with a different plan (and
+// therefore a different access pattern and cost). The new spec is
+// re-registered on every replica currently serving the class.
+func (s *Scheduler) UpdateClass(spec engine.ClassSpec) error {
+	if spec.ID.App != s.app.Name {
+		return fmt.Errorf("cluster: class %v does not belong to %q", spec.ID, s.app.Name)
+	}
+	idx := -1
+	for i := range s.app.Classes {
+		if s.app.Classes[i].ID == spec.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("cluster: unknown class %v", spec.ID)
+	}
+	s.app.Classes[idx] = spec
+	targets := s.placement[spec.ID]
+	if spec.Write {
+		targets = s.replicas
+	}
+	for _, r := range targets {
+		if err := r.eng.Register(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Placement returns the replicas currently serving class id.
+func (s *Scheduler) Placement(id metrics.ClassID) []*Replica {
+	return s.placement[id]
+}
+
+// Submit executes one query of class id arriving at virtual time now and
+// returns its completion time. Read-only queries go to one replica of the
+// class's placement (round-robin); writes go to every replica of the
+// application (read-one-write-all) and complete when the slowest replica
+// finishes. The query's latency feeds the application-level SLA tracker.
+func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err error) {
+	spec, ok := s.spec(id)
+	if !ok {
+		return now, fmt.Errorf("cluster: unknown class %v", id)
+	}
+	if len(s.replicas) == 0 {
+		return now, fmt.Errorf("cluster: application %q has no replicas", s.app.Name)
+	}
+	if spec.Write {
+		s.writeSeq++
+		if s.asyncLag > 0 {
+			done, err = s.submitWriteAsync(now, id)
+		} else {
+			done, err = s.submitWriteSync(now, id)
+		}
+		if err != nil {
+			return now, err
+		}
+	} else {
+		reps := s.placement[id]
+		if len(reps) == 0 {
+			return now, fmt.Errorf("cluster: class %v has no placement", id)
+		}
+		r, start := s.pickFreshReplica(now, reps, id)
+		if r == nil {
+			return now, fmt.Errorf("cluster: no consistent replica for read of %v", id)
+		}
+		done, err = r.eng.Execute(start, id)
+		if err != nil {
+			return now, err
+		}
+	}
+	s.tracker.Observe(done - now)
+	return done, nil
+}
+
+// MarkFailed crashes a replica: reads avoid it and writes skip it until
+// recovery. Failing every replica of a live application makes it
+// unavailable, which Submit reports as an error.
+func (s *Scheduler) MarkFailed(r *Replica) {
+	r.failed = true
+}
+
+// MarkRecovered brings a crashed replica back. Recovery performs state
+// transfer from a live replica, so the returned replica is up to date
+// (its missed writes are not replayed query by query; the engine's
+// caches, however, start from whatever survived the crash).
+func (s *Scheduler) MarkRecovered(r *Replica) {
+	r.failed = false
+	r.appliedSeq[s.app.Name] = s.writeSeq
+	delete(s.freshAt, r)
+}
+
+// live filters out failed replicas.
+func live(reps []*Replica) []*Replica {
+	out := make([]*Replica, 0, len(reps))
+	for _, r := range reps {
+		if !r.failed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// submitWriteSync executes the write on every live replica and completes
+// when the slowest finishes — classic read-one-write-all (failed
+// replicas resynchronize via state transfer at recovery).
+func (s *Scheduler) submitWriteSync(now float64, id metrics.ClassID) (done float64, err error) {
+	reps := live(s.replicas)
+	if len(reps) == 0 {
+		return now, fmt.Errorf("cluster: application %q has no live replicas", s.app.Name)
+	}
+	done = now
+	for _, r := range reps {
+		d, execErr := r.eng.Execute(now, id)
+		if execErr != nil {
+			return now, execErr
+		}
+		r.appliedSeq[s.app.Name] = s.writeSeq
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+// submitWriteAsync executes the write on one replica and completes when
+// it does; the remaining replicas apply the write asyncLag seconds later
+// and their freshness horizon moves accordingly.
+func (s *Scheduler) submitWriteAsync(now float64, id metrics.ClassID) (done float64, err error) {
+	reps := live(s.replicas)
+	if len(reps) == 0 {
+		return now, fmt.Errorf("cluster: application %q has no live replicas", s.app.Name)
+	}
+	primary := reps[int(s.writeSeq)%len(reps)]
+	done, err = primary.eng.Execute(now, id)
+	if err != nil {
+		return now, err
+	}
+	primary.appliedSeq[s.app.Name] = s.writeSeq
+	if f := s.freshAt[primary]; done > f {
+		s.freshAt[primary] = done
+	}
+	for _, r := range reps {
+		if r == primary {
+			continue
+		}
+		applyAt := now + s.asyncLag
+		d, execErr := r.eng.Execute(applyAt, id)
+		if execErr != nil {
+			return now, execErr
+		}
+		r.appliedSeq[s.app.Name] = s.writeSeq
+		if d > s.freshAt[r] {
+			s.freshAt[r] = d
+		}
+	}
+	return done, nil
+}
+
+// pickFreshReplica returns a replica that is consistent for a read
+// arriving at now, plus the time the read may start there. Fresh
+// replicas serve immediately (round-robin among them); if every replica
+// in the placement is still applying writes, the read waits on the one
+// that becomes fresh soonest — strong consistency is never given up.
+func (s *Scheduler) pickFreshReplica(now float64, reps []*Replica, id metrics.ClassID) (*Replica, float64) {
+	n := len(reps)
+	var soonest, best *Replica
+	soonestAt, bestLoad := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		r := reps[(s.rr[id]+i)%n]
+		if r.failed {
+			continue
+		}
+		behind := r.appliedSeq[s.app.Name] != s.writeSeq
+		fresh := s.freshAt[r]
+		if !behind && fresh <= now {
+			if s.balancer == RoundRobin {
+				s.rr[id] += i + 1
+				return r, now
+			}
+			load := r.srv.CPUQueueDelay(now) + r.srv.Disk().QueueDelay(now)
+			if best == nil || load < bestLoad {
+				best = r
+				bestLoad = load
+			}
+			continue
+		}
+		if behind {
+			continue
+		}
+		if soonest == nil || fresh < soonestAt {
+			soonest = r
+			soonestAt = fresh
+		}
+	}
+	if best != nil {
+		s.rr[id]++
+		return best, now
+	}
+	if soonest == nil {
+		return nil, 0
+	}
+	s.rr[id]++
+	return soonest, soonestAt
+}
+
+// ConsistencyCheck verifies the read-one-write-all invariant: every live
+// replica has applied exactly the scheduler's write sequence (failed
+// replicas are brought up to date by state transfer at recovery).
+func (s *Scheduler) ConsistencyCheck() error {
+	for _, r := range live(s.replicas) {
+		if got := r.appliedSeq[s.app.Name]; got != s.writeSeq {
+			return fmt.Errorf("cluster: replica on %q applied %d writes, scheduler issued %d",
+				r.srv.Name(), got, s.writeSeq)
+		}
+	}
+	return nil
+}
+
+// PlacementSummary renders the placement as "class → server,server" lines
+// sorted by class, for reports.
+func (s *Scheduler) PlacementSummary() []string {
+	ids := make([]metrics.ClassID, 0, len(s.placement))
+	for id := range s.placement {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Class < ids[j].Class })
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		line := id.Class + " →"
+		for _, r := range s.placement[id] {
+			line += " " + r.srv.Name()
+		}
+		out = append(out, line)
+	}
+	return out
+}

@@ -1,0 +1,832 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/engine"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+)
+
+// Config tunes the selective retuning controller.
+type Config struct {
+	// Interval is the measurement interval in seconds. Default 10.
+	Interval float64
+	// Fences are the IQR outlier fences. Default 1.5 / 3.0.
+	Fences Fences
+	// CPUSaturation is the mean core utilization treated as CPU
+	// saturation. Default 0.85.
+	CPUSaturation float64
+	// DiskSaturation is the disk utilization treated as I/O interference
+	// (when CPU is not saturated). Default 0.85.
+	DiskSaturation float64
+	// MRCChangeFactor is the relative change in MRC memory parameters
+	// considered significant. Default 1.6: window-based MRC estimates
+	// carry sampling noise well above the paper's nominal 1.25, and the
+	// §5.3 index-drop signal (a 1.9x acceptable-memory change) clears
+	// this bar comfortably.
+	MRCChangeFactor float64
+	// MRCThreshold is the acceptable-miss-ratio threshold above the ideal
+	// miss ratio. Default mrc.DefaultThreshold.
+	MRCThreshold float64
+	// TopK is how many heavyweight classes to investigate when no outlier
+	// contexts are found. Default 3.
+	TopK int
+	// FallbackAfter is the number of consecutive violating intervals
+	// after which the controller falls back to coarse-grained isolation.
+	// Default 4.
+	FallbackAfter int
+	// AutoIOHeuristic enables automatic application of the I/O
+	// interference heuristic. The paper's prototype diagnoses this case
+	// manually (§5.5: "our current techniques do not allow us to automate
+	// the diagnosis of this case"), so automation is opt-in.
+	AutoIOHeuristic bool
+	// ShrinkBelow enables dynamic scale-down: when an application meets
+	// its SLA with ample margin and every one of its servers runs below
+	// this CPU utilization, one replica is released back to the pool.
+	// Zero disables shrinking.
+	ShrinkBelow float64
+	// SettleIntervals is how many measurement intervals the controller
+	// waits after taking an action for an application before diagnosing
+	// it again, giving caches and queues time to settle (retuning is
+	// incremental: one action, then observe). Default 2.
+	SettleIntervals int
+	// MRCSampleCount is the fixed number of recent page accesses every
+	// MRC estimate is computed from. Default core.MRCSamples.
+	MRCSampleCount int
+
+	// MaintainEvery is how many stable intervals pass between quota
+	// maintenance sweeps (§1 suggests near-optimal reshuffling belongs
+	// in "periodic system maintenance"): enforced quotas are re-derived
+	// from fresh MRCs and adjusted, or dissolved when the workload that
+	// justified them has reverted. Zero disables maintenance.
+	MaintainEvery int
+
+	// Ablation switches (off in normal operation):
+
+	// PreferMigration disables quota enforcement: every feasible quota
+	// plan is treated as infeasible, so problem classes always migrate to
+	// another replica. Used to quantify the quota-vs-migrate trade-off
+	// discussed in §3.3.2.
+	PreferMigration bool
+	// CoarseOnly disables the fine-grained memory diagnosis entirely: the
+	// controller only reacts with CPU provisioning and the coarse-grained
+	// isolation fallback, approximating the prior-work baseline the paper
+	// argues against.
+	CoarseOnly bool
+}
+
+func (c *Config) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 10
+	}
+	if c.Fences.Inner <= 0 {
+		c.Fences = DefaultFences()
+	}
+	if c.CPUSaturation <= 0 {
+		c.CPUSaturation = 0.85
+	}
+	if c.DiskSaturation <= 0 {
+		c.DiskSaturation = 0.85
+	}
+	if c.MRCChangeFactor <= 0 {
+		c.MRCChangeFactor = 1.6
+	}
+	if c.MRCThreshold <= 0 {
+		c.MRCThreshold = mrc.DefaultThreshold
+	}
+	if c.TopK <= 0 {
+		c.TopK = 3
+	}
+	if c.FallbackAfter <= 0 {
+		c.FallbackAfter = 4
+	}
+	if c.SettleIntervals <= 0 {
+		c.SettleIntervals = 2
+	}
+}
+
+// ActionKind labels a retuning action.
+type ActionKind string
+
+// The retuning actions the controller can take.
+const (
+	ActionProvision  ActionKind = "provision-replica"   // CPU saturation → new replica
+	ActionQuota      ActionKind = "enforce-quota"       // feasible quota plan applied
+	ActionReschedule ActionKind = "reschedule-class"    // class moved to another replica
+	ActionIOMove     ActionKind = "io-move-class"       // I/O heuristic moved a class
+	ActionFallback   ActionKind = "coarse-isolate"      // coarse-grained isolation
+	ActionShrink     ActionKind = "release-replica"     // scale-down on low load
+	ActionLockReport ActionKind = "lock-contention"     // advisory: lock waits dominate
+	ActionMaintain   ActionKind = "maintain-quota"      // periodic quota adjustment/removal
+	ActionExhausted  ActionKind = "resources-exhausted" // wanted to act, no servers left
+)
+
+// Action is one recorded retuning decision.
+type Action struct {
+	Time   float64
+	Kind   ActionKind
+	App    string
+	Server string
+	Class  string
+	Detail string
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("t=%.0fs %s app=%s server=%s class=%s %s",
+		a.Time, a.Kind, a.App, a.Server, a.Class, a.Detail)
+}
+
+// AllocationSample records an application's replica count at one tick —
+// the data behind Figure 3(b).
+type AllocationSample struct {
+	Time     float64
+	App      string
+	Replicas int
+}
+
+// Controller is the paper's optimizer: it closes measurement intervals,
+// maintains stable-state signatures, and upon SLA violations runs the
+// incremental diagnosis of §3.3 — CPU saturation check, outlier context
+// detection, MRC recomputation, quota solving, class rescheduling, and
+// coarse-grained fallback.
+type Controller struct {
+	sim       *sim.Engine
+	mgr       *cluster.Manager
+	cfg       Config
+	sigs      *SignatureStore
+	analyzers map[*engine.Engine]*LogAnalyzer
+
+	actions      []Action
+	allocation   []AllocationSample
+	violStreak   map[string]int
+	cooldown     map[string]int // per-app intervals to wait before re-diagnosing
+	stableStreak map[string]int // consecutive stable intervals, for maintenance
+	lastTick     float64
+	started      bool
+	suspended    bool
+}
+
+// NewController wires a controller to a simulation and a cluster manager.
+func NewController(s *sim.Engine, mgr *cluster.Manager, cfg Config) (*Controller, error) {
+	if s == nil || mgr == nil {
+		return nil, fmt.Errorf("core: controller needs a simulation and a manager")
+	}
+	cfg.fill()
+	return &Controller{
+		sim:          s,
+		mgr:          mgr,
+		cfg:          cfg,
+		sigs:         NewSignatureStore(),
+		analyzers:    make(map[*engine.Engine]*LogAnalyzer),
+		violStreak:   make(map[string]int),
+		cooldown:     make(map[string]int),
+		stableStreak: make(map[string]int),
+	}, nil
+}
+
+// Signatures exposes the stable-state signature store.
+func (c *Controller) Signatures() *SignatureStore { return c.sigs }
+
+// Actions returns the retuning actions taken so far, in order.
+func (c *Controller) Actions() []Action { return c.actions }
+
+// AllocationHistory returns per-tick replica counts per application.
+func (c *Controller) AllocationHistory() []AllocationSample { return c.allocation }
+
+// Suspend toggles observe-only mode: intervals are still closed and
+// stable-state signatures recorded, but no retuning actions are taken.
+// Experiments use it to measure a damaged configuration before allowing
+// the controller to repair it.
+func (c *Controller) Suspend(s bool) { c.suspended = s }
+
+// Start schedules the periodic measurement/diagnosis tick.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.lastTick = c.sim.Now().Seconds()
+	var tick func()
+	tick = func() {
+		c.Tick()
+		c.sim.Schedule(c.cfg.Interval, tick)
+	}
+	c.sim.Schedule(c.cfg.Interval, tick)
+}
+
+func (c *Controller) analyzer(eng *engine.Engine) *LogAnalyzer {
+	a := c.analyzers[eng]
+	if a == nil {
+		a = NewLogAnalyzer(eng)
+		a.SetSamples(c.cfg.MRCSampleCount)
+		c.analyzers[eng] = a
+	}
+	return a
+}
+
+func (c *Controller) record(a Action) {
+	c.actions = append(c.actions, a)
+	if a.App != "" && a.Kind != ActionShrink {
+		c.cooldown[a.App] = c.cfg.SettleIntervals
+	}
+}
+
+// cooldownServer puts every application with a replica on srv into its
+// settle period: an action that reshuffles one engine perturbs all of
+// its tenants, so their next intervals are not diagnostic.
+func (c *Controller) cooldownServer(name string) {
+	for _, sched := range c.mgr.Schedulers() {
+		for _, r := range sched.Replicas() {
+			if r.Server().Name() == name {
+				c.cooldown[sched.App().Name] = c.cfg.SettleIntervals
+				break
+			}
+		}
+	}
+}
+
+// Tick closes one measurement interval for every application and reacts
+// to violations. Exposed so tests and tools can drive the controller
+// manually instead of through Start.
+func (c *Controller) Tick() {
+	now := c.sim.Now().Seconds()
+	interval := now - c.lastTick
+	if interval <= 0 {
+		interval = c.cfg.Interval
+	}
+
+	// Snapshot every engine exactly once and sample system metrics.
+	snaps := make(map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector)
+	cpu := make(map[*server.Server]float64)
+	disk := make(map[*server.Server]float64)
+	for _, srv := range c.mgr.Servers() {
+		cpu[srv] = srv.CPUUtilization(now)
+		disk[srv] = srv.Disk().UtilizationWindow(now)
+		for _, eng := range c.mgr.EnginesOn(srv) {
+			snaps[eng] = c.analyzer(eng).Snapshot(interval)
+		}
+	}
+
+	var violated []*cluster.Scheduler
+	for _, sched := range c.mgr.Schedulers() {
+		app := sched.App().Name
+		iv := sched.Tracker().CloseInterval(c.lastTick, now)
+		c.allocation = append(c.allocation, AllocationSample{
+			Time: now, App: app, Replicas: len(sched.Replicas()),
+		})
+		if iv.Queries == 0 {
+			continue
+		}
+		if iv.Met {
+			c.violStreak[app] = 0
+			c.stableStreak[app]++
+			c.recordStable(now, sched, snaps)
+			c.maybeShrink(now, sched, iv.AvgLatency, cpu)
+			if c.cfg.MaintainEvery > 0 && c.stableStreak[app]%c.cfg.MaintainEvery == 0 {
+				c.maintainQuotas(now, sched)
+			}
+		} else {
+			c.stableStreak[app] = 0
+			c.violStreak[app]++
+			violated = append(violated, sched)
+		}
+	}
+	// One retuning action per tick, across all applications: the
+	// diagnosis is incremental — act, then observe the next interval.
+	acted := false
+	for _, sched := range violated {
+		app := sched.App().Name
+		if c.suspended {
+			continue
+		}
+		if c.cooldown[app] > 0 {
+			c.cooldown[app]--
+			continue
+		}
+		if acted {
+			continue
+		}
+		acted = c.diagnose(now, sched, snaps, cpu, disk)
+		if acted {
+			// The configuration changed; violation streaks restart so the
+			// coarse fallback only fires when actions stop helping.
+			c.violStreak[app] = 0
+		}
+	}
+	c.lastTick = now
+}
+
+// recordStable updates the stable-state signature of app on every server
+// it runs on. MRC parameters are computed when a class is first scheduled
+// and refreshed during stable intervals once the class has issued enough
+// new accesses to fill half its window again — keeping the stable
+// baseline aligned with the estimator so diagnosis compares change in the
+// workload, not drift in the estimate. (The paper computes the MRC once
+// and recomputes only on violations; refreshing during provably-stable
+// intervals costs nothing diagnostically and suppresses estimator noise.)
+func (c *Controller) recordStable(now float64, sched *cluster.Scheduler,
+	snaps map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector) {
+	app := sched.App().Name
+	for _, r := range sched.Replicas() {
+		eng := r.Engine()
+		vectors := snaps[eng][app]
+		if len(vectors) == 0 {
+			continue
+		}
+		sig := c.sigs.Get(app, r.Server().Name())
+		sig.UpdateMetrics(now, vectors)
+		for id := range vectors {
+			total := eng.WindowTotal(id)
+			refreshEvery := int64(c.cfg.MRCSampleCount) / 2
+			if refreshEvery <= 0 {
+				refreshEvery = MRCSamples / 2
+			}
+			if sig.HasMRC(id) && total-sig.MRCSampleCount[id] < refreshEvery {
+				continue
+			}
+			if _, params, ok := c.analyzer(eng).RecomputeMRC(id, eng.Pool().Capacity(), c.cfg.MRCThreshold); ok {
+				sig.SetMRC(id, params)
+				sig.MRCSampleCount[id] = total
+			}
+		}
+	}
+}
+
+// maybeShrink releases one replica when the application is comfortably
+// within its SLA and all of its servers are nearly idle — the scale-down
+// half of the dynamic allocation shown in Figure 3(b).
+func (c *Controller) maybeShrink(now float64, sched *cluster.Scheduler,
+	avgLatency float64, cpu map[*server.Server]float64) {
+	if c.cfg.ShrinkBelow <= 0 {
+		return
+	}
+	reps := sched.Replicas()
+	if len(reps) < 2 {
+		return
+	}
+	if avgLatency > 0.5*sched.App().SLA.MaxAvgLatency {
+		return
+	}
+	for _, r := range reps {
+		if cpu[r.Server()] >= c.cfg.ShrinkBelow {
+			return
+		}
+	}
+	app := sched.App().Name
+	victim := reps[len(reps)-1]
+	if err := c.mgr.Decommission(app, victim); err != nil {
+		return
+	}
+	c.record(Action{Time: now, Kind: ActionShrink, App: app,
+		Server: victim.Server().Name(),
+		Detail: fmt.Sprintf("low load, replicas now %d", len(sched.Replicas()))})
+}
+
+// maintainQuotas re-derives each enforced quota from a fresh MRC during
+// a provably stable period: a quota that drifted from the class's
+// current acceptable memory by more than the change factor is resized,
+// and a quota whose class now needs more than it holds (the workload
+// that justified containment has reverted) is dissolved — the shared
+// pool reabsorbs the pages and the violation path re-diagnoses if that
+// turns out wrong.
+func (c *Controller) maintainQuotas(now float64, sched *cluster.Scheduler) {
+	app := sched.App().Name
+	for _, r := range sched.Replicas() {
+		eng := r.Engine()
+		for key, q := range eng.Pool().Quotas() {
+			id, ok := parseKey(key)
+			if !ok || id.App != app {
+				continue
+			}
+			if _, registered := eng.Class(id); !registered {
+				eng.Pool().RemoveQuota(key)
+				c.record(Action{Time: now, Kind: ActionMaintain, App: app,
+					Server: r.Server().Name(), Class: id.Class,
+					Detail: "class no longer placed here; quota dissolved"})
+				continue
+			}
+			_, params, okMRC := c.analyzer(eng).RecomputeMRC(id, eng.Pool().Capacity(), c.cfg.MRCThreshold)
+			if !okMRC {
+				continue
+			}
+			need := params.AcceptableMemory
+			factor := c.cfg.MRCChangeFactor
+			switch {
+			case float64(need) > factor*float64(q):
+				// The class has outgrown its cage; containment is no
+				// longer the right shape for it.
+				eng.Pool().RemoveQuota(key)
+				c.record(Action{Time: now, Kind: ActionMaintain, App: app,
+					Server: r.Server().Name(), Class: id.Class,
+					Detail: fmt.Sprintf("needs %d pages > quota %d; quota dissolved", need, q)})
+			case float64(q) > factor*float64(need):
+				if err := eng.Pool().SetQuota(key, need); err == nil {
+					c.record(Action{Time: now, Kind: ActionMaintain, App: app,
+						Server: r.Server().Name(), Class: id.Class,
+						Detail: fmt.Sprintf("quota %d -> %d pages", q, need)})
+				}
+			}
+		}
+	}
+}
+
+// parseKey inverts metrics.ClassID.String.
+func parseKey(key string) (metrics.ClassID, bool) {
+	app, class, ok := strings.Cut(key, "/")
+	if !ok {
+		return metrics.ClassID{}, false
+	}
+	return metrics.ClassID{App: app, Class: class}, true
+}
+
+// diagnose runs the incremental diagnosis for one violating application
+// and reports whether a retuning action was taken.
+func (c *Controller) diagnose(now float64, sched *cluster.Scheduler,
+	snaps map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector,
+	cpu, disk map[*server.Server]float64) bool {
+	app := sched.App().Name
+
+	// 1. CPU saturation → reactive provisioning (§5.2, fully automated).
+	// Saturation shows either as high measured utilization or as a CPU
+	// run-queue backlog (under closed-loop clients, a saturated server
+	// throttles its own arrival rate, so backlog is the clearer signal).
+	for _, r := range sched.Replicas() {
+		srv := r.Server()
+		// A backlog only indicates CPU saturation when the cores are
+		// actually busy; queries blocked on locks or I/O reserve future
+		// CPU time without consuming the present.
+		backlogged := srv.CPUQueueDelay(now) >= 0.5*sched.App().SLA.MaxAvgLatency &&
+			cpu[srv] >= 0.5
+		if cpu[srv] >= c.cfg.CPUSaturation || backlogged {
+			c.provisionForCPU(now, sched, srv)
+			return true
+		}
+	}
+
+	// 2. Outlier detection + memory interference diagnosis per server.
+	if !c.cfg.CoarseOnly {
+		for _, r := range sched.Replicas() {
+			if c.diagnoseMemory(now, sched, r, snaps) {
+				return true
+			}
+		}
+	}
+
+	// 3. Lock contention (the §7 future-work anomaly): when a class's
+	// lock-wait intensity is an outlier and substantial, report the
+	// suspected holder. Rescheduling cannot relieve a write-lock convoy
+	// (read-one-write-all sends writes to every replica), so the report
+	// is advisory — the application owner must fix the offending query.
+	for _, r := range sched.Replicas() {
+		if c.diagnoseLocks(now, sched, r, snaps) {
+			return true
+		}
+	}
+
+	// 4. I/O interference heuristic (opt-in automation).
+	if c.cfg.AutoIOHeuristic {
+		for _, r := range sched.Replicas() {
+			srv := r.Server()
+			if disk[srv] >= c.cfg.DiskSaturation && cpu[srv] < c.cfg.CPUSaturation {
+				if c.ApplyIOHeuristic(now, srv) {
+					return true
+				}
+			}
+		}
+	}
+
+	// 5. Coarse-grained fallback after persistent failure.
+	if c.violStreak[app] >= c.cfg.FallbackAfter {
+		c.coarseFallback(now, sched)
+		return true
+	}
+	return false
+}
+
+func (c *Controller) provisionForCPU(now float64, sched *cluster.Scheduler, hot *server.Server) {
+	app := sched.App().Name
+	rep, err := c.mgr.ProvisionOnFreeServer(app)
+	if err != nil {
+		c.record(Action{Time: now, Kind: ActionExhausted, App: app,
+			Server: hot.Name(), Detail: "CPU saturated, " + err.Error()})
+		return
+	}
+	c.record(Action{Time: now, Kind: ActionProvision, App: app,
+		Server: rep.Server().Name(),
+		Detail: fmt.Sprintf("CPU saturation on %s, replicas now %d", hot.Name(), len(sched.Replicas()))})
+}
+
+// problem is one diagnosed problem query class.
+type problem struct {
+	id     metrics.ClassID
+	params mrc.Params
+}
+
+// diagnoseMemory performs outlier context detection and MRC-based memory
+// diagnosis for app on replica r, taking at most one action. It reports
+// whether an action was taken.
+func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cluster.Replica,
+	snaps map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector) bool {
+	app := sched.App().Name
+	eng := r.Engine()
+	srv := r.Server()
+	current := snaps[eng][app]
+	if len(current) == 0 {
+		return false
+	}
+	sig := c.sigs.Get(app, srv.Name())
+	reports := Detect(current, sig.Metrics, c.cfg.Fences)
+
+	var candidates []metrics.ClassID
+	for id, rep := range reports {
+		if rep.MemoryOutlier() {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		// §3.3.2: "If no outlier query contexts can be determined, we use
+		// similar algorithms on the top-k heavyweight queries."
+		candidates = TopKByMemory(current, c.cfg.TopK)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].String() < candidates[j].String()
+	})
+
+	capacity := eng.Pool().Capacity()
+	problems := c.confirmProblems(candidates, srv, eng, capacity)
+	if len(problems) == 0 {
+		// §5.4: the victim's own classes show no MRC change — consider
+		// the other applications' classes on the same engine (newly
+		// scheduled or changed) as potential problem classes.
+		var foreign []metrics.ClassID
+		for _, id := range eng.Classes() {
+			if id.App != app {
+				foreign = append(foreign, id)
+			}
+		}
+		sort.Slice(foreign, func(i, j int) bool { return foreign[i].String() < foreign[j].String() })
+		problems = c.confirmProblems(foreign, srv, eng, capacity)
+	}
+	if len(problems) == 0 {
+		return false
+	}
+
+	exclude := make(map[metrics.ClassID]bool, len(problems))
+	need := make(map[metrics.ClassID]mrc.Params, len(problems))
+	for _, p := range problems {
+		exclude[p.id] = true
+		need[p.id] = p.params
+	}
+	restAcc := c.analyzer(eng).RestAcceptable(exclude, capacity, c.cfg.MRCThreshold)
+	if restAcc > capacity {
+		// Even with every problem class gone the remaining classes do
+		// not fit, so no quota plan can succeed. Rescheduling the
+		// heaviest problem class still strictly reduces the pressure —
+		// but only a substantial class is worth the move; a sliver-sized
+		// problem cannot be what broke the SLA.
+		top := problems[0]
+		for _, p := range problems[1:] {
+			if p.params.AcceptableMemory > top.params.AcceptableMemory {
+				top = p
+			}
+		}
+		if top.params.AcceptableMemory < capacity/8 {
+			return false
+		}
+		return c.rescheduleClass(now, top.id, srv, ActionReschedule,
+			fmt.Sprintf("needs %d pages while the rest alone needs %d of %d",
+				top.params.AcceptableMemory, restAcc, capacity))
+	}
+	plan := SolveQuotas(capacity, need, restAcc)
+	if c.cfg.PreferMigration {
+		plan.Feasible = false
+	}
+	if plan.Feasible {
+		// Dissolve quotas from earlier plans that the new plan does not
+		// include, so the pool reflects exactly the current diagnosis.
+		inPlan := make(map[string]bool, len(plan.Quotas))
+		for id := range plan.Quotas {
+			inPlan[id.String()] = true
+		}
+		for key := range eng.Pool().Quotas() {
+			if !inPlan[key] {
+				eng.Pool().RemoveQuota(key)
+			}
+		}
+		applied := make([]string, 0, len(plan.Quotas))
+		for id, q := range plan.Quotas {
+			if err := eng.Pool().SetQuota(id.String(), q); err != nil {
+				continue
+			}
+			applied = append(applied, fmt.Sprintf("%s=%d", id.Class, q))
+		}
+		sort.Strings(applied)
+		c.record(Action{Time: now, Kind: ActionQuota, App: app, Server: srv.Name(),
+			Detail: fmt.Sprintf("quotas %s, rest %d pages", strings.Join(applied, " "), plan.RestPages)})
+		c.cooldownServer(srv.Name())
+		return true
+	}
+
+	// Infeasible: reschedule the top-ranking problem class (largest
+	// acceptable memory) onto a different replica of its own application.
+	top := problems[0]
+	for _, p := range problems[1:] {
+		if p.params.AcceptableMemory > top.params.AcceptableMemory {
+			top = p
+		}
+	}
+	return c.rescheduleClass(now, top.id, srv, ActionReschedule,
+		fmt.Sprintf("needs %d pages, infeasible in %d-page pool (rest %d)",
+			top.params.AcceptableMemory, eng.Pool().Capacity(), restAcc))
+}
+
+// diagnoseLocks checks whether lock waits explain the violation on
+// replica r and, if so, records an advisory report naming the class that
+// holds the most lock time. It reports whether a report was issued.
+func (c *Controller) diagnoseLocks(now float64, sched *cluster.Scheduler, r *cluster.Replica,
+	snaps map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector) bool {
+	app := sched.App().Name
+	eng := r.Engine()
+	current := snaps[eng][app]
+	if len(current) == 0 {
+		return false
+	}
+	// The worst lock-wait intensity must be substantial relative to the
+	// SLA (waits accumulating faster than a tenth of the latency bound
+	// per second of wall time).
+	var worst metrics.ClassID
+	worstWait := 0.0
+	for id, v := range current {
+		if w := v.Get(metrics.LockWait); w > worstWait {
+			worstWait = w
+			worst = id
+		}
+	}
+	if worstWait < 0.1*sched.App().SLA.MaxAvgLatency {
+		return false
+	}
+	// And it must either be an outlier against the stable state (so
+	// steady lock traffic does not trigger reports) or so large in
+	// absolute terms that the classification is moot — when half the
+	// classes queue on one lock, their waits stop being statistically
+	// remarkable relative to each other.
+	overwhelming := worstWait >= 0.5*sched.App().SLA.MaxAvgLatency
+	if !overwhelming {
+		sig := c.sigs.Get(app, r.Server().Name())
+		reports := Detect(current, sig.Metrics, c.cfg.Fences)
+		if rep := reports[worst]; rep == nil || rep.ByMetric[metrics.LockWait] == NotOutlier {
+			return false
+		}
+	}
+	holders := eng.Locks().TopHolders()
+	holder := "unknown"
+	if len(holders) > 0 {
+		holder = holders[0]
+	}
+	c.record(Action{Time: now, Kind: ActionLockReport, App: app,
+		Server: r.Server().Name(), Class: worst.Class,
+		Detail: fmt.Sprintf("lock waits %.2fs/s; top lock holder %s", worstWait, holder)})
+	return true
+}
+
+// confirmProblems recomputes MRCs for candidate classes and keeps those
+// that are new or significantly changed, recording the fresh parameters
+// in the owning application's signature. Cache-insensitive classes —
+// whose miss ratio stays near 1 no matter how much memory they get — are
+// not memory problems (no quota or placement can help them), and neither
+// are classes whose memory need is a sliver of the pool.
+func (c *Controller) confirmProblems(candidates []metrics.ClassID, srv *server.Server, eng *engine.Engine, capacity int) []problem {
+	const uncacheableMR = 0.9
+	var out []problem
+	for _, id := range candidates {
+		if _, registered := eng.Class(id); !registered {
+			continue
+		}
+		_, params, ok := c.analyzer(eng).RecomputeMRC(id, capacity, c.cfg.MRCThreshold)
+		if !ok {
+			continue
+		}
+		if params.IdealMissRatio >= uncacheableMR || params.AcceptableMemory < capacity/64 {
+			continue
+		}
+		ownSig := c.sigs.Get(id.App, srv.Name())
+		old, had := ownSig.MRC[id]
+		if !had || mrc.SignificantChange(old, params, c.cfg.MRCChangeFactor) {
+			out = append(out, problem{id: id, params: params})
+			ownSig.SetMRC(id, params)
+			ownSig.MRCSampleCount[id] = eng.WindowTotal(id)
+		}
+	}
+	return out
+}
+
+// rescheduleClass moves a query class to a replica of its application on
+// a different server, provisioning one if needed. It reports whether the
+// move happened.
+func (c *Controller) rescheduleClass(now float64, id metrics.ClassID, from *server.Server,
+	kind ActionKind, detail string) bool {
+	owner, ok := c.mgr.Scheduler(id.App)
+	if !ok {
+		return false
+	}
+	var target *cluster.Replica
+	for _, r := range owner.Replicas() {
+		if r.Server() != from {
+			target = r
+			break
+		}
+	}
+	if target == nil {
+		// Provisioning attaches a full replica, which by default joins
+		// every class's placement; rescheduling moves ONLY the problem
+		// class, so the other classes' placements are restored.
+		before := make(map[metrics.ClassID][]*cluster.Replica)
+		for _, spec := range owner.App().Classes {
+			if spec.ID != id {
+				before[spec.ID] = append([]*cluster.Replica(nil), owner.Placement(spec.ID)...)
+			}
+		}
+		rep, err := c.mgr.ProvisionOnFreeServer(id.App)
+		if err != nil {
+			c.record(Action{Time: now, Kind: ActionExhausted, App: id.App,
+				Server: from.Name(), Class: id.Class, Detail: detail + "; " + err.Error()})
+			return false
+		}
+		for other, reps := range before {
+			if len(reps) > 0 {
+				if err := owner.PlaceClass(other, reps...); err != nil {
+					return false
+				}
+			}
+		}
+		target = rep
+	}
+	if err := owner.PlaceClass(id, target); err != nil {
+		return false
+	}
+	c.record(Action{Time: now, Kind: kind, App: id.App, Server: target.Server().Name(),
+		Class: id.Class, Detail: detail + fmt.Sprintf("; moved off %s", from.Name())})
+	c.cooldownServer(from.Name())
+	return true
+}
+
+// ApplyIOHeuristic applies the §3.3.3 I/O interference remedy on srv:
+// remove query contexts from the server in decreasing order of their I/O
+// rate (one per call — incremental). It reports whether a class moved.
+func (c *Controller) ApplyIOHeuristic(now float64, srv *server.Server) bool {
+	by := srv.Disk().PagesByClass()
+	type rated struct {
+		id    metrics.ClassID
+		pages int64
+	}
+	var ranked []rated
+	for key, pages := range by {
+		id, ok := parseKey(key)
+		if !ok {
+			continue
+		}
+		ranked = append(ranked, rated{id, pages})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].pages != ranked[j].pages {
+			return ranked[i].pages > ranked[j].pages
+		}
+		return ranked[i].id.String() < ranked[j].id.String()
+	})
+	for _, cand := range ranked {
+		if c.rescheduleClass(now, cand.id, srv, ActionIOMove,
+			fmt.Sprintf("top I/O class on %s (%d pages)", srv.Name(), cand.pages)) {
+			return true
+		}
+	}
+	return false
+}
+
+// coarseFallback isolates the persistently violating application on
+// fresh servers: it provisions a dedicated replica and concentrates every
+// query class of the application there, away from shared machines.
+func (c *Controller) coarseFallback(now float64, sched *cluster.Scheduler) {
+	app := sched.App().Name
+	rep, err := c.mgr.ProvisionOnFreeServer(app)
+	if err != nil {
+		c.record(Action{Time: now, Kind: ActionExhausted, App: app,
+			Detail: "coarse fallback wanted a server: " + err.Error()})
+		return
+	}
+	for _, spec := range sched.App().Classes {
+		if err := sched.PlaceClass(spec.ID, rep); err != nil {
+			c.record(Action{Time: now, Kind: ActionExhausted, App: app,
+				Class: spec.ID.Class, Detail: "isolation failed: " + err.Error()})
+			return
+		}
+	}
+	c.violStreak[app] = 0
+	c.record(Action{Time: now, Kind: ActionFallback, App: app,
+		Server: rep.Server().Name(), Detail: "application isolated on fresh server"})
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"outlierlb/internal/core"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+)
+
+// Outlier context detection: six query classes behave as in their stable
+// state except one, whose buffer-pool misses exploded.
+func ExampleDetect() {
+	stable := make(map[metrics.ClassID]metrics.Vector)
+	current := make(map[metrics.ClassID]metrics.Vector)
+	for _, name := range []string{"Home", "Search", "Detail", "Cart", "Buy", "BestSeller"} {
+		id := metrics.ClassID{App: "shop", Class: name}
+		var v metrics.Vector
+		v.Set(metrics.BufferMisses, 10)
+		v.Set(metrics.PageAccesses, 100)
+		stable[id] = v
+		current[id] = v
+	}
+	hot := metrics.ClassID{App: "shop", Class: "BestSeller"}
+	v := current[hot]
+	v.Set(metrics.BufferMisses, 900) // 90x its stable value
+	current[hot] = v
+
+	reports := core.Detect(current, stable, core.DefaultFences())
+	for _, r := range core.Outliers(reports) {
+		fmt.Printf("%s: %s outlier (memory counters: %v)\n", r.ID.Class, r.Max(), r.MemoryOutlier())
+	}
+	// Output:
+	// BestSeller: extreme outlier (memory counters: true)
+}
+
+// The quota solver assigns each problem class exactly its acceptable
+// memory, leaving the rest of the pool to everyone else.
+func ExampleSolveQuotas() {
+	problem := metrics.ClassID{App: "tpcw", Class: "BestSeller"}
+	plan := core.SolveQuotas(8192, map[metrics.ClassID]mrc.Params{
+		problem: {TotalMemory: 8192, AcceptableMemory: 3695},
+	}, 4000)
+	fmt.Printf("feasible=%v quota=%d rest=%d\n",
+		plan.Feasible, plan.Quotas[problem], plan.RestPages)
+
+	infeasible := core.SolveQuotas(8192, map[metrics.ClassID]mrc.Params{
+		{App: "rubis", Class: "SearchItemsByRegion"}: {TotalMemory: 7900, AcceptableMemory: 7900},
+	}, 6982)
+	fmt.Printf("feasible=%v (reschedule instead)\n", infeasible.Feasible)
+	// Output:
+	// feasible=true quota=3695 rest=4497
+	// feasible=false (reschedule instead)
+}

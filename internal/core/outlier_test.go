@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outlierlb/internal/metrics"
+)
+
+func cid(name string) metrics.ClassID {
+	return metrics.ClassID{App: "tpcw", Class: name}
+}
+
+// vec builds a vector with every metric set to base except overrides.
+func vec(base float64, overrides map[metrics.Metric]float64) metrics.Vector {
+	var v metrics.Vector
+	for m := 0; m < metrics.NumMetrics; m++ {
+		v[m] = base
+	}
+	for m, x := range overrides {
+		v[m] = x
+	}
+	return v
+}
+
+// population builds n classes with identical stable and current vectors.
+func population(n int, base float64) (current, stable map[metrics.ClassID]metrics.Vector) {
+	current = make(map[metrics.ClassID]metrics.Vector)
+	stable = make(map[metrics.ClassID]metrics.Vector)
+	for i := 0; i < n; i++ {
+		id := cid(string(rune('A' + i)))
+		current[id] = vec(base, nil)
+		stable[id] = vec(base, nil)
+	}
+	return current, stable
+}
+
+func TestNoOutliersOnSteadyState(t *testing.T) {
+	current, stable := population(10, 100)
+	reports := Detect(current, stable, DefaultFences())
+	for id, r := range reports {
+		if r.IsOutlier() {
+			t.Fatalf("steady-state class %v flagged: %+v", id, r.ByMetric)
+		}
+	}
+}
+
+func TestSingleDeviantClassDetected(t *testing.T) {
+	current, stable := population(10, 100)
+	bad := cid("A")
+	current[bad] = vec(100, map[metrics.Metric]float64{
+		metrics.BufferMisses: 5000, // 50x its stable value, also heavyweight
+		metrics.ReadAhead:    3000,
+	})
+	reports := Detect(current, stable, DefaultFences())
+	if !reports[bad].IsOutlier() {
+		t.Fatal("deviant class not flagged")
+	}
+	if !reports[bad].MemoryOutlier() {
+		t.Fatal("memory counters not flagged")
+	}
+	if reports[bad].ByMetric[metrics.BufferMisses] != ExtremeOutlier {
+		t.Fatalf("50x deviation classified %v, want extreme",
+			reports[bad].ByMetric[metrics.BufferMisses])
+	}
+	for id, r := range reports {
+		if id != bad && r.IsOutlier() {
+			t.Fatalf("innocent class %v flagged", id)
+		}
+	}
+}
+
+func TestModerateDeviationInHeavyweightClassDetected(t *testing.T) {
+	// Paper rationale (ii): "moderately heavyweight but showing a large
+	// deviation" and (i) "heavyweight with moderate deviation" both
+	// stand out because impact = ratio × weight.
+	current, stable := population(8, 100)
+	heavy := cid("A")
+	// Heavyweight: 40x everyone's page accesses; moderate 2.5x deviation.
+	stable[heavy] = vec(100, map[metrics.Metric]float64{metrics.PageAccesses: 4000})
+	current[heavy] = vec(100, map[metrics.Metric]float64{metrics.PageAccesses: 10000})
+	reports := Detect(current, stable, DefaultFences())
+	if !reports[heavy].MemoryOutlier() {
+		t.Fatal("heavyweight moderate deviation not flagged")
+	}
+}
+
+func TestNewClassStandsOut(t *testing.T) {
+	current, stable := population(8, 100)
+	newcomer := cid("Z")
+	current[newcomer] = vec(100, map[metrics.Metric]float64{metrics.PageAccesses: 500})
+	reports := Detect(current, stable, DefaultFences())
+	if !reports[newcomer].IsOutlier() {
+		t.Fatal("new class with no stable record not flagged")
+	}
+}
+
+func TestZeroStableValueDoesNotPanicOrInf(t *testing.T) {
+	current, stable := population(6, 100)
+	id := cid("A")
+	stable[id] = vec(100, map[metrics.Metric]float64{metrics.ReadAhead: 0})
+	current[id] = vec(100, map[metrics.Metric]float64{metrics.ReadAhead: 50})
+	reports := Detect(current, stable, DefaultFences())
+	v := reports[id].Impact[metrics.ReadAhead]
+	if v <= 0 || v != v /* NaN */ {
+		t.Fatalf("impact with zero stable = %v", v)
+	}
+	if !reports[id].IsOutlier() {
+		t.Fatal("emergence from zero not flagged")
+	}
+}
+
+func TestTooFewClassesNoFences(t *testing.T) {
+	current, stable := population(3, 100)
+	current[cid("A")] = vec(100, map[metrics.Metric]float64{metrics.BufferMisses: 9999})
+	reports := Detect(current, stable, DefaultFences())
+	// With under 4 classes the quartiles are meaningless; nothing flagged.
+	for _, r := range reports {
+		if r.IsOutlier() {
+			t.Fatal("outlier flagged with too few classes for IQR")
+		}
+	}
+}
+
+func TestFenceOrderingExtremeImpliesMild(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		current := make(map[metrics.ClassID]metrics.Vector)
+		stable := make(map[metrics.ClassID]metrics.Vector)
+		for i, b := range raw {
+			if i >= 20 {
+				break
+			}
+			id := cid(string(rune('a' + i)))
+			current[id] = vec(float64(b)+1, nil)
+			stable[id] = vec(float64(raw[len(raw)-1-i])+1, nil)
+		}
+		reports := Detect(current, stable, DefaultFences())
+		// Verify classification coherence: recompute with wider fences;
+		// anything extreme must stay at least mild with fences (1.5, 3).
+		wide := Detect(current, stable, Fences{Inner: 3.0, Outer: 6.0})
+		for id, r := range reports {
+			for m := 0; m < metrics.NumMetrics; m++ {
+				if wide[id].ByMetric[m] > r.ByMetric[m] {
+					return false // wider fences flagged more than narrow
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	current := make(map[metrics.ClassID]metrics.Vector)
+	stable := make(map[metrics.ClassID]metrics.Vector)
+	for i := 0; i < 12; i++ {
+		id := cid(string(rune('a' + i)))
+		var cv, sv metrics.Vector
+		for m := 0; m < metrics.NumMetrics; m++ {
+			cv[m] = rng.Float64() * 1000
+			sv[m] = rng.Float64() * 1000
+		}
+		current[id] = cv
+		stable[id] = sv
+	}
+	// Map iteration order is already random in Go; run Detect repeatedly
+	// and demand identical classifications.
+	base := Detect(current, stable, DefaultFences())
+	for trial := 0; trial < 5; trial++ {
+		again := Detect(current, stable, DefaultFences())
+		for id := range base {
+			if base[id].ByMetric != again[id].ByMetric {
+				t.Fatalf("classification unstable for %v", id)
+			}
+		}
+	}
+}
+
+func TestWeightingCatchesHeavyweightModerateDeviation(t *testing.T) {
+	// The paper's rationale (i): a heavyweight class with only a
+	// moderate deviation must stand out. Weighted impact catches it;
+	// plain ratios cannot (its 2.5x ratio sits inside the crowd's
+	// spread).
+	current := make(map[metrics.ClassID]metrics.Vector)
+	stable := make(map[metrics.ClassID]metrics.Vector)
+	for i := 0; i < 10; i++ {
+		id := cid(string(rune('a' + i)))
+		// The crowd's ratios wobble between 0.5x and 3x — noisy but
+		// lightweight.
+		stable[id] = vec(10, nil)
+		cv := vec(10, map[metrics.Metric]float64{
+			metrics.PageAccesses: 5 + float64(i)*2.5,
+		})
+		current[id] = cv
+	}
+	heavy := cid("H")
+	stable[heavy] = vec(10, map[metrics.Metric]float64{metrics.PageAccesses: 4000})
+	current[heavy] = vec(10, map[metrics.Metric]float64{metrics.PageAccesses: 10000})
+
+	weighted := Detect(current, stable, DefaultFences())
+	if !weighted[heavy].MemoryOutlier() {
+		t.Fatal("weighted detection missed the heavyweight class")
+	}
+	raw := DetectUnweighted(current, stable, DefaultFences())
+	if raw[heavy].ByMetric[metrics.PageAccesses] != NotOutlier {
+		t.Fatal("ablation invalid: plain ratios also flagged it (2.5x should sit in the 0.5-3x crowd)")
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, q3 := quartiles([]float64{1, 2, 3, 4, 5})
+	if q1 != 2 || q3 != 4 {
+		t.Fatalf("quartiles = %v, %v; want 2, 4", q1, q3)
+	}
+	q1, q3 = quartiles([]float64{7})
+	if q1 != 7 || q3 != 7 {
+		t.Fatalf("single-element quartiles = %v, %v", q1, q3)
+	}
+	q1, q3 = quartiles([]float64{10, 0})
+	if q1 != 2.5 || q3 != 7.5 {
+		t.Fatalf("two-element quartiles = %v, %v; want 2.5, 7.5", q1, q3)
+	}
+}
+
+func TestOutliersSortedByStrength(t *testing.T) {
+	current, stable := population(10, 100)
+	mild := cid("M")
+	extreme := cid("E")
+	stable[mild] = vec(100, nil)
+	stable[extreme] = vec(100, nil)
+	current[mild] = vec(100, map[metrics.Metric]float64{metrics.PageAccesses: 700})
+	current[extreme] = vec(100, map[metrics.Metric]float64{metrics.PageAccesses: 50000})
+	reports := Detect(current, stable, DefaultFences())
+	out := Outliers(reports)
+	if len(out) < 2 {
+		t.Fatalf("outliers = %d, want ≥ 2", len(out))
+	}
+	if out[0].ID != extreme {
+		t.Fatalf("first outlier = %v, want the extreme one", out[0].ID)
+	}
+}
+
+func TestTopKByMemory(t *testing.T) {
+	current := map[metrics.ClassID]metrics.Vector{
+		cid("small"): vec(1, map[metrics.Metric]float64{metrics.PageAccesses: 10}),
+		cid("mid"):   vec(1, map[metrics.Metric]float64{metrics.PageAccesses: 100}),
+		cid("big"):   vec(1, map[metrics.Metric]float64{metrics.PageAccesses: 1000}),
+	}
+	top := TopKByMemory(current, 2)
+	if len(top) != 2 || top[0] != cid("big") || top[1] != cid("mid") {
+		t.Fatalf("top-2 = %v", top)
+	}
+	all := TopKByMemory(current, 99)
+	if len(all) != 3 {
+		t.Fatalf("top-99 returned %d", len(all))
+	}
+}
+
+func TestReportMax(t *testing.T) {
+	r := Report{}
+	if r.Max() != NotOutlier {
+		t.Fatal("empty report max wrong")
+	}
+	r.ByMetric[metrics.Latency] = MildOutlier
+	r.ByMetric[metrics.ReadAhead] = ExtremeOutlier
+	if r.Max() != ExtremeOutlier {
+		t.Fatal("max not extreme")
+	}
+	if MildOutlier.String() != "mild" || ExtremeOutlier.String() != "extreme" || NotOutlier.String() != "none" {
+		t.Fatal("Outlierness strings wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+)
+
+// This file persists stable-state signatures. A restarted controller
+// would otherwise need minutes of stable intervals before it can
+// diagnose anything; loading the previous signatures restores its
+// baselines immediately.
+
+// signatureDTO is the JSON form of one (application, server) signature.
+type signatureDTO struct {
+	App        string          `json:"app"`
+	Server     string          `json:"server"`
+	RecordedAt float64         `json:"recorded_at"`
+	Classes    []classEntryDTO `json:"classes"`
+}
+
+type classEntryDTO struct {
+	App     string      `json:"app"`
+	Class   string      `json:"class"`
+	Metrics []float64   `json:"metrics"` // indexed by metrics.Metric
+	MRC     *mrc.Params `json:"mrc,omitempty"`
+	Samples int64       `json:"samples,omitempty"`
+}
+
+type storeDTO struct {
+	Version    int            `json:"version"`
+	Signatures []signatureDTO `json:"signatures"`
+}
+
+// Save serializes the store as JSON.
+func (st *SignatureStore) Save(w io.Writer) error {
+	dto := storeDTO{Version: 1}
+	for key, sig := range st.sigs {
+		sd := signatureDTO{App: key.app, Server: key.server, RecordedAt: sig.RecordedAt}
+		seen := make(map[metrics.ClassID]bool)
+		add := func(id metrics.ClassID) *classEntryDTO {
+			sd.Classes = append(sd.Classes, classEntryDTO{App: id.App, Class: id.Class})
+			return &sd.Classes[len(sd.Classes)-1]
+		}
+		for id, v := range sig.Metrics {
+			e := add(id)
+			e.Metrics = append([]float64(nil), v[:]...)
+			if p, ok := sig.MRC[id]; ok {
+				pc := p
+				e.MRC = &pc
+				e.Samples = sig.MRCSampleCount[id]
+			}
+			seen[id] = true
+		}
+		for id, p := range sig.MRC {
+			if seen[id] {
+				continue
+			}
+			e := add(id)
+			pc := p
+			e.MRC = &pc
+			e.Samples = sig.MRCSampleCount[id]
+		}
+		dto.Signatures = append(dto.Signatures, sd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dto)
+}
+
+// Load replaces the store's contents with signatures saved by Save.
+func (st *SignatureStore) Load(r io.Reader) error {
+	var dto storeDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("core: loading signatures: %w", err)
+	}
+	if dto.Version != 1 {
+		return fmt.Errorf("core: unsupported signature version %d", dto.Version)
+	}
+	st.sigs = make(map[sigKey]*Signature, len(dto.Signatures))
+	for _, sd := range dto.Signatures {
+		sig := NewSignature()
+		sig.RecordedAt = sd.RecordedAt
+		for _, e := range sd.Classes {
+			id := metrics.ClassID{App: e.App, Class: e.Class}
+			if e.Metrics != nil {
+				if len(e.Metrics) != metrics.NumMetrics {
+					return fmt.Errorf("core: signature for %v has %d metrics, want %d",
+						id, len(e.Metrics), metrics.NumMetrics)
+				}
+				var v metrics.Vector
+				copy(v[:], e.Metrics)
+				sig.Metrics[id] = v
+			}
+			if e.MRC != nil {
+				sig.MRC[id] = *e.MRC
+				sig.MRCSampleCount[id] = e.Samples
+			}
+		}
+		st.sigs[sigKey{app: sd.App, server: sd.Server}] = sig
+	}
+	return nil
+}

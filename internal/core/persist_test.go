@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+)
+
+func TestSignatureStoreSaveLoadRoundTrip(t *testing.T) {
+	st := NewSignatureStore()
+	sig := st.Get("tpcw", "db1")
+	var v metrics.Vector
+	v.Set(metrics.Latency, 0.5)
+	v.Set(metrics.BufferMisses, 42)
+	sig.UpdateMetrics(123.5, map[metrics.ClassID]metrics.Vector{cid("BestSeller"): v})
+	sig.SetMRC(cid("BestSeller"), mrc.Params{
+		TotalMemory: 7200, AcceptableMemory: 6982,
+		IdealMissRatio: 0.06, AcceptableMissRatio: 0.08,
+	})
+	sig.MRCSampleCount[cid("BestSeller")] = 49152
+	// A class with MRC params but no metric vector (recorded at first
+	// scheduling, before a stable interval).
+	other := st.Get("rubis", "db2")
+	other.SetMRC(metrics.ClassID{App: "rubis", Class: "SIBR"},
+		mrc.Params{TotalMemory: 7900, AcceptableMemory: 7900})
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewSignatureStore()
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded.Lookup("tpcw", "db1")
+	if !ok {
+		t.Fatal("signature missing after load")
+	}
+	if got.RecordedAt != 123.5 {
+		t.Fatalf("RecordedAt = %v", got.RecordedAt)
+	}
+	gv := got.Metrics[cid("BestSeller")]
+	if gv.Get(metrics.Latency) != 0.5 || gv.Get(metrics.BufferMisses) != 42 {
+		t.Fatalf("metrics vector = %+v", gv)
+	}
+	p, has := got.MRC[cid("BestSeller")]
+	if !has || p.AcceptableMemory != 6982 || p.IdealMissRatio != 0.06 {
+		t.Fatalf("MRC params = %+v", p)
+	}
+	if got.MRCSampleCount[cid("BestSeller")] != 49152 {
+		t.Fatalf("sample count = %d", got.MRCSampleCount[cid("BestSeller")])
+	}
+	o, ok := loaded.Lookup("rubis", "db2")
+	if !ok {
+		t.Fatal("second signature missing")
+	}
+	if _, has := o.MRC[metrics.ClassID{App: "rubis", Class: "SIBR"}]; !has {
+		t.Fatal("MRC-only class lost")
+	}
+}
+
+func TestSignatureStoreLoadRejectsGarbage(t *testing.T) {
+	st := NewSignatureStore()
+	if err := st.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := st.Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	bad := `{"version":1,"signatures":[{"app":"a","server":"s",
+		"classes":[{"app":"a","class":"c","metrics":[1,2]}]}]}`
+	if err := st.Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("wrong metric arity accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sort"
+
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+)
+
+// QuotaPlan is the outcome of the §3.3.2 heuristic memory-allocation
+// algorithm for one server's buffer pool.
+type QuotaPlan struct {
+	// Feasible reports whether every problem class can receive a quota
+	// meeting its acceptable miss ratio while leaving the rest of the
+	// pool large enough for the remaining classes' acceptable memory.
+	Feasible bool
+	// Quotas maps each problem class to its assigned quota in pages
+	// (only meaningful when Feasible).
+	Quotas map[metrics.ClassID]int
+	// RestPages is what remains for all other classes.
+	RestPages int
+}
+
+// SolveQuotas implements the heuristic memory-allocation algorithm of
+// §3.3.2: given the pool capacity, the MRC parameters of each problem
+// query class and the acceptable memory of the rest of the application's
+// classes on the same server, it attempts to find a fixed quota for every
+// problem class such that all miss ratios — the problem classes' and the
+// rest's — are predicted to be at most their respective acceptable miss
+// ratios.
+//
+// A quota is a containment limit: each problem class receives exactly its
+// acceptable memory (the smallest allocation meeting its acceptable miss
+// ratio, e.g. the paper's 3695 pages for the unindexed BestSeller), and
+// everything left over stays with the rest of the pool, which must be at
+// least the rest's acceptable memory. If the acceptable allocations do
+// not fit together, there is no feasible quota assignment and the caller
+// falls back to rescheduling (PlaceClass on another replica).
+func SolveQuotas(capacity int, problems map[metrics.ClassID]mrc.Params, restAcceptable int) QuotaPlan {
+	plan := QuotaPlan{Quotas: make(map[metrics.ClassID]int, len(problems))}
+	if capacity <= 0 {
+		return plan
+	}
+	if restAcceptable < 0 {
+		restAcceptable = 0
+	}
+
+	ids := make([]metrics.ClassID, 0, len(problems))
+	for id := range problems {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+
+	sum := 0
+	for _, id := range ids {
+		q := problems[id].AcceptableMemory
+		if q < 0 {
+			q = 0
+		}
+		plan.Quotas[id] = q
+		sum += q
+	}
+	plan.RestPages = capacity - sum
+	plan.Feasible = plan.RestPages >= restAcceptable
+	return plan
+}
+
+// PredictMissRatios evaluates a quota plan against the classes' curves,
+// returning the predicted miss ratio of every problem class at its
+// assigned quota. Used by tests and reports to verify the solver's
+// promise: predicted ≤ acceptable for every class of a feasible plan.
+func PredictMissRatios(plan QuotaPlan, curves map[metrics.ClassID]*mrc.Curve) map[metrics.ClassID]float64 {
+	out := make(map[metrics.ClassID]float64, len(plan.Quotas))
+	for id, q := range plan.Quotas {
+		if c := curves[id]; c != nil {
+			out[id] = c.MissRatio(q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+)
+
+func params(total, acceptable int) mrc.Params {
+	return mrc.Params{TotalMemory: total, AcceptableMemory: acceptable,
+		IdealMissRatio: 0.05, AcceptableMissRatio: 0.07}
+}
+
+func TestSolveQuotasContainmentAllocations(t *testing.T) {
+	need := map[metrics.ClassID]mrc.Params{
+		cid("a"): params(2000, 1000),
+		cid("b"): params(3000, 1500),
+	}
+	plan := SolveQuotas(8192, need, 2000)
+	if !plan.Feasible {
+		t.Fatal("plan infeasible despite fitting")
+	}
+	// Quotas are containment limits: exactly the acceptable memory, with
+	// everything else left to the rest of the pool.
+	if plan.Quotas[cid("a")] != 1000 || plan.Quotas[cid("b")] != 1500 {
+		t.Fatalf("quotas = %v, want acceptable allocations", plan.Quotas)
+	}
+	if plan.RestPages != 8192-2500 {
+		t.Fatalf("rest = %d, want %d", plan.RestPages, 8192-2500)
+	}
+}
+
+func TestSolveQuotasAcceptableFitExactly(t *testing.T) {
+	// Ideal needs 7000+7000 ≫ 8192, but acceptable 3600+3000+rest 1000
+	// fits.
+	need := map[metrics.ClassID]mrc.Params{
+		cid("a"): params(7000, 3600),
+		cid("b"): params(7000, 3000),
+	}
+	plan := SolveQuotas(8192, need, 1000)
+	if !plan.Feasible {
+		t.Fatal("plan infeasible despite acceptable fit")
+	}
+	for id, q := range plan.Quotas {
+		if q != need[id].AcceptableMemory {
+			t.Fatalf("quota for %v = %d, want acceptable %d", id, q, need[id].AcceptableMemory)
+		}
+	}
+	if plan.RestPages != 8192-6600 {
+		t.Fatalf("rest = %d", plan.RestPages)
+	}
+}
+
+func TestSolveQuotasInfeasible(t *testing.T) {
+	// The §5.4 situation: SIBR needs 7900 acceptable while the rest of
+	// the pool users need 6982 — no split of 8192 works.
+	need := map[metrics.ClassID]mrc.Params{
+		{App: "rubis", Class: "SearchItemsByRegion"}: params(7900, 7900),
+	}
+	plan := SolveQuotas(8192, need, 6982)
+	if plan.Feasible {
+		t.Fatal("impossible plan reported feasible")
+	}
+}
+
+func TestSolveQuotasSingleClassFeasible(t *testing.T) {
+	// The §5.3 situation: unindexed BestSeller acceptable 3695 plus the
+	// rest acceptable ~4000 fits in 8192.
+	need := map[metrics.ClassID]mrc.Params{
+		{App: "tpcw", Class: "BestSeller"}: params(8192, 3695),
+	}
+	plan := SolveQuotas(8192, need, 4000)
+	if !plan.Feasible {
+		t.Fatal("BestSeller quota plan infeasible")
+	}
+	q := plan.Quotas[metrics.ClassID{App: "tpcw", Class: "BestSeller"}]
+	if q < 3695 || q > 8192-4000 {
+		t.Fatalf("quota = %d, want in [3695, 4192]", q)
+	}
+}
+
+func TestSolveQuotasEdgeCases(t *testing.T) {
+	if p := SolveQuotas(0, nil, 0); p.Feasible {
+		t.Fatal("zero capacity feasible")
+	}
+	p := SolveQuotas(100, nil, 50)
+	if !p.Feasible || p.RestPages != 100 {
+		t.Fatalf("empty problem set: %+v", p)
+	}
+	// Negative rest treated as zero.
+	p = SolveQuotas(100, map[metrics.ClassID]mrc.Params{cid("a"): params(50, 20)}, -10)
+	if !p.Feasible {
+		t.Fatal("negative rest broke the solver")
+	}
+}
+
+func TestSolveQuotasProperty(t *testing.T) {
+	// For any inputs: if feasible, quotas ≥ acceptable, sum ≤ capacity −
+	// restAcceptable; if infeasible, the acceptable sum genuinely exceeds
+	// capacity.
+	f := func(caps uint16, a1, a2, a3 uint16, rest uint16) bool {
+		capacity := int(caps)%10000 + 1
+		need := map[metrics.ClassID]mrc.Params{
+			cid("a"): params(int(a1)%8000+int(a1)%4000, int(a1)%4000),
+			cid("b"): params(int(a2)%8000+int(a2)%4000, int(a2)%4000),
+			cid("c"): params(int(a3)%8000+int(a3)%4000, int(a3)%4000),
+		}
+		restAcc := int(rest) % 4000
+		plan := SolveQuotas(capacity, need, restAcc)
+		sumAcc := restAcc
+		for _, p := range need {
+			sumAcc += p.AcceptableMemory
+		}
+		if plan.Feasible {
+			sum := 0
+			for id, q := range plan.Quotas {
+				if q < need[id].AcceptableMemory {
+					return false
+				}
+				sum += q
+			}
+			return sum+restAcc <= capacity
+		}
+		return sumAcc > capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictMissRatios(t *testing.T) {
+	// Build a real curve: uniform over 100 pages.
+	var tr []uint64
+	for rep := 0; rep < 50; rep++ {
+		for p := uint64(0); p < 100; p++ {
+			tr = append(tr, p)
+		}
+	}
+	curve := mrc.Compute(tr)
+	id := cid("scan")
+	p := curve.ParamsFor(1000, 0.02)
+	plan := SolveQuotas(1000, map[metrics.ClassID]mrc.Params{id: p}, 0)
+	if !plan.Feasible {
+		t.Fatal("plan infeasible")
+	}
+	pred := PredictMissRatios(plan, map[metrics.ClassID]*mrc.Curve{id: curve})
+	if pred[id] > p.AcceptableMissRatio+1e-9 {
+		t.Fatalf("predicted MR %.4f exceeds acceptable %.4f", pred[id], p.AcceptableMissRatio)
+	}
+}
+
+func TestSignatureStore(t *testing.T) {
+	st := NewSignatureStore()
+	if _, ok := st.Lookup("tpcw", "s1"); ok {
+		t.Fatal("lookup on empty store succeeded")
+	}
+	sig := st.Get("tpcw", "s1")
+	if sig == nil {
+		t.Fatal("Get returned nil")
+	}
+	if again := st.Get("tpcw", "s1"); again != sig {
+		t.Fatal("Get not idempotent")
+	}
+	if _, ok := st.Lookup("tpcw", "s1"); !ok {
+		t.Fatal("lookup after Get failed")
+	}
+	if other := st.Get("tpcw", "s2"); other == sig {
+		t.Fatal("different servers share a signature")
+	}
+
+	sig.UpdateMetrics(10, map[metrics.ClassID]metrics.Vector{cid("a"): vec(5, nil)})
+	if sig.RecordedAt != 10 || sig.Metrics[cid("a")][0] != 5 {
+		t.Fatal("UpdateMetrics failed")
+	}
+	if sig.HasMRC(cid("a")) {
+		t.Fatal("MRC present before SetMRC")
+	}
+	sig.SetMRC(cid("a"), params(100, 50))
+	if !sig.HasMRC(cid("a")) {
+		t.Fatal("SetMRC failed")
+	}
+	// Metric refresh must not clear MRC parameters.
+	sig.UpdateMetrics(20, map[metrics.ClassID]metrics.Vector{cid("a"): vec(6, nil)})
+	if !sig.HasMRC(cid("a")) {
+		t.Fatal("UpdateMetrics cleared MRC params")
+	}
+}
+
+func TestMergeWindows(t *testing.T) {
+	a := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	b := []uint64{100, 101}
+	merged := mergeWindows([][]uint64{a, b})
+	if len(merged) != len(a)+len(b) {
+		t.Fatalf("merged length = %d", len(merged))
+	}
+	// Each stream's internal order is preserved.
+	lastA, lastB := uint64(0), uint64(99)
+	for _, p := range merged {
+		if p >= 100 {
+			if p <= lastB {
+				t.Fatal("stream b reordered")
+			}
+			lastB = p
+		} else {
+			if p <= lastA {
+				t.Fatal("stream a reordered")
+			}
+			lastA = p
+		}
+	}
+	if mergeWindows(nil) != nil {
+		t.Fatal("empty merge should be nil")
+	}
+}

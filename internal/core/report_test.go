@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/workload"
+)
+
+func TestDiagnoseReportRendersOutliersAndIO(t *testing.T) {
+	tb := newTestbed(t, 1, 2000, Config{Interval: 10})
+	app := scanApp("shop", tb.sim.RNG().Fork(), 3000)
+	sched := startApp(t, tb, app)
+	em, err := workload.NewEmulator(tb.sim, sched, workload.Config{
+		Mix: mixFor(app), ThinkTime: 0.3, Load: workload.Constant(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	tb.sim.RunUntil(60)
+	em.Stop()
+
+	reports := tb.ctl.DiagnoseScheduler(tb.sim.Now().Seconds(), sched, 60)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	rep := reports[0]
+	if rep.Server != "srv1" {
+		t.Fatalf("server = %q", rep.Server)
+	}
+	if len(rep.TopIO) == 0 {
+		t.Fatal("no I/O ranking")
+	}
+	// I/O ranking is descending with shares summing to ≤ 1.
+	sum := 0.0
+	for i := 1; i < len(rep.TopIO); i++ {
+		if rep.TopIO[i].Pages > rep.TopIO[i-1].Pages {
+			t.Fatal("I/O ranking not descending")
+		}
+	}
+	for _, l := range rep.TopIO {
+		sum += l.Share
+	}
+	if sum > 1.0+1e-9 {
+		t.Fatalf("I/O shares sum to %v", sum)
+	}
+	text := rep.String()
+	if !strings.Contains(text, "server srv1") || !strings.Contains(text, "io") {
+		t.Fatalf("rendered report missing sections:\n%s", text)
+	}
+}
+
+func TestDiagnoseReportEmptySnapshot(t *testing.T) {
+	tb := newTestbed(t, 1, 2000, Config{})
+	app := cpuApp("idle", 4, 0.01)
+	sched := startApp(t, tb, app)
+	rep := tb.ctl.Diagnose(0, "idle", sched.Replicas()[0].Server(),
+		map[metrics.ClassID]metrics.Vector{})
+	if len(rep.Outliers) != 0 {
+		t.Fatal("outliers from empty snapshot")
+	}
+	if !strings.Contains(rep.String(), "no outlier query contexts") {
+		t.Fatal("empty report missing placeholder line")
+	}
+}

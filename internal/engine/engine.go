@@ -1,0 +1,310 @@
+// Package engine simulates a database engine (the paper's instrumented
+// MySQL/InnoDB): query classes execute against a buffer pool, missing
+// pages are read from the host's disk, CPU work runs on the host's cores,
+// and every event is logged per query class through a private logging
+// buffer into a metrics collector, together with a window of recent page
+// accesses for MRC recomputation.
+package engine
+
+import (
+	"fmt"
+
+	"outlierlb/internal/bufferpool"
+	"outlierlb/internal/lockmgr"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/trace"
+)
+
+// Host abstracts where an engine runs: directly on a physical server or
+// inside a VM. Both delegate CPU to the machine's cores; VMs route I/O
+// through the shared dom-0 channel.
+type Host interface {
+	// RunCPU schedules work seconds of CPU starting no earlier than now
+	// and returns the completion time.
+	RunCPU(now, work float64) float64
+	// ReadPages reads pages from disk on behalf of class starting no
+	// earlier than now and returns the completion time.
+	ReadPages(now float64, class string, pages int) float64
+}
+
+// ClassSpec describes one query class: all query instances sharing a
+// template. The Pattern generator is stateful, so scan-type classes keep
+// their position across executions.
+type ClassSpec struct {
+	ID metrics.ClassID
+	// CPUPerQuery is the base CPU demand per execution, in seconds.
+	CPUPerQuery float64
+	// CPUPerPage is additional CPU per logical page access, in seconds.
+	CPUPerPage float64
+	// PagesPerQuery is the number of logical page accesses per execution.
+	PagesPerQuery int
+	// Pattern generates the page reference stream.
+	Pattern trace.Generator
+	// Write marks update queries, which the replication tier sends to
+	// every replica of the application.
+	Write bool
+	// LockTable, when non-empty, names the table this class locks:
+	// write classes take the exclusive lock for LockHold seconds; read
+	// classes wait for any exclusive holder before starting.
+	LockTable string
+	// LockHold is how long a write class holds its exclusive lock, in
+	// seconds. Ignored for read classes.
+	LockHold float64
+}
+
+func (s *ClassSpec) validate() error {
+	switch {
+	case s.ID.App == "" || s.ID.Class == "":
+		return fmt.Errorf("engine: class spec missing identifier: %+v", s.ID)
+	case s.CPUPerQuery < 0 || s.CPUPerPage < 0:
+		return fmt.Errorf("engine: class %v has negative CPU demand", s.ID)
+	case s.PagesPerQuery < 0:
+		return fmt.Errorf("engine: class %v has negative page count", s.ID)
+	case s.PagesPerQuery > 0 && s.Pattern == nil:
+		return fmt.Errorf("engine: class %v accesses pages but has no pattern", s.ID)
+	case s.LockHold < 0:
+		return fmt.Errorf("engine: class %v has negative lock hold", s.ID)
+	case s.LockHold > 0 && s.LockTable == "":
+		return fmt.Errorf("engine: class %v holds a lock but names no table", s.ID)
+	}
+	return nil
+}
+
+// Config controls engine construction.
+type Config struct {
+	// Name identifies the engine (e.g. "mysql-1") in reports.
+	Name string
+	// Pool configures the buffer pool.
+	Pool bufferpool.Config
+	// WindowSize is the per-class recent-page-access window capacity.
+	// Defaults to 65536.
+	WindowSize int
+	// LogBufferSize is the per-thread private logging buffer capacity.
+	// Defaults to 4096.
+	LogBufferSize int
+}
+
+// Engine is one simulated database engine. Not safe for concurrent use.
+type Engine struct {
+	cfg       Config
+	host      Host
+	pool      *bufferpool.Pool
+	locks     *lockmgr.Manager
+	collector *metrics.Collector
+	logbuf    *metrics.LogBuffer
+	windows   map[metrics.ClassID]*metrics.AccessWindow
+	classes   map[metrics.ClassID]*ClassSpec
+
+	// Per-execution scratch used by the pool's miss hook.
+	curNow    float64
+	curIODone float64
+	curClass  metrics.ClassID
+}
+
+// New returns an engine running on host.
+func New(cfg Config, host Host) (*Engine, error) {
+	if host == nil {
+		return nil, fmt.Errorf("engine %q: nil host", cfg.Name)
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 65536
+	}
+	if cfg.LogBufferSize <= 0 {
+		cfg.LogBufferSize = 4096
+	}
+	pool, err := bufferpool.New(cfg.Pool)
+	if err != nil {
+		return nil, fmt.Errorf("engine %q: %w", cfg.Name, err)
+	}
+	e := &Engine{
+		cfg:       cfg,
+		host:      host,
+		pool:      pool,
+		locks:     lockmgr.New(),
+		collector: metrics.NewCollector(),
+		windows:   make(map[metrics.ClassID]*metrics.AccessWindow),
+		classes:   make(map[metrics.ClassID]*ClassSpec),
+	}
+	e.logbuf = metrics.NewLogBuffer(cfg.LogBufferSize, metrics.Drain(e.collector))
+	pool.OnMiss(func(class string, pages int) {
+		done := e.host.ReadPages(e.curNow, class, pages)
+		if done > e.curIODone {
+			e.curIODone = done
+		}
+		e.logbuf.Append(metrics.Record{Kind: metrics.RecIO, Class: e.curClass, Value: float64(pages)})
+	})
+	pool.OnFlush(func(class string, pages int) {
+		// Dirty-page write-back is asynchronous: it occupies the disk
+		// (queueing other requests behind it) but does not extend the
+		// evicting query's latency. The I/O is charged to the class that
+		// dirtied the page.
+		e.host.ReadPages(e.curNow, class, pages)
+		if id, ok := parseClassKey(class); ok {
+			e.logbuf.Append(metrics.Record{Kind: metrics.RecIO, Class: id, Value: float64(pages)})
+		}
+	})
+	return e, nil
+}
+
+// parseClassKey inverts metrics.ClassID.String ("app/class").
+func parseClassKey(key string) (metrics.ClassID, bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return metrics.ClassID{App: key[:i], Class: key[i+1:]}, true
+		}
+	}
+	return metrics.ClassID{}, false
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config, host Host) *Engine {
+	e, err := New(cfg, host)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name returns the engine's name.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Pool exposes the engine's buffer pool (for quota enforcement and
+// hit-ratio reporting).
+func (e *Engine) Pool() *bufferpool.Pool { return e.pool }
+
+// Host returns the machine the engine runs on.
+func (e *Engine) Host() Host { return e.host }
+
+// Register adds or replaces a query class definition.
+func (e *Engine) Register(spec ClassSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	e.classes[spec.ID] = &spec
+	if _, ok := e.windows[spec.ID]; !ok {
+		e.windows[spec.ID] = metrics.NewAccessWindow(e.cfg.WindowSize)
+	}
+	return nil
+}
+
+// Deregister removes a query class (e.g. when the scheduler moves it to a
+// different replica). Its statistics and access window are retained for
+// post-mortem analysis until the next snapshot.
+func (e *Engine) Deregister(id metrics.ClassID) {
+	delete(e.classes, id)
+}
+
+// Class returns the registered spec for id.
+func (e *Engine) Class(id metrics.ClassID) (*ClassSpec, bool) {
+	s, ok := e.classes[id]
+	return s, ok
+}
+
+// Classes lists registered class identifiers in unspecified order.
+func (e *Engine) Classes() []metrics.ClassID {
+	out := make([]metrics.ClassID, 0, len(e.classes))
+	for id := range e.classes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Execute runs one query of class id arriving at virtual time now and
+// returns its completion time. The query's latency is the maximum of its
+// CPU completion and I/O completion, both of which queue behind other
+// work on the host.
+func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err error) {
+	spec, ok := e.classes[id]
+	if !ok {
+		return now, fmt.Errorf("engine %q: query class %v not registered", e.cfg.Name, id)
+	}
+	key := id.String()
+	win := e.windows[id]
+
+	// Lock acquisition precedes execution: writers take the table's
+	// exclusive lock, readers wait out any current holder. Lock waits
+	// delay the whole query and are logged per class.
+	start := now
+	var lockRelease float64
+	if spec.LockTable != "" {
+		if spec.Write {
+			granted, released := e.locks.AcquireExclusive(now, key, spec.LockTable, spec.LockHold)
+			start = granted
+			lockRelease = released
+		} else {
+			start = e.locks.WaitShared(now, key, spec.LockTable)
+		}
+		if wait := start - now; wait > 0 {
+			e.logbuf.Append(metrics.Record{Kind: metrics.RecLockWait, Class: id, Value: wait})
+		}
+	}
+
+	e.curNow, e.curIODone, e.curClass = start, start, id
+	prefetched := 0
+	for i := 0; i < spec.PagesPerQuery; i++ {
+		pg := spec.Pattern.Next()
+		var res bufferpool.AccessResult
+		if spec.Write {
+			res = e.pool.Write(key, pg)
+		} else {
+			res = e.pool.Access(key, pg)
+		}
+		win.Add(pg)
+		e.logbuf.Append(metrics.Record{Kind: metrics.RecAccess, Class: id, Value: float64(pg), Miss: !res.Hit})
+		prefetched += res.Prefetched
+	}
+	if prefetched > 0 {
+		e.logbuf.Append(metrics.Record{Kind: metrics.RecReadAhead, Class: id, Value: float64(prefetched)})
+	}
+
+	cpuWork := spec.CPUPerQuery + float64(spec.PagesPerQuery)*spec.CPUPerPage
+	cpuDone := e.host.RunCPU(start, cpuWork)
+	done = cpuDone
+	if e.curIODone > done {
+		done = e.curIODone
+	}
+	if lockRelease > done {
+		// The transaction is not finished until its lock hold elapses.
+		done = lockRelease
+	}
+	e.logbuf.Append(metrics.Record{Kind: metrics.RecQuery, Class: id, Value: done - now})
+	return done, nil
+}
+
+// Locks exposes the engine's lock manager (for contention diagnosis).
+func (e *Engine) Locks() *lockmgr.Manager { return e.locks }
+
+// Snapshot flushes the logging buffer and returns per-class metric
+// vectors for a measurement interval of the given length in seconds,
+// resetting the interval counters.
+func (e *Engine) Snapshot(interval float64) map[metrics.ClassID]metrics.Vector {
+	e.logbuf.Flush()
+	return e.collector.Snapshot(interval)
+}
+
+// Window returns the recent page accesses of class id (oldest first), the
+// input to MRC recomputation.
+func (e *Engine) Window(id metrics.ClassID) []uint64 {
+	if w := e.windows[id]; w != nil {
+		return w.Snapshot()
+	}
+	return nil
+}
+
+// WindowTotal reports how many page accesses class id has issued over
+// its lifetime (the recent-access window retains only the tail).
+func (e *Engine) WindowTotal(id metrics.ClassID) int64 {
+	if w := e.windows[id]; w != nil {
+		return w.Total()
+	}
+	return 0
+}
+
+// WindowCapacity reports the configured per-class window capacity.
+func (e *Engine) WindowCapacity() int { return e.cfg.WindowSize }
+
+// HitRatio reports the buffer-pool hit ratio observed for class id since
+// pool statistics were last reset.
+func (e *Engine) HitRatio(id metrics.ClassID) float64 {
+	return e.pool.Stats(id.String()).HitRatio()
+}

@@ -1,0 +1,145 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5) as deterministic, seedable scenario functions. The
+// benchmark harness (bench_test.go), the benchrunner tool and the example
+// programs all call into this package, so the numbers they report come
+// from one implementation of each scenario.
+package experiments
+
+import (
+	"fmt"
+
+	"outlierlb/internal/bufferpool"
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/core"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/storage"
+	"outlierlb/internal/workload"
+)
+
+// PoolPages is the paper's buffer pool: 128 MB = 8192 16-KiB pages
+// ("the database instance is given 128MB buffer pool space, which
+// corresponds to 8192 memory pages").
+const PoolPages = 8192
+
+// diskParams models the testbed disks; sequential transfer is much
+// cheaper than positioning, which is what makes read-ahead worthwhile.
+func diskParams() storage.Params {
+	return storage.Params{Seek: 0.004, PerPage: 0.0001}
+}
+
+// newServer builds one Dell-PowerEdge-like box: 4 cores and enough RAM
+// for the given pool.
+func newServer(name string, memoryPages int) *server.Server {
+	return server.MustNew(server.Config{
+		Name: name, Cores: 4, MemoryPages: memoryPages, Disk: diskParams(),
+	})
+}
+
+// poolConfig is the engine buffer-pool configuration used across the
+// experiments: InnoDB-style linear read-ahead.
+func poolConfig(pages int) bufferpool.Config {
+	return bufferpool.Config{Capacity: pages, ReadAheadRun: 4, ReadAheadPages: 32}
+}
+
+// testbed is the shared scaffolding: a simulation, a manager with a
+// server pool, and a controller.
+type testbed struct {
+	sim *sim.Engine
+	mgr *cluster.Manager
+	ctl *core.Controller
+}
+
+func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
+	s := sim.NewEngine(seed)
+	mgr := cluster.NewManager()
+	mgr.PoolConfig = poolConfig(poolPages)
+	for i := 0; i < servers; i++ {
+		mgr.AddServer(newServer(fmt.Sprintf("db%d", i+1), poolPages*2))
+	}
+	ctl, err := core.NewController(s, mgr, cfg)
+	if err != nil {
+		panic(err) // static wiring cannot fail
+	}
+	return &testbed{sim: s, mgr: mgr, ctl: ctl}
+}
+
+// startApp registers app with the manager and provisions its first
+// replica on a free server, returning the scheduler.
+func (tb *testbed) startApp(app *cluster.Application) *cluster.Scheduler {
+	sched, err := cluster.NewScheduler(app)
+	if err != nil {
+		panic(err)
+	}
+	if err := tb.mgr.Register(sched); err != nil {
+		panic(err)
+	}
+	if _, err := tb.mgr.ProvisionOnFreeServer(app.Name); err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// registerApp creates and registers a scheduler without provisioning a
+// replica — for applications that share an existing engine via Attach.
+func (tb *testbed) registerApp(app *cluster.Application) *cluster.Scheduler {
+	sched, err := cluster.NewScheduler(app)
+	if err != nil {
+		panic(err)
+	}
+	if err := tb.mgr.Register(sched); err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// emulate attaches a client emulator to sched.
+func (tb *testbed) emulate(sched *cluster.Scheduler, mix []workload.MixEntry,
+	think float64, load workload.LoadFunction) *workload.Emulator {
+	em, err := workload.NewEmulator(tb.sim, sched, workload.Config{
+		Mix: mix, ThinkTime: think, ThinkNoise: 0.3, Load: load,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return em
+}
+
+// measure runs the simulation for dur seconds and returns the average
+// latency and throughput over that span. It closes intervals directly on
+// the tracker, so it is only for runs where no controller is ticking.
+func (tb *testbed) measure(sched *cluster.Scheduler, dur float64) (latency, wips float64) {
+	start := tb.sim.Now().Seconds()
+	// Close out whatever partial interval is pending so the measurement
+	// window is clean.
+	sched.Tracker().CloseInterval(start, start)
+	tb.sim.RunUntil(sim.Time(start + dur))
+	iv := sched.Tracker().CloseInterval(start, start+dur)
+	return iv.AvgLatency, iv.Throughput
+}
+
+// windowStats aggregates the controller-closed intervals of sched that
+// fall inside [from, to]: a query-weighted average latency and the mean
+// throughput. Used when a controller owns interval closing.
+func windowStats(sched *cluster.Scheduler, from, to float64) (latency, wips float64) {
+	var latSum float64
+	var queries int64
+	var tputSum float64
+	n := 0
+	for _, iv := range sched.Tracker().History() {
+		if iv.Start < from-1e-9 || iv.End > to+1e-9 {
+			continue
+		}
+		latSum += iv.AvgLatency * float64(iv.Queries)
+		queries += iv.Queries
+		tputSum += iv.Throughput
+		n++
+	}
+	if queries > 0 {
+		latency = latSum / float64(queries)
+	}
+	if n > 0 {
+		wips = tputSum / float64(n)
+	}
+	return latency, wips
+}

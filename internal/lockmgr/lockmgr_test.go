@@ -1,0 +1,167 @@
+package lockmgr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExclusiveSerializes(t *testing.T) {
+	m := New()
+	g1, r1 := m.AcquireExclusive(0, "w1", "orders", 0.1)
+	if g1 != 0 || r1 != 0.1 {
+		t.Fatalf("first acquire = %v, %v", g1, r1)
+	}
+	g2, r2 := m.AcquireExclusive(0.05, "w2", "orders", 0.1)
+	if g2 != 0.1 || r2 != 0.2 {
+		t.Fatalf("second acquire = %v, %v, want to queue", g2, r2)
+	}
+}
+
+func TestIndependentTables(t *testing.T) {
+	m := New()
+	m.AcquireExclusive(0, "w1", "orders", 1.0)
+	g, _ := m.AcquireExclusive(0, "w2", "items", 0.1)
+	if g != 0 {
+		t.Fatalf("different table waited: granted at %v", g)
+	}
+}
+
+func TestIdleLockGrantsImmediately(t *testing.T) {
+	m := New()
+	m.AcquireExclusive(0, "w", "orders", 0.1)
+	g, _ := m.AcquireExclusive(5, "w", "orders", 0.1)
+	if g != 5 {
+		t.Fatalf("idle lock granted at %v, want 5", g)
+	}
+}
+
+func TestSharedWaitsForExclusive(t *testing.T) {
+	m := New()
+	m.AcquireExclusive(0, "w", "orders", 0.5)
+	if g := m.WaitShared(0.2, "r", "orders"); g != 0.5 {
+		t.Fatalf("reader granted at %v, want 0.5", g)
+	}
+	// Readers do not extend the lock.
+	if g := m.WaitShared(0.2, "r2", "orders"); g != 0.5 {
+		t.Fatalf("second reader granted at %v, want 0.5 (no serialization)", g)
+	}
+	// Reader after release proceeds immediately and records no wait.
+	if g := m.WaitShared(1.0, "r3", "orders"); g != 1.0 {
+		t.Fatalf("late reader granted at %v", g)
+	}
+	if s := m.ClassStats("r3"); s.WaitSeconds != 0 || s.Acquisitions != 0 {
+		t.Fatalf("no-wait reader recorded stats: %+v", s)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	m := New()
+	m.AcquireExclusive(0, "w", "orders", 0.2)
+	m.AcquireExclusive(0, "w", "orders", 0.2) // waits 0.2
+	cs := m.ClassStats("w")
+	if cs.Acquisitions != 2 {
+		t.Errorf("acquisitions = %d", cs.Acquisitions)
+	}
+	if cs.WaitSeconds != 0.2 {
+		t.Errorf("wait = %v, want 0.2", cs.WaitSeconds)
+	}
+	if cs.HoldSeconds != 0.4 {
+		t.Errorf("hold = %v, want 0.4", cs.HoldSeconds)
+	}
+	ts := m.TableStats("orders")
+	if ts.Acquisitions != 2 || ts.HoldSeconds != 0.4 {
+		t.Errorf("table stats = %+v", ts)
+	}
+	if s := m.ClassStats("never"); s != (Stats{}) {
+		t.Errorf("unknown class stats = %+v", s)
+	}
+	m.ResetStats()
+	if m.ClassStats("w") != (Stats{}) {
+		t.Error("ResetStats left class stats")
+	}
+}
+
+func TestNegativeHoldClamped(t *testing.T) {
+	m := New()
+	g, r := m.AcquireExclusive(1, "w", "t", -5)
+	if g != 1 || r != 1 {
+		t.Fatalf("negative hold: %v, %v", g, r)
+	}
+}
+
+func TestTopHolders(t *testing.T) {
+	m := New()
+	m.AcquireExclusive(0, "light", "a", 0.01)
+	m.AcquireExclusive(0, "heavy", "b", 1.0)
+	m.AcquireExclusive(0, "mid", "c", 0.1)
+	top := m.TopHolders()
+	if len(top) != 3 || top[0] != "heavy" || top[1] != "mid" || top[2] != "light" {
+		t.Fatalf("TopHolders = %v", top)
+	}
+}
+
+func TestAcquireOrderedSortsTables(t *testing.T) {
+	m := New()
+	// Two transactions request the same pair in opposite orders; both
+	// acquire in canonical order, so the second simply queues behind the
+	// first instead of deadlocking.
+	g1, r1 := m.AcquireOrdered(0, "t1", []string{"b", "a"}, 0.2)
+	g2, r2 := m.AcquireOrdered(0, "t2", []string{"a", "b"}, 0.2)
+	if g1 != 0 || r1 != 0.2 {
+		t.Fatalf("first txn: %v, %v", g1, r1)
+	}
+	if g2 < r1 {
+		t.Fatalf("second txn granted at %v before first released at %v", g2, r1)
+	}
+	if r2 != g2+0.2 {
+		t.Fatalf("second txn released at %v", r2)
+	}
+}
+
+func TestAcquireOrderedHoldsAllUntilEnd(t *testing.T) {
+	m := New()
+	_, released := m.AcquireOrdered(0, "t", []string{"x", "y"}, 0.5)
+	// Either single table is locked until the transaction's end.
+	if g, _ := m.AcquireExclusive(0.1, "w", "x", 0); g != released {
+		t.Fatalf("x free at %v, want %v", g, released)
+	}
+	if g, _ := m.AcquireExclusive(0.1, "w", "y", 0); g != released {
+		t.Fatalf("y free at %v, want %v", g, released)
+	}
+}
+
+func TestAcquireOrderedDegenerate(t *testing.T) {
+	m := New()
+	g, r := m.AcquireOrdered(3, "t", nil, 1)
+	if g != 3 || r != 3 {
+		t.Fatalf("empty tables: %v, %v", g, r)
+	}
+	g, r = m.AcquireOrdered(0, "t", []string{"solo"}, -1)
+	if g != 0 || r != 0 {
+		t.Fatalf("negative hold: %v, %v", g, r)
+	}
+}
+
+func TestGrantNeverBeforeArrivalProperty(t *testing.T) {
+	f := func(holds []uint8) bool {
+		m := New()
+		now, lastRelease := 0.0, 0.0
+		for i, h := range holds {
+			now += float64(h%7) * 0.01
+			hold := float64(h%13) * 0.01
+			g, r := m.AcquireExclusive(now, "w", "t", hold)
+			if g < now || r != g+hold {
+				return false
+			}
+			// FIFO: grants never precede the previous release.
+			if i > 0 && g < lastRelease {
+				return false
+			}
+			lastRelease = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics implements the statistics-collection layer of the paper
+// (§3.3): lightweight per-query-class monitoring of latency, throughput,
+// buffer-pool misses, page accesses, I/O block requests and read-ahead
+// (prefetch) requests, plus a window of the most recent page accesses per
+// query class.
+//
+// Collection is tied to query class contexts: every sample carries the
+// query class it belongs to, and Snapshot produces one metric vector per
+// class for each measurement interval.
+package metrics
+
+import "fmt"
+
+// Metric identifies one of the per-query-class performance metrics the
+// system monitors.
+type Metric int
+
+// The monitored metrics, in the order the paper lists them. LockWait
+// extends the paper's set with the lock-contention counter its §7 future
+// work calls for.
+const (
+	Latency      Metric = iota // average query latency (seconds)
+	Throughput                 // completed queries per second
+	BufferMisses               // buffer-pool misses per second
+	PageAccesses               // logical page accesses per second
+	IORequests                 // I/O block requests per second
+	ReadAhead                  // prefetch (read-ahead) requests per second
+	LockWait                   // seconds spent waiting for locks, per second
+	numMetrics
+)
+
+// NumMetrics is the number of distinct monitored metrics.
+const NumMetrics = int(numMetrics)
+
+var metricNames = [...]string{
+	Latency:      "latency",
+	Throughput:   "throughput",
+	BufferMisses: "misses",
+	PageAccesses: "page_accesses",
+	IORequests:   "io_requests",
+	ReadAhead:    "read_ahead",
+	LockWait:     "lock_wait",
+}
+
+func (m Metric) String() string {
+	if m < 0 || int(m) >= NumMetrics {
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// MemoryMetrics lists the "memory related counters" of §3.3.1 used to flag
+// problem query classes: page accesses, buffer-pool misses and read-ahead.
+var MemoryMetrics = []Metric{PageAccesses, BufferMisses, ReadAhead}
+
+// Vector holds one value per metric for a single query class over one
+// measurement interval. The zero value is all zeros and ready to use.
+type Vector [NumMetrics]float64
+
+// Get returns the value for m.
+func (v Vector) Get(m Metric) float64 { return v[m] }
+
+// Set assigns the value for m.
+func (v *Vector) Set(m Metric, x float64) { v[m] = x }
+
+// ClassID identifies a query class context: a set of query instances with
+// the same template but different arguments, belonging to one application.
+type ClassID struct {
+	App   string // application name, e.g. "tpcw"
+	Class string // query template name, e.g. "BestSeller"
+}
+
+func (c ClassID) String() string { return c.App + "/" + c.Class }
+
+// classAccum accumulates raw counters for one query class during the
+// current measurement interval.
+type classAccum struct {
+	queries     int64
+	latencySum  float64
+	misses      int64
+	accesses    int64
+	ioReqs      int64
+	readAhead   int64
+	lockWaitSum float64
+}
+
+// Collector accumulates per-query-class samples and produces per-interval
+// metric vectors. It is not safe for concurrent use; in this codebase each
+// simulated database engine owns one collector and the simulation is
+// single-threaded (the paper's per-thread private logging buffers are
+// modelled by LogBuffer).
+type Collector struct {
+	accum map[ClassID]*classAccum
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{accum: make(map[ClassID]*classAccum)}
+}
+
+func (c *Collector) get(id ClassID) *classAccum {
+	a := c.accum[id]
+	if a == nil {
+		a = &classAccum{}
+		c.accum[id] = a
+	}
+	return a
+}
+
+// RecordQuery records a completed query of class id with the given latency
+// in seconds.
+func (c *Collector) RecordQuery(id ClassID, latency float64) {
+	a := c.get(id)
+	a.queries++
+	a.latencySum += latency
+}
+
+// RecordAccess records a logical page access; miss reports whether it
+// missed in the buffer pool.
+func (c *Collector) RecordAccess(id ClassID, miss bool) {
+	a := c.get(id)
+	a.accesses++
+	if miss {
+		a.misses++
+	}
+}
+
+// RecordLockWait records seconds spent waiting for a lock on behalf of
+// id.
+func (c *Collector) RecordLockWait(id ClassID, seconds float64) {
+	c.get(id).lockWaitSum += seconds
+}
+
+// RecordIO records n I/O block requests issued on behalf of id.
+func (c *Collector) RecordIO(id ClassID, n int) {
+	c.get(id).ioReqs += int64(n)
+}
+
+// RecordReadAhead records n read-ahead (prefetch) requests issued on
+// behalf of id.
+func (c *Collector) RecordReadAhead(id ClassID, n int) {
+	c.get(id).readAhead += int64(n)
+}
+
+// Queries reports the number of completed queries recorded for id in the
+// current interval.
+func (c *Collector) Queries(id ClassID) int64 {
+	if a := c.accum[id]; a != nil {
+		return a.queries
+	}
+	return 0
+}
+
+// Snapshot converts the counters accumulated over an interval of the given
+// length (seconds) into one metric vector per query class, then resets the
+// collector for the next interval. Classes with no activity yield a zero
+// vector and are still reported, so stable-state signatures keep an entry
+// for idle classes.
+func (c *Collector) Snapshot(interval float64) map[ClassID]Vector {
+	if interval <= 0 {
+		interval = 1
+	}
+	out := make(map[ClassID]Vector, len(c.accum))
+	for id, a := range c.accum {
+		var v Vector
+		if a.queries > 0 {
+			v[Latency] = a.latencySum / float64(a.queries)
+		}
+		v[Throughput] = float64(a.queries) / interval
+		v[BufferMisses] = float64(a.misses) / interval
+		v[PageAccesses] = float64(a.accesses) / interval
+		v[IORequests] = float64(a.ioReqs) / interval
+		v[ReadAhead] = float64(a.readAhead) / interval
+		v[LockWait] = a.lockWaitSum / interval
+		out[id] = v
+		*a = classAccum{}
+	}
+	return out
+}
+
+// Classes returns the identifiers currently tracked, in unspecified order.
+func (c *Collector) Classes() []ClassID {
+	out := make([]ClassID, 0, len(c.accum))
+	for id := range c.accum {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var (
+	best = ClassID{App: "tpcw", Class: "BestSeller"}
+	newp = ClassID{App: "tpcw", Class: "NewProducts"}
+	sibr = ClassID{App: "rubis", Class: "SearchItemsByRegion"}
+)
+
+func TestCollectorSnapshotComputesRates(t *testing.T) {
+	c := NewCollector()
+	c.RecordQuery(best, 0.5)
+	c.RecordQuery(best, 1.5)
+	for i := 0; i < 10; i++ {
+		c.RecordAccess(best, i%2 == 0) // 5 misses
+	}
+	c.RecordIO(best, 4)
+	c.RecordReadAhead(best, 2)
+
+	snap := c.Snapshot(2.0)
+	v, ok := snap[best]
+	if !ok {
+		t.Fatal("BestSeller missing from snapshot")
+	}
+	if v.Get(Latency) != 1.0 {
+		t.Errorf("latency = %v, want 1.0", v.Get(Latency))
+	}
+	if v.Get(Throughput) != 1.0 {
+		t.Errorf("throughput = %v, want 1.0 (2 queries / 2s)", v.Get(Throughput))
+	}
+	if v.Get(PageAccesses) != 5.0 {
+		t.Errorf("page accesses = %v, want 5.0/s", v.Get(PageAccesses))
+	}
+	if v.Get(BufferMisses) != 2.5 {
+		t.Errorf("misses = %v, want 2.5/s", v.Get(BufferMisses))
+	}
+	if v.Get(IORequests) != 2.0 {
+		t.Errorf("io = %v, want 2.0/s", v.Get(IORequests))
+	}
+	if v.Get(ReadAhead) != 1.0 {
+		t.Errorf("readahead = %v, want 1.0/s", v.Get(ReadAhead))
+	}
+}
+
+func TestCollectorSnapshotResets(t *testing.T) {
+	c := NewCollector()
+	c.RecordQuery(best, 1)
+	c.Snapshot(1)
+	snap := c.Snapshot(1)
+	if v := snap[best]; v.Get(Throughput) != 0 {
+		t.Errorf("second snapshot not reset: throughput = %v", v.Get(Throughput))
+	}
+}
+
+func TestCollectorIdleClassStillReported(t *testing.T) {
+	c := NewCollector()
+	c.RecordQuery(best, 1)
+	c.Snapshot(1)
+	snap := c.Snapshot(1)
+	if _, ok := snap[best]; !ok {
+		t.Fatal("idle class dropped from snapshot")
+	}
+}
+
+func TestCollectorZeroIntervalDoesNotPanic(t *testing.T) {
+	c := NewCollector()
+	c.RecordQuery(best, 1)
+	snap := c.Snapshot(0)
+	if snap[best].Get(Throughput) != 1 {
+		t.Errorf("zero interval should be clamped to 1s")
+	}
+}
+
+func TestCollectorTracksMultipleClasses(t *testing.T) {
+	c := NewCollector()
+	c.RecordQuery(best, 1)
+	c.RecordQuery(newp, 2)
+	c.RecordQuery(sibr, 3)
+	if got := len(c.Classes()); got != 3 {
+		t.Fatalf("Classes() = %d entries, want 3", got)
+	}
+	snap := c.Snapshot(1)
+	if snap[newp].Get(Latency) != 2 || snap[sibr].Get(Latency) != 3 {
+		t.Error("per-class latency mixed up between classes")
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	want := map[Metric]string{
+		Latency: "latency", Throughput: "throughput", BufferMisses: "misses",
+		PageAccesses: "page_accesses", IORequests: "io_requests", ReadAhead: "read_ahead",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if Metric(99).String() != "metric(99)" {
+		t.Errorf("out-of-range metric string = %q", Metric(99).String())
+	}
+}
+
+func TestMemoryMetricsMatchPaper(t *testing.T) {
+	// §3.3.1: "outlier detection on the memory related counters, such as
+	// page accesses, page misses and read-ahead".
+	want := map[Metric]bool{PageAccesses: true, BufferMisses: true, ReadAhead: true}
+	if len(MemoryMetrics) != len(want) {
+		t.Fatalf("MemoryMetrics = %v", MemoryMetrics)
+	}
+	for _, m := range MemoryMetrics {
+		if !want[m] {
+			t.Errorf("unexpected memory metric %v", m)
+		}
+	}
+}
+
+func TestLogBufferFlushesWhenFull(t *testing.T) {
+	var flushed [][]Record
+	b := NewLogBuffer(3, func(batch []Record) {
+		cp := make([]Record, len(batch))
+		copy(cp, batch)
+		flushed = append(flushed, cp)
+	})
+	for i := 0; i < 7; i++ {
+		b.Append(Record{Kind: RecAccess, Class: best, Value: float64(i)})
+	}
+	if len(flushed) != 2 {
+		t.Fatalf("flushes = %d, want 2 (two full batches of 3)", len(flushed))
+	}
+	if b.Len() != 1 {
+		t.Fatalf("buffered = %d, want 1 leftover", b.Len())
+	}
+	b.Flush()
+	if len(flushed) != 3 || len(flushed[2]) != 1 {
+		t.Fatalf("final flush wrong: %d batches", len(flushed))
+	}
+	b.Flush() // empty flush is a no-op
+	if b.Flushes() != 3 {
+		t.Fatalf("Flushes() = %d, want 3", b.Flushes())
+	}
+}
+
+func TestLogBufferDrainIntoCollector(t *testing.T) {
+	c := NewCollector()
+	b := NewLogBuffer(2, Drain(c))
+	b.Append(Record{Kind: RecQuery, Class: best, Value: 0.25})
+	b.Append(Record{Kind: RecAccess, Class: best, Value: 7, Miss: true})
+	b.Append(Record{Kind: RecIO, Class: best, Value: 3})
+	b.Append(Record{Kind: RecReadAhead, Class: best, Value: 5})
+	b.Flush()
+	snap := c.Snapshot(1)
+	v := snap[best]
+	if v.Get(Latency) != 0.25 || v.Get(BufferMisses) != 1 || v.Get(IORequests) != 3 || v.Get(ReadAhead) != 5 {
+		t.Fatalf("drained vector wrong: %+v", v)
+	}
+}
+
+func TestAccessWindowOrderAndEviction(t *testing.T) {
+	w := NewAccessWindow(4)
+	for i := uint64(1); i <= 6; i++ {
+		w.Add(i)
+	}
+	got := w.Snapshot()
+	want := []uint64{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", got, want)
+		}
+	}
+	if w.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", w.Total())
+	}
+	w.Reset()
+	if w.Len() != 0 || len(w.Snapshot()) != 0 {
+		t.Fatal("Reset did not clear window")
+	}
+}
+
+func TestAccessWindowPartialFill(t *testing.T) {
+	w := NewAccessWindow(10)
+	w.Add(42)
+	w.Add(43)
+	got := w.Snapshot()
+	if len(got) != 2 || got[0] != 42 || got[1] != 43 {
+		t.Fatalf("partial snapshot = %v", got)
+	}
+}
+
+func TestAccessWindowProperty(t *testing.T) {
+	// The snapshot is always the last min(n, cap) values in order.
+	f := func(vals []uint64) bool {
+		const capacity = 8
+		w := NewAccessWindow(capacity)
+		for _, v := range vals {
+			w.Add(v)
+		}
+		got := w.Snapshot()
+		start := 0
+		if len(vals) > capacity {
+			start = len(vals) - capacity
+		}
+		want := vals[start:]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

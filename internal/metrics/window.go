@@ -1,0 +1,52 @@
+package metrics
+
+// AccessWindow keeps the most recent page accesses issued on behalf of one
+// query class (§3.3: "a window of the most recent page accesses issued by
+// the DBMS on behalf of the queries belonging to each specific query
+// class"). MRC recomputation upon an SLA violation replays this window.
+type AccessWindow struct {
+	buf   []uint64
+	head  int
+	size  int
+	total int64
+}
+
+// NewAccessWindow returns a window holding up to capacity page numbers
+// (minimum 1).
+func NewAccessWindow(capacity int) *AccessWindow {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &AccessWindow{buf: make([]uint64, capacity)}
+}
+
+// Add appends a page access, evicting the oldest when full.
+func (w *AccessWindow) Add(page uint64) {
+	w.buf[w.head] = page
+	w.head = (w.head + 1) % len(w.buf)
+	if w.size < len(w.buf) {
+		w.size++
+	}
+	w.total++
+}
+
+// Len reports the number of accesses currently retained.
+func (w *AccessWindow) Len() int { return w.size }
+
+// Total reports the number of accesses ever added.
+func (w *AccessWindow) Total() int64 { return w.total }
+
+// Snapshot returns the retained accesses in arrival order (oldest first).
+func (w *AccessWindow) Snapshot() []uint64 {
+	out := make([]uint64, 0, w.size)
+	if w.size < len(w.buf) {
+		return append(out, w.buf[:w.size]...)
+	}
+	out = append(out, w.buf[w.head:]...)
+	return append(out, w.buf[:w.head]...)
+}
+
+// Reset discards all retained accesses but keeps the capacity.
+func (w *AccessWindow) Reset() {
+	w.head, w.size = 0, 0
+}

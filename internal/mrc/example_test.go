@@ -1,0 +1,45 @@
+package mrc_test
+
+import (
+	"fmt"
+
+	"outlierlb/internal/mrc"
+)
+
+// A repeated scan over 100 pages hits only once the whole set fits: the
+// curve is a cliff at 100 pages.
+func ExampleCompute() {
+	var trace []uint64
+	for rep := 0; rep < 10; rep++ {
+		for p := uint64(0); p < 100; p++ {
+			trace = append(trace, p)
+		}
+	}
+	curve := mrc.Compute(trace)
+	fmt.Printf("MR(50)=%.2f MR(100)=%.2f\n", curve.MissRatio(50), curve.MissRatio(100))
+
+	params := curve.ParamsFor(8192, mrc.DefaultThreshold)
+	fmt.Printf("total=%d acceptable=%d\n", params.TotalMemory, params.AcceptableMemory)
+	// Output:
+	// MR(50)=1.00 MR(100)=0.10
+	// total=100 acceptable=100
+}
+
+// Stack distances: a page re-accessed after k-1 other distinct pages has
+// distance k; first references are cold misses.
+func ExampleStackSimulator() {
+	s := mrc.NewStackSimulator()
+	for _, p := range []uint64{1, 2, 3, 1} {
+		d := s.Access(p)
+		if d == mrc.ColdMiss {
+			fmt.Printf("page %d: cold\n", p)
+		} else {
+			fmt.Printf("page %d: distance %d\n", p, d)
+		}
+	}
+	// Output:
+	// page 1: cold
+	// page 2: cold
+	// page 3: cold
+	// page 1: distance 3
+}

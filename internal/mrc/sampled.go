@@ -1,0 +1,106 @@
+package mrc
+
+import "math"
+
+// SampledSimulator approximates the miss-ratio curve by spatial sampling
+// (the SHARDS idea): only pages whose hash falls under a threshold are
+// tracked in an exact stack simulator, and observed stack distances are
+// scaled up by the inverse sampling rate. With rate R, time and space
+// drop by ~1/R while the curve stays accurate for all but the smallest
+// caches — making always-on MRC tracking cheap enough for production
+// engines, strengthening the paper's "negligible overhead" claim.
+//
+// Accuracy caveat: the estimator treats the sampled page subset as
+// popularity-representative of the population. On traces whose mass is
+// concentrated in a handful of pages (strong per-page rank skew), a low
+// rate either includes or misses those pages and the estimate biases
+// toward the sampled subset's own, typically colder, behaviour. Use
+// higher rates (≥0.25) for strongly skewed classes, or the exact
+// StackSimulator when its cost is acceptable.
+type SampledSimulator struct {
+	rate      float64
+	threshold uint64
+	inner     *StackSimulator
+	total     int64
+}
+
+// NewSampledSimulator returns a simulator sampling the given fraction of
+// the page population (clamped to (0, 1]).
+func NewSampledSimulator(rate float64) *SampledSimulator {
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	threshold := uint64(math.MaxUint64)
+	if rate < 1 {
+		threshold = uint64(rate * float64(math.MaxUint64))
+	}
+	return &SampledSimulator{
+		rate:      rate,
+		threshold: threshold,
+		inner:     NewStackSimulator(),
+	}
+}
+
+// Rate reports the sampling rate.
+func (s *SampledSimulator) Rate() float64 { return s.rate }
+
+// hash64 is SplitMix64's finalizer: a fast, well-mixed page hash.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Access records one page reference. Unsampled pages only bump the
+// access count.
+func (s *SampledSimulator) Access(page uint64) {
+	s.total++
+	if hash64(page) <= s.threshold {
+		s.inner.Access(page)
+	}
+}
+
+// Total reports all accesses seen (sampled or not).
+func (s *SampledSimulator) Total() int64 { return s.total }
+
+// Sampled reports how many accesses were tracked exactly.
+func (s *SampledSimulator) Sampled() int64 { return s.inner.Total() }
+
+// Curve scales the sampled stack-distance histogram back to the full
+// page population: a sampled reuse at distance d corresponds to a true
+// distance of ~d/rate, each sampled hit stands for ~1/rate hits, and —
+// crucially — the access total is likewise estimated as the sampled
+// access count over the rate. Using the true total instead would bias
+// the ratios whenever the sampled page subset's popularity share differs
+// from the page-count share (it always does on skewed traces).
+func (s *SampledSimulator) Curve() *Curve {
+	sampledHist := s.inner.Histogram()
+	estTotal := int64(math.Round(float64(s.inner.Total()) / s.rate))
+	if len(sampledHist) == 0 || estTotal == 0 {
+		return newCurve(nil, estTotal)
+	}
+	scale := 1 / s.rate
+	maxDist := int(math.Ceil(float64(len(sampledHist))*scale)) + 1
+	hist := make([]int64, maxDist)
+	for d, n := range sampledHist {
+		if n == 0 {
+			continue
+		}
+		// A sampled distance of k means the page itself plus k-1 other
+		// sampled pages were touched since its last use; those k-1 stand
+		// for ~(k-1)/rate distinct pages in the full stream.
+		full := 1 + int(math.Round(float64(d)*scale))
+		if full > maxDist {
+			full = maxDist
+		}
+		hist[full-1] += int64(math.Round(float64(n) * scale))
+	}
+	return newCurve(hist, estTotal)
+}
+
+// Reset clears all state.
+func (s *SampledSimulator) Reset() {
+	s.inner.Reset()
+	s.total = 0
+}

@@ -1,0 +1,173 @@
+package mrc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func zipfTrace(seed int64, span uint64, skew float64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, skew, 1, span-1)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+func uniformTrace(seed int64, span uint64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(rng.Intn(int(span)))
+	}
+	return out
+}
+
+func TestSampledMatchesExactOnUniform(t *testing.T) {
+	// On popularity-representative traces the estimator is essentially
+	// exact (see the SampledSimulator doc for the skew caveat).
+	trace := uniformTrace(7, 20000, 400000)
+	exact := NewStackSimulator()
+	sampled := NewSampledSimulator(0.25)
+	for _, p := range trace {
+		exact.Access(p)
+		sampled.Access(p)
+	}
+	ec, sc := exact.Curve(), sampled.Curve()
+	for _, m := range []int{500, 1000, 2000, 4000, 8000, 16000, 20000} {
+		e, s := ec.MissRatio(m), sc.MissRatio(m)
+		if math.Abs(e-s) > 0.02 {
+			t.Errorf("MR(%d): exact %.3f vs sampled %.3f", m, e, s)
+		}
+	}
+}
+
+func TestSampledSkewCaveatBounded(t *testing.T) {
+	// On rank-skewed traces the sampled subset is typically colder than
+	// the population; the documented caveat promises the error stays
+	// bounded at moderate rates.
+	trace := zipfTrace(7, 20000, 1.05, 400000)
+	exact := NewStackSimulator()
+	sampled := NewSampledSimulator(0.25)
+	for _, p := range trace {
+		exact.Access(p)
+		sampled.Access(p)
+	}
+	ec, sc := exact.Curve(), sampled.Curve()
+	for _, m := range []int{1000, 4000, 16000} {
+		e, s := ec.MissRatio(m), sc.MissRatio(m)
+		if math.Abs(e-s) > 0.15 {
+			t.Errorf("MR(%d): exact %.3f vs sampled %.3f beyond documented bound", m, e, s)
+		}
+	}
+}
+
+func TestSampledParamsCloseToExact(t *testing.T) {
+	trace := uniformTrace(11, 9000, 300000)
+	exact := Compute(trace)
+	sampled := NewSampledSimulator(0.25)
+	for _, p := range trace {
+		sampled.Access(p)
+	}
+	pe := exact.ParamsFor(8192, DefaultThreshold)
+	ps := sampled.Curve().ParamsFor(8192, DefaultThreshold)
+
+	relErr := func(a, b int) float64 {
+		if a == 0 {
+			return 0
+		}
+		return math.Abs(float64(a-b)) / float64(a)
+	}
+	if relErr(pe.AcceptableMemory, ps.AcceptableMemory) > 0.30 {
+		t.Errorf("acceptable memory: exact %d vs sampled %d", pe.AcceptableMemory, ps.AcceptableMemory)
+	}
+	if math.Abs(pe.IdealMissRatio-ps.IdealMissRatio) > 0.08 {
+		t.Errorf("ideal MR: exact %.3f vs sampled %.3f", pe.IdealMissRatio, ps.IdealMissRatio)
+	}
+}
+
+func TestSampledTracksFractionOfAccesses(t *testing.T) {
+	s := NewSampledSimulator(0.1)
+	trace := zipfTrace(3, 50000, 1.05, 200000)
+	for _, p := range trace {
+		s.Access(p)
+	}
+	if s.Total() != 200000 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	frac := float64(s.Sampled()) / float64(s.Total())
+	// Spatial sampling tracks ~rate of the page population; on a skewed
+	// trace the tracked access share deviates from the page share, but
+	// must stay within sane bounds.
+	if frac < 0.02 || frac > 0.5 {
+		t.Fatalf("sampled fraction = %.3f", frac)
+	}
+	if s.Rate() != 0.1 {
+		t.Fatalf("Rate = %v", s.Rate())
+	}
+}
+
+func TestSampledCurveMonotone(t *testing.T) {
+	s := NewSampledSimulator(0.2)
+	for _, p := range zipfTrace(5, 5000, 1.2, 100000) {
+		s.Access(p)
+	}
+	c := s.Curve()
+	prev := 1.1
+	for m := 0; m <= c.MaxMemory(); m += 50 {
+		mr := c.MissRatio(m)
+		if mr > prev+1e-9 {
+			t.Fatalf("sampled curve not non-increasing at m=%d", m)
+		}
+		prev = mr
+	}
+}
+
+func TestSampledDegenerateInputs(t *testing.T) {
+	s := NewSampledSimulator(0)
+	if s.Rate() != 1 {
+		t.Fatal("zero rate not clamped to 1")
+	}
+	s = NewSampledSimulator(2)
+	if s.Rate() != 1 {
+		t.Fatal("rate > 1 not clamped")
+	}
+	empty := NewSampledSimulator(0.5)
+	c := empty.Curve()
+	if c.Total() != 0 || c.MissRatio(10) != 0 {
+		t.Fatal("empty sampled curve wrong")
+	}
+	empty.Access(1)
+	empty.Reset()
+	if empty.Total() != 0 || empty.Sampled() != 0 {
+		t.Fatal("Reset left state")
+	}
+}
+
+func TestSampledRateOneIsExact(t *testing.T) {
+	trace := zipfTrace(9, 2000, 1.3, 50000)
+	exact := NewStackSimulator()
+	full := NewSampledSimulator(1)
+	for _, p := range trace {
+		exact.Access(p)
+		full.Access(p)
+	}
+	ec, fc := exact.Curve(), full.Curve()
+	for m := 0; m <= ec.MaxMemory(); m += 100 {
+		if math.Abs(ec.MissRatio(m)-fc.MissRatio(m)) > 1e-9 {
+			t.Fatalf("rate-1 sampled diverges from exact at m=%d", m)
+		}
+	}
+}
+
+func BenchmarkSampledAccess(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(rng, 1.2, 1, 1<<16)
+	s := NewSampledSimulator(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(z.Uint64())
+	}
+}

@@ -1,0 +1,180 @@
+// Package planner compiles declarative queries over a catalog.Schema
+// into executable query-class specifications: a page-access generator,
+// a per-query page count, and a CPU estimate. The planner picks between
+// an index plan and a full scan the way a cost-based optimizer would, so
+// dropping an index (§5.3) changes the compiled plan — and with it the
+// class's page-access pattern, read-ahead behaviour and miss-ratio curve
+// — without any hand-authored pattern edits.
+package planner
+
+import (
+	"fmt"
+
+	"outlierlb/internal/catalog"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/trace"
+)
+
+// QueryKind is the shape of a query.
+type QueryKind int
+
+// The supported query shapes.
+const (
+	// PointLookup fetches one row by key.
+	PointLookup QueryKind = iota
+	// RangeScan fetches Selectivity of the table's rows in key order.
+	RangeScan
+	// FullScan reads the whole table.
+	FullScan
+)
+
+// Query is a declarative query over one table.
+type Query struct {
+	// Table names the queried table.
+	Table string
+	// Kind is the query shape.
+	Kind QueryKind
+	// Selectivity is the fraction of rows a RangeScan touches (0..1].
+	Selectivity float64
+	// HotSkew, when > 1, draws point-lookup keys from a Zipf
+	// distribution with this skew (front of the table hottest);
+	// otherwise keys are uniform.
+	HotSkew float64
+	// CPUPerRow is the per-row processing cost in seconds. Defaults to
+	// 2 µs.
+	CPUPerRow float64
+}
+
+// Plan is a compiled, executable query plan.
+type Plan struct {
+	// Access describes the plan ("index O_DATE range scan" / "full scan
+	// of order_line").
+	Access string
+	// PagesPerQuery is the number of page accesses one execution issues.
+	PagesPerQuery int
+	// CPUPerQuery is the estimated CPU seconds per execution.
+	CPUPerQuery float64
+	// Pattern generates the page reference stream.
+	Pattern trace.Generator
+	// UsedIndex names the index the plan traverses, if any.
+	UsedIndex string
+}
+
+// Compile picks the cheapest available plan for q against the schema.
+// Each call derives independent generator state from rng.
+func Compile(q Query, s *catalog.Schema, rng *sim.RNG) (*Plan, error) {
+	t, ok := s.Table(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("planner: unknown table %q", q.Table)
+	}
+	cpuRow := q.CPUPerRow
+	if cpuRow <= 0 {
+		cpuRow = 2e-6
+	}
+	ix, hasIndex := s.IndexOn(q.Table)
+
+	switch q.Kind {
+	case PointLookup:
+		if hasIndex {
+			return pointViaIndex(t, ix, q, cpuRow, rng), nil
+		}
+		// No index: a point lookup degenerates to a full scan that stops
+		// halfway on average.
+		p := fullScan(t, cpuRow)
+		p.PagesPerQuery = int(t.Pages()/2) + 1
+		p.Access = "full scan (no index) of " + t.Name
+		return p, nil
+
+	case RangeScan:
+		sel := q.Selectivity
+		if sel <= 0 || sel > 1 {
+			return nil, fmt.Errorf("planner: range scan needs selectivity in (0,1], got %v", sel)
+		}
+		if hasIndex {
+			p := rangeViaIndex(t, ix, sel, cpuRow, rng)
+			// A cost-based choice: an unclustered index touching more
+			// pages than the table itself loses to the full scan.
+			if full := fullScan(t, cpuRow); p.PagesPerQuery > full.PagesPerQuery {
+				return full, nil
+			}
+			return p, nil
+		}
+		return fullScan(t, cpuRow), nil
+
+	case FullScan:
+		return fullScan(t, cpuRow), nil
+	}
+	return nil, fmt.Errorf("planner: unknown query kind %d", q.Kind)
+}
+
+// pointViaIndex: root-to-leaf traversal plus one table page.
+func pointViaIndex(t *catalog.Table, ix *catalog.Index, q Query, cpuRow float64, rng *sim.RNG) *Plan {
+	pages := ix.Height() + 1
+	var keyGen trace.Generator
+	if q.HotSkew > 1 {
+		keyGen = trace.NewZipfSet(rng.Fork(), t.BasePage, t.Pages(), q.HotSkew)
+	} else {
+		keyGen = trace.NewUniformSet(rng.Fork(), t.BasePage, t.Pages())
+	}
+	// The traversal touches the index's upper levels (hot, tiny) and a
+	// leaf + table page chosen by the key distribution.
+	upper := trace.NewZipfSet(rng.Fork(), ix.BasePage, uint64(ix.Height()*4), 1.8)
+	leaf := trace.NewUniformSet(rng.Fork(), ix.BasePage+16, ix.LeafPages())
+	mix, err := trace.NewMixture(rng.Fork(),
+		[]trace.Generator{upper, leaf, keyGen},
+		[]float64{float64(ix.Height() - 1), 1, 1}, 1)
+	if err != nil {
+		panic(err) // static construction cannot fail
+	}
+	return &Plan{
+		Access:        fmt.Sprintf("index %s point lookup on %s", ix.Name, t.Name),
+		PagesPerQuery: pages,
+		CPUPerQuery:   cpuRow * 4, // key compare + row fetch
+		Pattern:       mix,
+		UsedIndex:     ix.Name,
+	}
+}
+
+// rangeViaIndex: traversal plus consecutive leaves; clustered indexes
+// then read consecutive table pages, unclustered ones hop randomly.
+func rangeViaIndex(t *catalog.Table, ix *catalog.Index, sel, cpuRow float64, rng *sim.RNG) *Plan {
+	rows := float64(t.Rows) * sel
+	leaves := int(rows/float64(ix.Fanout())) + 1
+	var tablePages int
+	var tableGen trace.Generator
+	if ix.Clustered {
+		// Repeated executions of the same predicate re-read the same
+		// key range (e.g. BestSeller's most recent orders), so the scan
+		// cycles within the selected pages, not the whole table.
+		tablePages = int(rows/float64(t.RowsPerPage())) + 1
+		tableGen = &trace.SequentialScan{Base: t.BasePage, Span: uint64(tablePages)}
+	} else {
+		// One table page per row, in key (not table) order.
+		tablePages = int(rows)
+		tableGen = trace.NewUniformSet(rng.Fork(), t.BasePage, t.Pages())
+	}
+	leafGen := &trace.SequentialScan{Base: ix.BasePage + 16, Span: uint64(leaves)}
+	mix, err := trace.NewMixture(rng.Fork(),
+		[]trace.Generator{leafGen, tableGen},
+		[]float64{float64(leaves), float64(tablePages)}, 16)
+	if err != nil {
+		panic(err)
+	}
+	return &Plan{
+		Access:        fmt.Sprintf("index %s range scan (sel %.3f) on %s", ix.Name, sel, t.Name),
+		PagesPerQuery: ix.Height() - 1 + leaves + tablePages,
+		CPUPerQuery:   rows * cpuRow,
+		Pattern:       mix,
+		UsedIndex:     ix.Name,
+	}
+}
+
+// fullScan reads every table page sequentially (triggering read-ahead).
+func fullScan(t *catalog.Table, cpuRow float64) *Plan {
+	return &Plan{
+		Access:        "full scan of " + t.Name,
+		PagesPerQuery: int(t.Pages()),
+		CPUPerQuery:   float64(t.Rows) * cpuRow,
+		Pattern:       &trace.SequentialScan{Base: t.BasePage, Span: t.Pages()},
+	}
+}

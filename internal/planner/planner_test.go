@@ -1,0 +1,169 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"outlierlb/internal/catalog"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/trace"
+)
+
+func schemaWithIndex(t *testing.T) *catalog.Schema {
+	t.Helper()
+	s := catalog.NewSchema(0)
+	if _, err := s.AddTable("order_line", 3_000_000, 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("O_DATE", "order_line", 16, true); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPointLookupUsesIndex(t *testing.T) {
+	s := schemaWithIndex(t)
+	p, err := Compile(Query{Table: "order_line", Kind: PointLookup}, s, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedIndex != "O_DATE" {
+		t.Fatalf("plan did not use the index: %+v", p)
+	}
+	// Height+1 pages: a handful, nothing like a scan.
+	if p.PagesPerQuery < 2 || p.PagesPerQuery > 8 {
+		t.Fatalf("point lookup touches %d pages", p.PagesPerQuery)
+	}
+}
+
+func TestRangeScanPrefersClusteredIndex(t *testing.T) {
+	s := schemaWithIndex(t)
+	p, err := Compile(Query{Table: "order_line", Kind: RangeScan, Selectivity: 0.01}, s, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedIndex != "O_DATE" {
+		t.Fatalf("range scan skipped the index: %s", p.Access)
+	}
+	tab, _ := s.Table("order_line")
+	if p.PagesPerQuery >= int(tab.Pages()) {
+		t.Fatalf("indexed range scan reads %d pages, table has %d", p.PagesPerQuery, tab.Pages())
+	}
+}
+
+func TestDropIndexChangesPlan(t *testing.T) {
+	s := schemaWithIndex(t)
+	rng := sim.NewRNG(1)
+	before, err := Compile(Query{Table: "order_line", Kind: RangeScan, Selectivity: 0.01}, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropIndex("O_DATE"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Compile(Query{Table: "order_line", Kind: RangeScan, Selectivity: 0.01}, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after.Access, "full scan") {
+		t.Fatalf("post-drop plan = %q, want full scan", after.Access)
+	}
+	// The §5.3 signature: far more pages per query after the drop.
+	if after.PagesPerQuery < 10*before.PagesPerQuery {
+		t.Fatalf("drop changed pages %d -> %d; want an order of magnitude",
+			before.PagesPerQuery, after.PagesPerQuery)
+	}
+	// And a sequential pattern that will trigger read-ahead.
+	pages := trace.Generate(after.Pattern, 100)
+	runs := 0
+	for i := 1; i < len(pages); i++ {
+		if pages[i] == pages[i-1]+1 {
+			runs++
+		}
+	}
+	if runs < 90 {
+		t.Fatalf("full scan not sequential: %d/99 consecutive steps", runs)
+	}
+}
+
+func TestUnclusteredRangeScanLosesToFullScanWhenWide(t *testing.T) {
+	s := catalog.NewSchema(0)
+	if _, err := s.AddTable("items", 1_000_000, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("sec", "items", 16, false); err != nil {
+		t.Fatal(err)
+	}
+	// 80% selectivity through an unclustered index would touch ~800k
+	// random pages; the optimizer must pick the full scan.
+	p, err := Compile(Query{Table: "items", Kind: RangeScan, Selectivity: 0.8}, s, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Access, "full scan") {
+		t.Fatalf("optimizer kept the unclustered index: %s", p.Access)
+	}
+	// A narrow range through the same index wins.
+	narrow, err := Compile(Query{Table: "items", Kind: RangeScan, Selectivity: 0.0001}, s, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.UsedIndex != "sec" {
+		t.Fatalf("narrow range skipped the index: %s", narrow.Access)
+	}
+}
+
+func TestPointLookupWithoutIndexDegenerates(t *testing.T) {
+	s := catalog.NewSchema(0)
+	if _, err := s.AddTable("heap", 500_000, 100); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(Query{Table: "heap", Kind: PointLookup}, s, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := s.Table("heap")
+	if p.PagesPerQuery < int(tab.Pages())/4 {
+		t.Fatalf("unindexed point lookup touches only %d pages", p.PagesPerQuery)
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	s := schemaWithIndex(t)
+	rng := sim.NewRNG(1)
+	if _, err := Compile(Query{Table: "ghost", Kind: PointLookup}, s, rng); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := Compile(Query{Table: "order_line", Kind: RangeScan, Selectivity: 0}, s, rng); err == nil {
+		t.Fatal("zero selectivity accepted")
+	}
+	if _, err := Compile(Query{Table: "order_line", Kind: RangeScan, Selectivity: 1.5}, s, rng); err == nil {
+		t.Fatal("selectivity > 1 accepted")
+	}
+	if _, err := Compile(Query{Table: "order_line", Kind: QueryKind(99)}, s, rng); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestHotSkewConcentratesLookups(t *testing.T) {
+	s := schemaWithIndex(t)
+	p, err := Compile(Query{Table: "order_line", Kind: PointLookup, HotSkew: 1.6}, s, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := s.Table("order_line")
+	pages := trace.Generate(p.Pattern, 30000)
+	front, back := 0, 0
+	for _, pg := range pages {
+		if pg >= tab.BasePage && pg < tab.BasePage+tab.Pages() {
+			if pg < tab.BasePage+tab.Pages()/10 {
+				front++
+			} else if pg >= tab.BasePage+tab.Pages()*9/10 {
+				back++
+			}
+		}
+	}
+	if front <= 3*back {
+		t.Fatalf("hot skew not concentrating: front %d vs back %d", front, back)
+	}
+}

@@ -1,0 +1,130 @@
+// Package plot renders small ASCII charts for the command-line tools:
+// time series (Figure 3's load/allocation/latency panels) and bar-style
+// curves, with no dependencies beyond the standard library.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a time-series chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// TimeSeries renders series against a shared x axis as a height-rows
+// ASCII chart. Each series uses its own glyph; y is scaled to the global
+// min/max. Values slices shorter than xs are padded with NaN (gaps).
+func TimeSeries(xs []float64, series []Series, width, height int) string {
+	if len(xs) == 0 || len(series) == 0 {
+		return "(no data)\n"
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#'}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int {
+		if len(xs) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(xs) - 1)
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := height - 1 - int(math.Round(frac*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := 0; i < len(xs) && i < len(s.Values); i++ {
+			v := s.Values[i]
+			if math.IsNaN(v) {
+				continue
+			}
+			grid[row(v)][col(i)] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", hi, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s ┤%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", lo, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s   %-12.4g%*.4g\n", "", xs[0], width-12, xs[len(xs)-1])
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%10s   %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// Bars renders label/value pairs as horizontal bars scaled to the widest
+// value.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return "(no data)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	wLabel := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > wLabel {
+			wLabel = len(labels[i])
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(v / max * float64(width)))
+		fmt.Fprintf(&b, "%-*s %s %.4g\n", wLabel, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimeSeriesRenders(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	out := TimeSeries(xs, []Series{
+		{Name: "latency", Values: []float64{0.1, 0.2, 0.9, 0.3, 0.1}},
+		{Name: "machines", Values: []float64{1, 1, 2, 2, 1}},
+	}, 40, 8)
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "machines") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+3 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTimeSeriesDegenerate(t *testing.T) {
+	if out := TimeSeries(nil, nil, 40, 8); !strings.Contains(out, "no data") {
+		t.Fatal("empty input not handled")
+	}
+	out := TimeSeries([]float64{1}, []Series{{Name: "x", Values: []float64{5}}}, 2, 2)
+	if !strings.Contains(out, "x") {
+		t.Fatalf("single point failed:\n%s", out)
+	}
+	// All-NaN series.
+	out = TimeSeries([]float64{1, 2}, []Series{{Name: "x", Values: []float64{math.NaN(), math.NaN()}}}, 20, 4)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("all-NaN not handled")
+	}
+	// Constant series (zero range).
+	out = TimeSeries([]float64{1, 2}, []Series{{Name: "x", Values: []float64{3, 3}}}, 20, 4)
+	if !strings.Contains(out, "x") {
+		t.Fatal("constant series failed")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"shared", "partitioned"}, []float64{89.0, 97.8}, 30)
+	if !strings.Contains(out, "shared") || !strings.Contains(out, "97.8") {
+		t.Fatalf("bars missing content:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "█") >= strings.Count(lines[1], "█") {
+		t.Fatalf("bar lengths not ordered:\n%s", out)
+	}
+	if out := Bars(nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Fatal("empty bars not handled")
+	}
+	if out := Bars([]string{"a"}, []float64{0}, 10); !strings.Contains(out, "a") {
+		t.Fatal("zero values broke bars")
+	}
+}

@@ -1,0 +1,191 @@
+// Package server models the physical machines of the database tier: CPU
+// cores, physical memory, and a disk reached through a shared I/O channel.
+//
+// Each machine either hosts database engines directly on the native OS or
+// hosts several Xen-style virtual machines. Crucially for the paper's §5.5
+// experiment, VMs provide fault isolation but NOT performance isolation
+// for I/O: every domain's disk requests funnel through the driver domain
+// (dom-0), so two I/O-intensive VMs on one box contend even though each
+// has its own virtual disk. The model reproduces that by giving each
+// physical server a single storage.Disk that all hosted VMs share.
+package server
+
+import (
+	"fmt"
+
+	"outlierlb/internal/storage"
+)
+
+// Config describes a physical server.
+type Config struct {
+	// Name identifies the server in reports.
+	Name string
+	// Cores is the number of CPU cores (the paper's boxes have 4).
+	Cores int
+	// MemoryPages is the physical memory in buffer-pool pages.
+	MemoryPages int
+	// Disk parameters for the shared I/O channel (dom-0).
+	Disk storage.Params
+}
+
+// Server is one physical machine. It is driven from the single-threaded
+// simulation loop and is not safe for concurrent use.
+type Server struct {
+	cfg      Config
+	lanes    []float64 // per-core virtual time when the core frees up
+	disk     *storage.Disk
+	busy     float64 // cumulative core-seconds consumed
+	busyMark float64 // busy value at last interval reset
+	lastObs  float64 // time of last interval reset
+	vms      []*VM
+}
+
+// New returns a server. Cores and MemoryPages must be positive.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("server %q: cores must be positive, got %d", cfg.Name, cfg.Cores)
+	}
+	if cfg.MemoryPages <= 0 {
+		return nil, fmt.Errorf("server %q: memory must be positive, got %d", cfg.Name, cfg.MemoryPages)
+	}
+	if cfg.Disk == (storage.Params{}) {
+		cfg.Disk = storage.DefaultParams()
+	}
+	disk, err := storage.NewDisk(cfg.Disk)
+	if err != nil {
+		return nil, fmt.Errorf("server %q: %w", cfg.Name, err)
+	}
+	return &Server{cfg: cfg, lanes: make([]float64, cfg.Cores), disk: disk}, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the configured server name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Cores returns the core count.
+func (s *Server) Cores() int { return s.cfg.Cores }
+
+// MemoryPages returns the physical memory in pages.
+func (s *Server) MemoryPages() int { return s.cfg.MemoryPages }
+
+// Disk returns the shared I/O channel (dom-0) of this server.
+func (s *Server) Disk() *storage.Disk { return s.disk }
+
+// RunCPU schedules work seconds of CPU on the least-loaded core starting
+// no earlier than now and returns the completion time. The model treats
+// each core as a FIFO run queue, which reproduces saturation: once the
+// offered load exceeds Cores core-seconds per second, completion times
+// fall behind arrival times and latencies grow without bound.
+func (s *Server) RunCPU(now, work float64) (done float64) {
+	if work < 0 {
+		work = 0
+	}
+	best := 0
+	for i := 1; i < len(s.lanes); i++ {
+		if s.lanes[i] < s.lanes[best] {
+			best = i
+		}
+	}
+	start := now
+	if s.lanes[best] > start {
+		start = s.lanes[best]
+	}
+	done = start + work
+	s.lanes[best] = done
+	s.busy += work
+	return done
+}
+
+// CPUQueueDelay reports how long CPU work submitted at now would wait.
+func (s *Server) CPUQueueDelay(now float64) float64 {
+	best := s.lanes[0]
+	for _, l := range s.lanes[1:] {
+		if l < best {
+			best = l
+		}
+	}
+	if best > now {
+		return best - now
+	}
+	return 0
+}
+
+// CPUUtilization reports the mean core utilization since the last call,
+// in [0, 1] — the vmstat-style system metric the paper's provisioning
+// trigger consumes. Calling it resets the observation window.
+func (s *Server) CPUUtilization(now float64) float64 {
+	elapsed := now - s.lastObs
+	if elapsed <= 0 {
+		return 0
+	}
+	used := s.busy - s.busyMark
+	s.busyMark = s.busy
+	s.lastObs = now
+	u := used / (elapsed * float64(s.cfg.Cores))
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// ReadPages performs disk I/O on the server's disk, for engines hosted
+// directly on the native OS (no VM).
+func (s *Server) ReadPages(now float64, class string, pages int) float64 {
+	return s.disk.Read(now, class, pages)
+}
+
+// AddVM attaches a VM to this server and returns it. The memory pages are
+// dedicated to the VM; the VM's I/O goes through the server's shared disk.
+func (s *Server) AddVM(name string, memoryPages int) (*VM, error) {
+	used := 0
+	for _, vm := range s.vms {
+		used += vm.memoryPages
+	}
+	if used+memoryPages > s.cfg.MemoryPages {
+		return nil, fmt.Errorf("server %q: VM %q needs %d pages, only %d free",
+			s.cfg.Name, name, memoryPages, s.cfg.MemoryPages-used)
+	}
+	vm := &VM{name: name, host: s, memoryPages: memoryPages}
+	s.vms = append(s.vms, vm)
+	return vm, nil
+}
+
+// VMs returns the attached virtual machines.
+func (s *Server) VMs() []*VM { return s.vms }
+
+// VM is a Xen-style virtual machine: a memory slice of its host with CPU
+// and I/O delegated to the host (I/O through the shared dom-0 channel).
+type VM struct {
+	name        string
+	host        *Server
+	memoryPages int
+}
+
+// Name returns the VM's name.
+func (v *VM) Name() string { return v.name }
+
+// Host returns the physical server running this VM.
+func (v *VM) Host() *Server { return v.host }
+
+// MemoryPages returns the VM's memory allocation in pages.
+func (v *VM) MemoryPages() int { return v.memoryPages }
+
+// RunCPU delegates CPU scheduling to the host.
+func (v *VM) RunCPU(now, work float64) float64 { return v.host.RunCPU(now, work) }
+
+// ReadPages performs disk I/O through the host's shared dom-0 channel,
+// which is where inter-domain I/O interference arises.
+func (v *VM) ReadPages(now float64, class string, pages int) float64 {
+	return v.host.disk.Read(now, class, pages)
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"testing"
+
+	"outlierlb/internal/storage"
+)
+
+func cfg(name string, cores, mem int) Config {
+	return Config{Name: name, Cores: cores, MemoryPages: mem}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(cfg("s", 0, 100)); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := New(cfg("s", 4, 0)); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+	if _, err := New(Config{Name: "s", Cores: 1, MemoryPages: 1, Disk: storage.Params{Seek: -1}}); err == nil {
+		t.Fatal("bad disk params accepted")
+	}
+	s := MustNew(cfg("db1", 4, 8192))
+	if s.Name() != "db1" || s.Cores() != 4 || s.MemoryPages() != 8192 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestRunCPUSingleCore(t *testing.T) {
+	s := MustNew(cfg("s", 1, 100))
+	if done := s.RunCPU(0, 1); done != 1 {
+		t.Fatalf("first job done = %v", done)
+	}
+	if done := s.RunCPU(0, 1); done != 2 {
+		t.Fatalf("second job done = %v, want queued", done)
+	}
+	if done := s.RunCPU(10, 1); done != 11 {
+		t.Fatalf("late job done = %v, want 11", done)
+	}
+}
+
+func TestRunCPUParallelCores(t *testing.T) {
+	s := MustNew(cfg("s", 4, 100))
+	for i := 0; i < 4; i++ {
+		if done := s.RunCPU(0, 1); done != 1 {
+			t.Fatalf("job %d done = %v, want 1 (parallel cores)", i, done)
+		}
+	}
+	// Fifth job queues behind one of the four.
+	if done := s.RunCPU(0, 1); done != 2 {
+		t.Fatalf("fifth job done = %v, want 2", done)
+	}
+}
+
+func TestRunCPUNegativeWorkClamped(t *testing.T) {
+	s := MustNew(cfg("s", 1, 100))
+	if done := s.RunCPU(3, -5); done != 3 {
+		t.Fatalf("negative work done = %v, want 3", done)
+	}
+}
+
+func TestCPUQueueDelay(t *testing.T) {
+	s := MustNew(cfg("s", 2, 100))
+	s.RunCPU(0, 4)
+	if d := s.CPUQueueDelay(0); d != 0 {
+		t.Fatalf("delay with a free core = %v", d)
+	}
+	s.RunCPU(0, 4)
+	if d := s.CPUQueueDelay(1); d != 3 {
+		t.Fatalf("delay with both cores busy = %v, want 3", d)
+	}
+}
+
+func TestCPUUtilizationWindow(t *testing.T) {
+	s := MustNew(cfg("s", 2, 100))
+	s.RunCPU(0, 1) // one core busy for 1s of a 2-core 1s window
+	if u := s.CPUUtilization(1); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	// Window reset: no new work, next interval is idle.
+	if u := s.CPUUtilization(2); u != 0 {
+		t.Fatalf("second window utilization = %v, want 0", u)
+	}
+	// Saturated: 10 jobs of 1s on 2 cores in a 1s window clamps at 1.
+	for i := 0; i < 10; i++ {
+		s.RunCPU(2, 1)
+	}
+	if u := s.CPUUtilization(3); u != 1 {
+		t.Fatalf("saturated utilization = %v, want 1", u)
+	}
+}
+
+func TestAddVMMemoryAccounting(t *testing.T) {
+	s := MustNew(cfg("s", 4, 1000))
+	vm1, err := s.AddVM("dom1", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Name() != "dom1" || vm1.MemoryPages() != 600 || vm1.Host() != s {
+		t.Fatal("VM accessors wrong")
+	}
+	if _, err := s.AddVM("dom2", 600); err == nil {
+		t.Fatal("overcommitted VM accepted")
+	}
+	if _, err := s.AddVM("dom2", 400); err != nil {
+		t.Fatalf("fitting VM rejected: %v", err)
+	}
+	if len(s.VMs()) != 2 {
+		t.Fatalf("VMs = %d, want 2", len(s.VMs()))
+	}
+}
+
+func TestVMsShareDom0Disk(t *testing.T) {
+	s := MustNew(Config{Name: "s", Cores: 4, MemoryPages: 1000,
+		Disk: storage.Params{Seek: 0.01, PerPage: 0}})
+	vm1, _ := s.AddVM("dom1", 500)
+	vm2, _ := s.AddVM("dom2", 500)
+	d1 := vm1.ReadPages(0, "a", 1)
+	d2 := vm2.ReadPages(0, "b", 1)
+	if d1 != 0.01 {
+		t.Fatalf("dom1 read done = %v", d1)
+	}
+	if d2 != 0.02 {
+		t.Fatalf("dom2 read done = %v, want to queue behind dom1 (shared dom-0)", d2)
+	}
+	if s.Disk().Requests() != 2 {
+		t.Fatalf("dom-0 requests = %d, want 2", s.Disk().Requests())
+	}
+}
+
+func TestVMCPUDelegatesToHost(t *testing.T) {
+	s := MustNew(cfg("s", 1, 1000))
+	vm, _ := s.AddVM("dom1", 500)
+	vm.RunCPU(0, 2)
+	if done := s.RunCPU(0, 1); done != 3 {
+		t.Fatalf("host job after VM job done = %v, want 3 (shared core)", done)
+	}
+}

@@ -1,0 +1,171 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All experiments in this repository run in virtual time: a central event
+// loop pops the earliest pending event, advances the clock to its timestamp
+// and executes its callback. Callbacks may schedule further events. Given
+// the same seed, a simulation is fully deterministic, which makes the
+// reproduction of the paper's measurements repeatable and testable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in seconds since simulation
+// start. Durations are plain float64 seconds as well; the simulation never
+// consults the wall clock.
+type Time float64
+
+// Seconds returns t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Duration converts t to a time.Duration for human-readable reporting.
+func (t Time) Duration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fs", float64(t))
+}
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.Schedule.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among equal timestamps
+	fn     func()
+	idx    int // heap index, -1 when popped or cancelled
+	cancel bool
+}
+
+// Cancel marks the event so its callback will not run. Cancelling an
+// already-executed event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not ready
+// to use; construct engines with NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	nextID uint64
+	rng    *RNG
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Schedule runs fn after delay seconds of virtual time. A negative delay is
+// treated as zero. The returned event may be cancelled.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	ev := &Event{at: e.now + Time(delay), seq: e.nextID, fn: fn}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	return e.Schedule(float64(at-e.now), fn)
+}
+
+// Pending reports the number of events waiting to run (including cancelled
+// events not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step executes the single earliest pending event. It reports false when
+// the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ end, then advances the clock
+// to end. Events scheduled beyond end remain pending.
+func (e *Engine) RunUntil(end Time) {
+	for len(e.queue) > 0 {
+		// Peek at the head, skipping cancelled events.
+		head := e.queue[0]
+		if head.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if head.at > end {
+			break
+		}
+		e.Step()
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// RunFor executes events for d seconds of virtual time from now.
+func (e *Engine) RunFor(d float64) { e.RunUntil(e.now + Time(d)) }

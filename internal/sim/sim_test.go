@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimestampOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("nested scheduling produced %v, want [1s 3s]", times)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.Schedule(1, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+}
+
+func TestEngineRunUntilLeavesLaterEventsPending(t *testing.T) {
+	e := NewEngine(1)
+	var got []float64
+	for _, d := range []float64{1, 2, 3, 10} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(5)
+	if len(got) != 3 {
+		t.Fatalf("ran %d events before t=5, want 3", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("final event never ran")
+	}
+}
+
+func TestEngineNegativeDelayClampedToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5, func() {
+		e.Schedule(-3, func() {
+			if e.Now() != 5 {
+				t.Errorf("negative delay ran at %v, want 5s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestScheduleAtPastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(4, func() {})
+	e.RunUntil(4)
+	fired := Time(-1)
+	e.ScheduleAt(2, func() { fired = e.Now() })
+	e.Run()
+	if fired != 4 {
+		t.Fatalf("past ScheduleAt fired at %v, want now (4s)", fired)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine(42)
+		var out []float64
+		var tick func()
+		n := 0
+		tick = func() {
+			out = append(out, e.RNG().Float64())
+			n++
+			if n < 100 {
+				e.Schedule(e.RNG().Exp(0.5), tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(7)
+	f := g.Fork()
+	a := make([]float64, 10)
+	for i := range a {
+		a[i] = f.Float64()
+	}
+	// Drawing from the parent must not affect the fork's future values had
+	// we forked again with the same seed.
+	g2 := NewRNG(7)
+	f2 := g2.Fork()
+	for i := range a {
+		if v := f2.Float64(); v != a[i] {
+			t.Fatalf("fork not reproducible at %d", i)
+		}
+	}
+}
+
+func TestRNGDistributionsBasicProperties(t *testing.T) {
+	g := NewRNG(3)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := g.Exp(2.0)
+		if v < 0 {
+			t.Fatal("Exp returned negative value")
+		}
+		sum += v
+	}
+	if mean := sum / 10000; math.Abs(mean-2.0) > 0.2 {
+		t.Fatalf("Exp mean = %.3f, want ≈2.0", mean)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := g.Uniform(3, 5); v < 3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	z := g.NewZipf(1.5, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	for i := 0; i < 1000; i++ {
+		if v := g.Pareto(1, 1.5); v < 1 {
+			t.Fatalf("Pareto below minimum: %v", v)
+		}
+	}
+}
+
+func TestEngineClockMonotonic(t *testing.T) {
+	f := func(delays []float64) bool {
+		e := NewEngine(9)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			d := math.Mod(math.Abs(d), 100)
+			e.Schedule(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if s := Time(1.5).String(); s != "1.500s" {
+		t.Fatalf("Time.String = %q", s)
+	}
+	if d := Time(2).Duration(); d.Seconds() != 2 {
+		t.Fatalf("Duration = %v", d)
+	}
+}

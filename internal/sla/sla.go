@@ -1,0 +1,109 @@
+// Package sla defines service level agreements and per-interval
+// compliance tracking. Following the paper (§3), the SLA of an
+// application is an upper bound on its average query latency; an interval
+// in which the bound is met is a *stable* interval, and stable intervals
+// are when per-query-class metric signatures are recorded.
+package sla
+
+import (
+	"fmt"
+
+	"outlierlb/internal/metrics"
+)
+
+// SLA is an application's service level agreement.
+type SLA struct {
+	// MaxAvgLatency is the bound on average query latency in seconds.
+	// The paper uses 1 second for all applications.
+	MaxAvgLatency float64
+	// MaxP95Latency, when positive, additionally bounds the interval's
+	// 95th-percentile latency — an extension over the paper's
+	// average-only agreement for tail-sensitive applications.
+	MaxP95Latency float64
+}
+
+// Default returns the paper's SLA: average query latency ≤ 1 second.
+func Default() SLA { return SLA{MaxAvgLatency: 1.0} }
+
+// Met reports whether an observed average latency satisfies the SLA. An
+// interval with no queries is vacuously compliant.
+func (s SLA) Met(avgLatency float64, queries int64) bool {
+	if queries == 0 {
+		return true
+	}
+	return avgLatency <= s.MaxAvgLatency
+}
+
+func (s SLA) String() string {
+	return fmt.Sprintf("avg latency ≤ %.2fs", s.MaxAvgLatency)
+}
+
+// Interval is one measurement interval's application-level outcome.
+type Interval struct {
+	Start, End float64 // virtual time bounds
+	AvgLatency float64
+	P95Latency float64 // estimated 95th percentile (0 with no samples)
+	Throughput float64 // completed interactions per second
+	Queries    int64
+	Met        bool
+}
+
+// Tracker accumulates application-level latency samples and classifies
+// measurement intervals as stable or violating.
+type Tracker struct {
+	sla        SLA
+	latencySum float64
+	queries    int64
+	hist       *metrics.Histogram
+	intervals  []Interval
+}
+
+// NewTracker returns a tracker for the given SLA.
+func NewTracker(s SLA) *Tracker {
+	return &Tracker{sla: s, hist: metrics.NewHistogram()}
+}
+
+// SLA returns the tracked agreement.
+func (t *Tracker) SLA() SLA { return t.sla }
+
+// Observe records one completed query's latency.
+func (t *Tracker) Observe(latency float64) {
+	t.latencySum += latency
+	t.queries++
+	t.hist.Observe(latency)
+}
+
+// CloseInterval finalizes the current measurement interval spanning
+// [start, end] and returns its outcome, resetting the accumulators.
+func (t *Tracker) CloseInterval(start, end float64) Interval {
+	iv := Interval{Start: start, End: end, Queries: t.queries}
+	if t.queries > 0 {
+		iv.AvgLatency = t.latencySum / float64(t.queries)
+		iv.P95Latency = t.hist.Quantile(0.95)
+	}
+	if d := end - start; d > 0 {
+		iv.Throughput = float64(t.queries) / d
+	}
+	iv.Met = t.sla.Met(iv.AvgLatency, t.queries)
+	if iv.Met && t.sla.MaxP95Latency > 0 && t.queries > 0 {
+		iv.Met = iv.P95Latency <= t.sla.MaxP95Latency
+	}
+	t.latencySum, t.queries = 0, 0
+	t.hist.Reset()
+	t.intervals = append(t.intervals, iv)
+	return iv
+}
+
+// History returns all closed intervals in order.
+func (t *Tracker) History() []Interval { return t.intervals }
+
+// LastStable returns the most recent compliant interval with activity and
+// whether one exists.
+func (t *Tracker) LastStable() (Interval, bool) {
+	for i := len(t.intervals) - 1; i >= 0; i-- {
+		if iv := t.intervals[i]; iv.Met && iv.Queries > 0 {
+			return iv, true
+		}
+	}
+	return Interval{}, false
+}

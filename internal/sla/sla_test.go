@@ -1,0 +1,120 @@
+package sla
+
+import "testing"
+
+func TestMet(t *testing.T) {
+	s := Default()
+	if !s.Met(0.5, 10) {
+		t.Error("compliant latency flagged")
+	}
+	if s.Met(1.5, 10) {
+		t.Error("violation not flagged")
+	}
+	if !s.Met(99, 0) {
+		t.Error("empty interval should be vacuously compliant")
+	}
+	if !s.Met(1.0, 10) {
+		t.Error("boundary latency should comply")
+	}
+}
+
+func TestTrackerIntervals(t *testing.T) {
+	tr := NewTracker(SLA{MaxAvgLatency: 1.0})
+	tr.Observe(0.5)
+	tr.Observe(0.7)
+	iv := tr.CloseInterval(0, 10)
+	if !iv.Met || iv.Queries != 2 {
+		t.Fatalf("interval = %+v", iv)
+	}
+	if iv.AvgLatency != 0.6 {
+		t.Fatalf("avg = %v, want 0.6", iv.AvgLatency)
+	}
+	if iv.Throughput != 0.2 {
+		t.Fatalf("throughput = %v, want 0.2", iv.Throughput)
+	}
+
+	tr.Observe(3.0)
+	iv2 := tr.CloseInterval(10, 20)
+	if iv2.Met {
+		t.Fatal("violating interval marked stable")
+	}
+	if len(tr.History()) != 2 {
+		t.Fatalf("history = %d intervals", len(tr.History()))
+	}
+	last, ok := tr.LastStable()
+	if !ok || last.End != 10 {
+		t.Fatalf("LastStable = %+v, %v", last, ok)
+	}
+}
+
+func TestTrackerResetsBetweenIntervals(t *testing.T) {
+	tr := NewTracker(Default())
+	tr.Observe(2.0)
+	tr.CloseInterval(0, 1)
+	iv := tr.CloseInterval(1, 2)
+	if iv.Queries != 0 || iv.AvgLatency != 0 {
+		t.Fatalf("accumulators leaked: %+v", iv)
+	}
+	if !iv.Met {
+		t.Fatal("idle interval should be compliant")
+	}
+}
+
+func TestLastStableNone(t *testing.T) {
+	tr := NewTracker(Default())
+	tr.Observe(5)
+	tr.CloseInterval(0, 1)
+	if _, ok := tr.LastStable(); ok {
+		t.Fatal("LastStable found a stable interval among violations")
+	}
+	// Idle intervals don't count as stable (no activity to sign).
+	tr.CloseInterval(1, 2)
+	if _, ok := tr.LastStable(); ok {
+		t.Fatal("idle interval treated as stable")
+	}
+}
+
+func TestZeroLengthInterval(t *testing.T) {
+	tr := NewTracker(Default())
+	tr.Observe(0.1)
+	iv := tr.CloseInterval(5, 5)
+	if iv.Throughput != 0 {
+		t.Fatalf("zero-length interval throughput = %v", iv.Throughput)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Default().String(); got != "avg latency ≤ 1.00s" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestP95SLA(t *testing.T) {
+	s := SLA{MaxAvgLatency: 1.0, MaxP95Latency: 0.5}
+	tr := NewTracker(s)
+	// 100 fast queries and 10 slow ones: average fine, P95 violated.
+	for i := 0; i < 100; i++ {
+		tr.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(2.0)
+	}
+	iv := tr.CloseInterval(0, 10)
+	if iv.Met {
+		t.Fatalf("tail violation not flagged: avg=%.3f p95=%.3f", iv.AvgLatency, iv.P95Latency)
+	}
+	if iv.P95Latency < 0.5 {
+		t.Fatalf("P95 = %v, want > 0.5", iv.P95Latency)
+	}
+	// Without the tail bound the same interval is compliant.
+	tr2 := NewTracker(SLA{MaxAvgLatency: 1.0})
+	for i := 0; i < 100; i++ {
+		tr2.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		tr2.Observe(2.0)
+	}
+	if iv := tr2.CloseInterval(0, 10); !iv.Met {
+		t.Fatal("average-only SLA should pass")
+	}
+}

@@ -1,0 +1,153 @@
+// Package storage models the disk subsystem of a database server in
+// virtual time.
+//
+// A Disk serves page-read requests in FIFO order: each request begins when
+// both the disk is free and the request has arrived, pays a per-request
+// positioning overhead plus a per-page transfer time, and completes after
+// its service time. Because the simulation is single-threaded, the queue
+// is represented analytically by the time the disk becomes free, which
+// makes the model deterministic and fast while still producing realistic
+// queueing delay under contention — the effect behind the paper's §5.5
+// I/O-interference experiment.
+package storage
+
+import "fmt"
+
+// Params configures a disk.
+type Params struct {
+	// Seek is the per-request positioning overhead in seconds.
+	Seek float64
+	// PerPage is the transfer time per page in seconds.
+	PerPage float64
+}
+
+// DefaultParams approximates a 2006-era SATA disk: ~5 ms positioning and
+// ~0.1 ms per 16 KiB page of sequential transfer.
+func DefaultParams() Params {
+	return Params{Seek: 0.005, PerPage: 0.0001}
+}
+
+func (p Params) validate() error {
+	if p.Seek < 0 || p.PerPage < 0 {
+		return fmt.Errorf("storage: negative timing parameters %+v", p)
+	}
+	if p.Seek == 0 && p.PerPage == 0 {
+		return fmt.Errorf("storage: disk with zero service time")
+	}
+	return nil
+}
+
+// Disk is a FIFO disk with analytic queueing. The zero value is unusable;
+// construct disks with NewDisk.
+type Disk struct {
+	params   Params
+	freeAt   float64 // virtual time the disk finishes its current backlog
+	requests int64
+	pages    int64
+	busy     float64 // total seconds spent serving
+	busyMark float64 // busy value at last windowed observation
+	lastObs  float64 // time of last windowed observation
+	byClass  map[string]int64
+}
+
+// NewDisk returns a disk with the given parameters.
+func NewDisk(p Params) (*Disk, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{params: p, byClass: make(map[string]int64)}, nil
+}
+
+// MustNewDisk is NewDisk for known-valid parameters.
+func MustNewDisk(p Params) *Disk {
+	d, err := NewDisk(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Read submits a read of pages pages at virtual time now on behalf of
+// class and returns the completion time. pages < 1 is treated as 1.
+func (d *Disk) Read(now float64, class string, pages int) (done float64) {
+	if pages < 1 {
+		pages = 1
+	}
+	start := now
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	service := d.params.Seek + float64(pages)*d.params.PerPage
+	done = start + service
+	d.freeAt = done
+	d.requests++
+	d.pages += int64(pages)
+	d.busy += service
+	d.byClass[class] += int64(pages)
+	return done
+}
+
+// QueueDelay reports how long a request submitted at now would wait before
+// service begins.
+func (d *Disk) QueueDelay(now float64) float64 {
+	if d.freeAt > now {
+		return d.freeAt - now
+	}
+	return 0
+}
+
+// Utilization reports the fraction of [0, now] the disk spent busy.
+func (d *Disk) Utilization(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	u := d.busy / now
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// UtilizationWindow reports the fraction of time since the previous call
+// that the disk spent busy, clamped to [0, 1], and resets the observation
+// window — the vmstat-style I/O metric the controller samples each
+// measurement interval.
+func (d *Disk) UtilizationWindow(now float64) float64 {
+	elapsed := now - d.lastObs
+	if elapsed <= 0 {
+		return 0
+	}
+	used := d.busy - d.busyMark
+	d.busyMark = d.busy
+	d.lastObs = now
+	u := used / elapsed
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// Requests reports the number of read requests served or queued.
+func (d *Disk) Requests() int64 { return d.requests }
+
+// Pages reports the total pages read.
+func (d *Disk) Pages() int64 { return d.pages }
+
+// PagesByClass returns a copy of the per-class page counts, the "I/O rate"
+// ranking used by the §3.3.3 interference heuristic.
+func (d *Disk) PagesByClass() map[string]int64 {
+	out := make(map[string]int64, len(d.byClass))
+	for c, n := range d.byClass {
+		out[c] = n
+	}
+	return out
+}
+
+// ResetStats clears counters but keeps the queue state.
+func (d *Disk) ResetStats() {
+	d.requests, d.pages, d.busy = 0, 0, 0
+	d.byClass = make(map[string]int64)
+}

@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDiskValidation(t *testing.T) {
+	if _, err := NewDisk(Params{Seek: -1, PerPage: 0.1}); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := NewDisk(Params{}); err == nil {
+		t.Fatal("zero service time accepted")
+	}
+	if _, err := NewDisk(DefaultParams()); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+}
+
+func TestReadServiceTime(t *testing.T) {
+	d := MustNewDisk(Params{Seek: 0.005, PerPage: 0.001})
+	done := d.Read(10.0, "a", 3)
+	want := 10.0 + 0.005 + 3*0.001
+	if done != want {
+		t.Fatalf("done = %v, want %v", done, want)
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	d := MustNewDisk(Params{Seek: 0.01, PerPage: 0})
+	d1 := d.Read(0, "a", 1)
+	d2 := d.Read(0, "b", 1) // arrives while busy, waits
+	if d1 != 0.01 {
+		t.Fatalf("first done = %v", d1)
+	}
+	if d2 != 0.02 {
+		t.Fatalf("second done = %v, want queued behind first", d2)
+	}
+	if delay := d.QueueDelay(0.005); delay != 0.015 {
+		t.Fatalf("QueueDelay = %v, want 0.015", delay)
+	}
+}
+
+func TestIdleDiskStartsImmediately(t *testing.T) {
+	d := MustNewDisk(Params{Seek: 0.01, PerPage: 0})
+	d.Read(0, "a", 1)
+	done := d.Read(5, "a", 1) // long after backlog drained
+	if done != 5.01 {
+		t.Fatalf("done = %v, want 5.01", done)
+	}
+	if d.QueueDelay(6) != 0 {
+		t.Fatal("idle disk reports queue delay")
+	}
+}
+
+func TestMinimumOnePage(t *testing.T) {
+	d := MustNewDisk(Params{Seek: 0, PerPage: 0.001})
+	done := d.Read(0, "a", 0)
+	if done != 0.001 {
+		t.Fatalf("zero-page read done = %v, want one page charged", done)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	d := MustNewDisk(DefaultParams())
+	d.Read(0, "scan", 10)
+	d.Read(0, "scan", 5)
+	d.Read(0, "point", 1)
+	if d.Requests() != 3 {
+		t.Errorf("requests = %d", d.Requests())
+	}
+	if d.Pages() != 16 {
+		t.Errorf("pages = %d", d.Pages())
+	}
+	by := d.PagesByClass()
+	if by["scan"] != 15 || by["point"] != 1 {
+		t.Errorf("per-class = %v", by)
+	}
+	d.ResetStats()
+	if d.Requests() != 0 || d.Pages() != 0 || len(d.PagesByClass()) != 0 {
+		t.Error("ResetStats left counters")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := MustNewDisk(Params{Seek: 0.5, PerPage: 0})
+	d.Read(0, "a", 1)
+	if u := d.Utilization(1.0); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := d.Utilization(0); u != 0 {
+		t.Fatalf("utilization at t=0 = %v", u)
+	}
+	// Saturated disk clamps at 1.
+	for i := 0; i < 10; i++ {
+		d.Read(0, "a", 1)
+	}
+	if u := d.Utilization(1.0); u != 1 {
+		t.Fatalf("saturated utilization = %v, want 1", u)
+	}
+}
+
+func TestCompletionTimesMonotoneProperty(t *testing.T) {
+	// FIFO: completion times are non-decreasing regardless of arrival
+	// pattern, and never before arrival + service.
+	f := func(arrivals []uint8) bool {
+		d := MustNewDisk(Params{Seek: 0.002, PerPage: 0.0005})
+		now, prevDone := 0.0, 0.0
+		for _, a := range arrivals {
+			now += float64(a) * 0.0001
+			done := d.Read(now, "x", 1)
+			if done < prevDone || done < now+0.002+0.0005-1e-12 {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionSlowsBothStreams(t *testing.T) {
+	// Two streams sharing one disk each see ~2x the latency of a stream
+	// alone — the §5.5 dom-0 effect in miniature.
+	alone := MustNewDisk(Params{Seek: 0.005, PerPage: 0})
+	var lastAlone float64
+	for i := 0; i < 100; i++ {
+		lastAlone = alone.Read(float64(i)*0.005, "a", 1)
+	}
+	sharedDisk := MustNewDisk(Params{Seek: 0.005, PerPage: 0})
+	var lastShared float64
+	for i := 0; i < 100; i++ {
+		at := float64(i) * 0.005
+		sharedDisk.Read(at, "a", 1)
+		lastShared = sharedDisk.Read(at, "b", 1)
+	}
+	if lastShared < 1.5*lastAlone {
+		t.Fatalf("contended completion %v not ≫ solo %v", lastShared, lastAlone)
+	}
+}

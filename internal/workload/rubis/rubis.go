@@ -1,0 +1,183 @@
+// Package rubis models the RUBiS auction benchmark (an eBay-like bidding
+// site) as query classes over a synthetic page space, with the default
+// bidding mix (~15% writes) the paper uses.
+//
+// The class that matters to the paper's experiments is
+// SearchItemsByRegion: an I/O-intensive regional item search whose
+// working set (~7900 pages) nearly fills a 8192-page buffer pool on its
+// own. In §5.4 it is the query class that cannot be co-located with
+// TPC-W in a shared pool; in §5.5 it contributes the large majority
+// (87% in the paper) of RUBiS's I/O, so removing it from a domain
+// resolves dom-0 I/O contention.
+package rubis
+
+import (
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/engine"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/sla"
+	"outlierlb/internal/trace"
+	"outlierlb/internal/workload"
+)
+
+// AppName is the application identifier.
+const AppName = "rubis"
+
+// Synthetic page-space layout, disjoint from TPC-W's regions.
+const (
+	ItemBase      = 1_000_000
+	ItemPages     = 60000
+	UserBase      = 1_100_000
+	UserPages     = 30000
+	BidBase       = 1_200_000
+	BidPages      = 40000
+	CommentBase   = 1_300_000
+	CommentPages  = 10000
+	CategoryBase  = 1_400_000
+	CategoryPages = 2000
+)
+
+// DefaultThinkTime is the mean client think time in seconds.
+const DefaultThinkTime = 7.0
+
+// SearchItemsByRegionClass is the I/O-heavy class of §5.4/§5.5.
+const SearchItemsByRegionClass = "SearchItemsByRegion"
+
+type classDef struct {
+	name   string
+	weight float64
+	write  bool
+}
+
+// biddingMix is the default RUBiS bidding mix (~15% writes).
+var biddingMix = []classDef{
+	{name: "Home", weight: 12.0},
+	{name: "BrowseCategories", weight: 8.0},
+	{name: "SearchItemsByCategory", weight: 15.0},
+	{name: "BrowseRegions", weight: 4.0},
+	{name: SearchItemsByRegionClass, weight: 11.0},
+	{name: "ViewItem", weight: 20.0},
+	{name: "ViewUserInfo", weight: 5.0},
+	{name: "ViewBidHistory", weight: 6.0},
+	{name: "AboutMe", weight: 4.0},
+	{name: "PutBid", weight: 6.0, write: true},
+	{name: "StoreBid", weight: 5.0, write: true},
+	{name: "PutComment", weight: 1.5, write: true},
+	{name: "StoreComment", weight: 1.0, write: true},
+	{name: "RegisterItem", weight: 1.0, write: true},
+	{name: "RegisterUser", weight: 0.5, write: true},
+}
+
+func pattern(rng *sim.RNG, name string) (trace.Generator, int, float64) {
+	switch name {
+	case "Home":
+		return trace.NewZipfSet(rng, CategoryBase, CategoryPages, 1.6), 4, 0.003
+	case "BrowseCategories":
+		return trace.NewZipfSet(rng, CategoryBase, CategoryPages, 1.4), 6, 0.004
+	case "SearchItemsByCategory":
+		return trace.NewZipfSet(rng, ItemBase, 6000, 1.4), 30, 0.012
+	case "BrowseRegions":
+		return trace.NewZipfSet(rng, CategoryBase, CategoryPages, 1.4), 6, 0.004
+	case SearchItemsByRegionClass:
+		// Regional search over a working set of 7900 pages (acceptable
+		// memory calibrated ≈ the paper's 7906), with sequential
+		// sub-scans that make the class I/O-intensive whenever its set
+		// does not fit in the pool.
+		hot := trace.NewUniformSet(rng, ItemBase+10000, 7900)
+		scan := &trace.SequentialScan{Base: ItemBase + 10000, Span: 7900}
+		mix, err := trace.NewMixture(rng, []trace.Generator{hot, scan},
+			[]float64{0.6, 0.4}, 48)
+		if err != nil {
+			panic(err) // static construction cannot fail
+		}
+		return mix, 400, 0.030
+	case "ViewItem":
+		return trace.NewZipfSet(rng, ItemBase, 8000, 1.5), 4, 0.004
+	case "ViewUserInfo":
+		return trace.NewZipfSet(rng, UserBase, 6000, 1.4), 4, 0.004
+	case "ViewBidHistory":
+		return trace.NewZipfSet(rng, BidBase, 6000, 1.3), 10, 0.008
+	case "AboutMe":
+		return trace.NewZipfSet(rng, UserBase, 6000, 1.4), 12, 0.010
+	case "PutBid":
+		return trace.NewZipfSet(rng, ItemBase, 8000, 1.5), 4, 0.005
+	case "StoreBid":
+		return trace.NewZipfSet(rng, BidBase, 4000, 1.4), 4, 0.006
+	case "PutComment":
+		return trace.NewZipfSet(rng, CommentBase, 2000, 1.4), 3, 0.004
+	case "StoreComment":
+		return trace.NewZipfSet(rng, CommentBase, 2000, 1.4), 3, 0.005
+	case "RegisterItem":
+		return trace.NewZipfSet(rng, ItemBase, 4000, 1.3), 5, 0.006
+	case "RegisterUser":
+		return trace.NewUniformSet(rng, UserBase, UserPages), 3, 0.004
+	}
+	return nil, 0, 0
+}
+
+// ClassID returns the metrics identifier of a RUBiS class.
+func ClassID(name string) metrics.ClassID {
+	return metrics.ClassID{App: AppName, Class: name}
+}
+
+// New builds the RUBiS application with independent generator streams
+// derived from rng. The appName parameter allows two distinct RUBiS
+// instances ("rubis-1", "rubis-2") to run as separate applications with
+// separate data, as in the §5.5 two-domain experiment; pass "" for the
+// default name.
+func New(rng *sim.RNG, appName string) *cluster.Application {
+	if appName == "" {
+		appName = AppName
+	}
+	app := &cluster.Application{Name: appName, SLA: sla.Default()}
+	for _, def := range biddingMix {
+		gen, pages, cpu := pattern(rng.Fork(), def.name)
+		app.Classes = append(app.Classes, engine.ClassSpec{
+			ID:            metrics.ClassID{App: appName, Class: def.name},
+			CPUPerQuery:   cpu,
+			CPUPerPage:    0.00002,
+			PagesPerQuery: pages,
+			Pattern:       gen,
+			Write:         def.write,
+		})
+	}
+	return app
+}
+
+// Mix returns the bidding-mix weights for the emulator, using appName to
+// address the right application instance ("" for the default).
+func Mix(appName string) []workload.MixEntry {
+	if appName == "" {
+		appName = AppName
+	}
+	out := make([]workload.MixEntry, 0, len(biddingMix))
+	for _, def := range biddingMix {
+		out = append(out, workload.MixEntry{
+			ID:     metrics.ClassID{App: appName, Class: def.name},
+			Weight: def.weight,
+		})
+	}
+	return out
+}
+
+// WriteFraction reports the share of write interactions in the mix.
+func WriteFraction() float64 {
+	w, total := 0.0, 0.0
+	for _, def := range biddingMix {
+		total += def.weight
+		if def.write {
+			w += def.weight
+		}
+	}
+	return w / total
+}
+
+// ClassNames lists the interaction names in mix order.
+func ClassNames() []string {
+	out := make([]string, len(biddingMix))
+	for i, def := range biddingMix {
+		out[i] = def.name
+	}
+	return out
+}

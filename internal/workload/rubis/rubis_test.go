@@ -1,0 +1,117 @@
+package rubis
+
+import (
+	"testing"
+
+	"outlierlb/internal/mrc"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/trace"
+)
+
+func TestNewBuildsAllClasses(t *testing.T) {
+	app := New(sim.NewRNG(1), "")
+	if app.Name != AppName {
+		t.Fatalf("app name = %q", app.Name)
+	}
+	if len(app.Classes) != 15 {
+		t.Fatalf("classes = %d, want 15", len(app.Classes))
+	}
+	for _, spec := range app.Classes {
+		if spec.Pattern == nil || spec.PagesPerQuery <= 0 || spec.CPUPerQuery <= 0 {
+			t.Errorf("class %v incomplete", spec.ID)
+		}
+	}
+}
+
+func TestInstanceNaming(t *testing.T) {
+	app := New(sim.NewRNG(1), "rubis-2")
+	if app.Name != "rubis-2" {
+		t.Fatalf("app name = %q", app.Name)
+	}
+	for _, spec := range app.Classes {
+		if spec.ID.App != "rubis-2" {
+			t.Fatalf("class %v not namespaced to instance", spec.ID)
+		}
+	}
+	mix := Mix("rubis-2")
+	for _, m := range mix {
+		if m.ID.App != "rubis-2" {
+			t.Fatalf("mix entry %v not namespaced", m.ID)
+		}
+	}
+}
+
+func TestWriteFractionNearFifteenPercent(t *testing.T) {
+	wf := WriteFraction()
+	if wf < 0.10 || wf > 0.20 {
+		t.Fatalf("write fraction = %.3f, want ≈0.15 (bidding mix)", wf)
+	}
+}
+
+func TestSearchItemsByRegionMemoryNeed(t *testing.T) {
+	// §5.4: SIBR's acceptable memory ≈ 7906 pages, nearly the whole
+	// 8192-page pool.
+	app := New(sim.NewRNG(42), "")
+	var gen trace.Generator
+	for _, spec := range app.Classes {
+		if spec.ID.Class == SearchItemsByRegionClass {
+			gen = spec.Pattern
+		}
+	}
+	pages := trace.Generate(gen, 150000)
+	p := mrc.Compute(pages).ParamsFor(8192, mrc.DefaultThreshold)
+	if p.AcceptableMemory < 6500 || p.AcceptableMemory > 8192 {
+		t.Fatalf("SIBR acceptable memory = %d, want ≈7900 (paper: 7906)", p.AcceptableMemory)
+	}
+}
+
+func TestSearchItemsByRegionDominatesIO(t *testing.T) {
+	// §5.5: SIBR contributes the large majority of RUBiS I/O. Approximate
+	// the check via offered page demand: weight × pages/query.
+	app := New(sim.NewRNG(1), "")
+	demand := make(map[string]float64)
+	for _, spec := range app.Classes {
+		demand[spec.ID.Class] = float64(spec.PagesPerQuery)
+	}
+	var sibr, total float64
+	for _, m := range Mix("") {
+		d := m.Weight * demand[m.ID.Class]
+		total += d
+		if m.ID.Class == SearchItemsByRegionClass {
+			sibr = d
+		}
+	}
+	if frac := sibr / total; frac < 0.6 {
+		t.Fatalf("SIBR page demand fraction = %.2f, want ≫ 0.5 (paper: 87%% of I/O)", frac)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	names := ClassNames()
+	if len(names) != 15 {
+		t.Fatalf("names = %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == SearchItemsByRegionClass {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SearchItemsByRegion missing")
+	}
+}
+
+func TestPageRegionsDisjointFromTPCW(t *testing.T) {
+	// RUBiS page space starts at 1,000,000 — far above TPC-W's regions —
+	// so two apps sharing a pool never share pages.
+	app := New(sim.NewRNG(3), "")
+	for _, spec := range app.Classes {
+		pages := trace.Generate(spec.Pattern, 200)
+		for _, pg := range pages {
+			if pg < 1_000_000 {
+				t.Fatalf("class %v generated page %d below RUBiS region", spec.ID, pg)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package workload drives applications with synthetic clients: a
+// closed-loop client emulator (sessions with think times), configurable
+// interaction mixes, and time-varying load functions such as the sinusoid
+// with random noise used in the paper's §5.2 experiment.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/sim"
+)
+
+// LoadFunction maps virtual time to the target number of concurrent
+// clients presented to the application.
+type LoadFunction func(t float64) int
+
+// Constant returns a load function holding n clients forever.
+func Constant(n int) LoadFunction {
+	return func(float64) int { return n }
+}
+
+// Sinusoid returns the paper's §5.2 load shape: base + amplitude *
+// sin(2πt/period), never below zero.
+func Sinusoid(base, amplitude, period float64) LoadFunction {
+	return func(t float64) int {
+		n := base + amplitude*math.Sin(2*math.Pi*t/period)
+		if n < 0 {
+			n = 0
+		}
+		return int(n)
+	}
+}
+
+// Step returns a load function that is n0 clients before t0 and n1 after.
+func Step(n0, n1 int, t0 float64) LoadFunction {
+	return func(t float64) int {
+		if t < t0 {
+			return n0
+		}
+		return n1
+	}
+}
+
+// MixEntry gives one query class's share of the interaction mix.
+type MixEntry struct {
+	ID     metrics.ClassID
+	Weight float64
+}
+
+// Config controls an emulator.
+type Config struct {
+	// Mix is the interaction mix; weights need not sum to 1.
+	Mix []MixEntry
+	// ThinkTime is the mean client think time between interactions in
+	// seconds (exponentially distributed). Defaults to 1.
+	ThinkTime float64
+	// ThinkNoise adds ±ThinkNoise fractional uniform jitter to each think
+	// draw, modelling the paper's "random noise on top of the load
+	// function by randomly varying the session time and thinking time".
+	ThinkNoise float64
+	// Load is the target client population over time. Defaults to
+	// Constant(1).
+	Load LoadFunction
+	// AdjustEvery is how often the emulator reconciles the running client
+	// population with Load, in seconds. Defaults to 1.
+	AdjustEvery float64
+	// Transitions, when non-nil, turns the session into a Markov chain:
+	// after completing class X, a client draws its next interaction from
+	// Transitions[X] instead of the global mix (which still seeds each
+	// session's first interaction and covers classes without a row).
+	// Real benchmark clients navigate this way — TPC-W specifies a
+	// transition matrix between web interactions.
+	Transitions map[metrics.ClassID][]MixEntry
+}
+
+// Emulator runs closed-loop clients against one application's scheduler
+// inside a simulation engine.
+type Emulator struct {
+	cfg     Config
+	sim     *sim.Engine
+	sched   *cluster.Scheduler
+	rng     *sim.RNG
+	total   float64 // sum of positive mix weights
+	target  int
+	running int
+	live    []bool            // live[slot] reports whether a client occupies the slot
+	last    []metrics.ClassID // per-slot previous interaction, for Markov sessions
+	stopped bool
+
+	// Interactions counts completed client interactions (the paper's
+	// WIPS numerator).
+	interactions int64
+	errs         []error
+}
+
+// NewEmulator attaches an emulator to a simulation and a scheduler.
+func NewEmulator(engine *sim.Engine, sched *cluster.Scheduler, cfg Config) (*Emulator, error) {
+	if engine == nil || sched == nil {
+		return nil, fmt.Errorf("workload: emulator needs a simulation and a scheduler")
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("workload: empty interaction mix")
+	}
+	total := 0.0
+	for _, e := range cfg.Mix {
+		if e.Weight > 0 {
+			total += e.Weight
+		}
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: mix has no positive weights")
+	}
+	if cfg.ThinkTime <= 0 {
+		cfg.ThinkTime = 1
+	}
+	if cfg.AdjustEvery <= 0 {
+		cfg.AdjustEvery = 1
+	}
+	if cfg.Load == nil {
+		cfg.Load = Constant(1)
+	}
+	return &Emulator{cfg: cfg, sim: engine, sched: sched, rng: engine.RNG().Fork(), total: total}, nil
+}
+
+// Start begins the control loop; clients ramp to the load function's
+// target at each adjustment tick.
+func (e *Emulator) Start() {
+	e.adjust()
+}
+
+// Stop halts the emulator: running clients end their sessions at the next
+// decision point and no new clients start.
+func (e *Emulator) Stop() { e.stopped = true }
+
+// Interactions reports completed interactions so far.
+func (e *Emulator) Interactions() int64 { return e.interactions }
+
+// Errors returns scheduler errors encountered by clients (normally empty).
+func (e *Emulator) Errors() []error { return e.errs }
+
+// Running reports the current client population.
+func (e *Emulator) Running() int { return e.running }
+
+func (e *Emulator) adjust() {
+	if e.stopped {
+		return
+	}
+	e.target = e.cfg.Load(e.sim.Now().Seconds())
+	if e.target > len(e.live) {
+		e.live = append(e.live, make([]bool, e.target-len(e.live))...)
+		e.last = append(e.last, make([]metrics.ClassID, e.target-len(e.last))...)
+	}
+	// Occupy free slots below the target. Clients exit on their own when
+	// their slot number rises above a later, lower target, so slots are
+	// reused across load swings.
+	for slot := 0; slot < e.target && e.running < e.target; slot++ {
+		if e.live[slot] {
+			continue
+		}
+		e.live[slot] = true
+		e.running++
+		slot := slot
+		// Stagger session starts uniformly over the adjustment window so
+		// a ramp-up does not arrive as a thundering herd.
+		delay := e.rng.Uniform(0, e.cfg.AdjustEvery)
+		e.sim.Schedule(delay, func() { e.clientStep(slot) })
+	}
+	e.sim.Schedule(e.cfg.AdjustEvery, e.adjust)
+}
+
+func drawFrom(rng *sim.RNG, mix []MixEntry) (metrics.ClassID, bool) {
+	total := 0.0
+	for _, entry := range mix {
+		if entry.Weight > 0 {
+			total += entry.Weight
+		}
+	}
+	if total <= 0 {
+		return metrics.ClassID{}, false
+	}
+	r := rng.Float64() * total
+	for _, entry := range mix {
+		if entry.Weight <= 0 {
+			continue
+		}
+		r -= entry.Weight
+		if r < 0 {
+			return entry.ID, true
+		}
+	}
+	return mix[len(mix)-1].ID, true
+}
+
+func (e *Emulator) pick(slot int) metrics.ClassID {
+	if e.cfg.Transitions != nil && slot < len(e.last) {
+		if row, ok := e.cfg.Transitions[e.last[slot]]; ok {
+			if id, drawn := drawFrom(e.rng, row); drawn {
+				return id
+			}
+		}
+	}
+	id, _ := drawFrom(e.rng, e.cfg.Mix)
+	return id
+}
+
+func (e *Emulator) think() float64 {
+	d := e.rng.Exp(e.cfg.ThinkTime)
+	if e.cfg.ThinkNoise > 0 {
+		d *= 1 + e.rng.Uniform(-e.cfg.ThinkNoise, e.cfg.ThinkNoise)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// clientStep is one iteration of the session loop of the client in slot.
+func (e *Emulator) clientStep(slot int) {
+	if e.stopped || slot >= e.target {
+		// Session ends: the population shrank below this client's slot.
+		e.live[slot] = false
+		e.running--
+		return
+	}
+	now := e.sim.Now().Seconds()
+	class := e.pick(slot)
+	done, err := e.sched.Submit(now, class)
+	if err != nil {
+		e.errs = append(e.errs, err)
+		e.live[slot] = false
+		e.running--
+		return
+	}
+	e.last[slot] = class
+	e.interactions++
+	wait := (done - now) + e.think()
+	e.sim.Schedule(wait, func() { e.clientStep(slot) })
+}

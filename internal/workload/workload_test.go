@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"testing"
+
+	"outlierlb/internal/bufferpool"
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/engine"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/sla"
+	"outlierlb/internal/storage"
+	"outlierlb/internal/trace"
+)
+
+var browse = metrics.ClassID{App: "shop", Class: "Browse"}
+
+func testSetup(t *testing.T) (*sim.Engine, *cluster.Scheduler) {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	srv := server.MustNew(server.Config{Name: "s1", Cores: 4, MemoryPages: 10000,
+		Disk: storage.Params{Seek: 0.002, PerPage: 0.0001}})
+	dbe := engine.MustNew(engine.Config{Name: "e1", Pool: bufferpool.Config{Capacity: 5000}}, srv)
+	app := &cluster.Application{
+		Name: "shop",
+		SLA:  sla.Default(),
+		Classes: []engine.ClassSpec{
+			{ID: browse, CPUPerQuery: 0.005, PagesPerQuery: 3,
+				Pattern: &trace.SequentialScan{Span: 500}},
+		},
+	}
+	sched, err := cluster.NewScheduler(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.AddReplica(cluster.NewReplica(dbe, srv)); err != nil {
+		t.Fatal(err)
+	}
+	return eng, sched
+}
+
+func TestLoadFunctions(t *testing.T) {
+	c := Constant(5)
+	if c(0) != 5 || c(1e6) != 5 {
+		t.Error("Constant varies")
+	}
+	s := Sinusoid(100, 50, 200)
+	if s(0) != 100 {
+		t.Errorf("sinusoid at t=0 = %d, want 100", s(0))
+	}
+	if got := s(50); got != 150 { // quarter period: peak
+		t.Errorf("sinusoid peak = %d, want 150", got)
+	}
+	if got := s(150); got != 50 { // three-quarter: trough
+		t.Errorf("sinusoid trough = %d, want 50", got)
+	}
+	neg := Sinusoid(10, 100, 200)
+	if neg(150) != 0 {
+		t.Error("sinusoid went negative")
+	}
+	st := Step(2, 8, 100)
+	if st(99) != 2 || st(100) != 8 {
+		t.Error("Step wrong")
+	}
+}
+
+func TestNewEmulatorValidation(t *testing.T) {
+	eng, sched := testSetup(t)
+	if _, err := NewEmulator(nil, sched, Config{Mix: []MixEntry{{ID: browse, Weight: 1}}}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewEmulator(eng, nil, Config{Mix: []MixEntry{{ID: browse, Weight: 1}}}); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := NewEmulator(eng, sched, Config{}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := NewEmulator(eng, sched, Config{Mix: []MixEntry{{ID: browse, Weight: 0}}}); err == nil {
+		t.Fatal("zero-weight mix accepted")
+	}
+}
+
+func TestEmulatorClosedLoop(t *testing.T) {
+	eng, sched := testSetup(t)
+	em, err := NewEmulator(eng, sched, Config{
+		Mix:       []MixEntry{{ID: browse, Weight: 1}},
+		ThinkTime: 0.5,
+		Load:      Constant(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	eng.RunUntil(60)
+	em.Stop()
+	if em.Interactions() == 0 {
+		t.Fatal("no interactions completed")
+	}
+	if len(em.Errors()) != 0 {
+		t.Fatalf("client errors: %v", em.Errors()[0])
+	}
+	// 10 clients, ~0.5s think + small latency → roughly 15-20
+	// interactions/s over 60s.
+	rate := float64(em.Interactions()) / 60
+	if rate < 5 || rate > 25 {
+		t.Fatalf("interaction rate = %.1f/s, outside sane closed-loop range", rate)
+	}
+}
+
+func TestEmulatorTracksLoadFunction(t *testing.T) {
+	eng, sched := testSetup(t)
+	em, err := NewEmulator(eng, sched, Config{
+		Mix:       []MixEntry{{ID: browse, Weight: 1}},
+		ThinkTime: 0.2,
+		Load:      Step(4, 12, 30),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	eng.RunUntil(25)
+	if em.Running() != 4 {
+		t.Fatalf("population before step = %d, want 4", em.Running())
+	}
+	eng.RunUntil(60)
+	if em.Running() != 12 {
+		t.Fatalf("population after step = %d, want 12", em.Running())
+	}
+	// Shrink back down: sessions end at their next decision point.
+	em2cfg := em.cfg
+	_ = em2cfg
+	em.Stop()
+}
+
+func TestEmulatorShrinksPopulation(t *testing.T) {
+	eng, sched := testSetup(t)
+	em, err := NewEmulator(eng, sched, Config{
+		Mix:       []MixEntry{{ID: browse, Weight: 1}},
+		ThinkTime: 0.2,
+		Load:      Step(10, 2, 30),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	eng.RunUntil(29)
+	if em.Running() != 10 {
+		t.Fatalf("population = %d, want 10", em.Running())
+	}
+	eng.RunUntil(60)
+	if em.Running() != 2 {
+		t.Fatalf("population after shrink = %d, want 2", em.Running())
+	}
+}
+
+func TestEmulatorStopEndsAllSessions(t *testing.T) {
+	eng, sched := testSetup(t)
+	em, err := NewEmulator(eng, sched, Config{
+		Mix:  []MixEntry{{ID: browse, Weight: 1}},
+		Load: Constant(5), ThinkTime: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	eng.RunUntil(10)
+	em.Stop()
+	eng.Run() // drain every pending event
+	if eng.Pending() != 0 {
+		t.Fatalf("events still pending after stop: %d", eng.Pending())
+	}
+}
+
+func TestEmulatorDeterminism(t *testing.T) {
+	run := func() int64 {
+		eng, sched := testSetup(t)
+		em, err := NewEmulator(eng, sched, Config{
+			Mix:       []MixEntry{{ID: browse, Weight: 1}},
+			ThinkTime: 0.3, ThinkNoise: 0.5,
+			Load: Sinusoid(8, 4, 40),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		em.Start()
+		eng.RunUntil(120)
+		em.Stop()
+		return em.Interactions()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d interactions", a, b)
+	}
+}
+
+func TestMarkovTransitionsFollowed(t *testing.T) {
+	eng := sim.NewEngine(5)
+	srv := server.MustNew(server.Config{Name: "s1", Cores: 8, MemoryPages: 10000})
+	dbe := engine.MustNew(engine.Config{Name: "e1", Pool: bufferpool.Config{Capacity: 5000}}, srv)
+	a := metrics.ClassID{App: "shop", Class: "A"}
+	b := metrics.ClassID{App: "shop", Class: "B"}
+	c := metrics.ClassID{App: "shop", Class: "C"}
+	app := &cluster.Application{
+		Name: "shop", SLA: sla.Default(),
+		Classes: []engine.ClassSpec{
+			{ID: a, CPUPerQuery: 0.001},
+			{ID: b, CPUPerQuery: 0.001},
+			{ID: c, CPUPerQuery: 0.001},
+		},
+	}
+	sched, err := cluster.NewScheduler(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.AddReplica(cluster.NewReplica(dbe, srv)); err != nil {
+		t.Fatal(err)
+	}
+	// A always goes to B, B always to C, C always to A: a pure cycle.
+	// All sessions start from the mix (A only).
+	em, err := NewEmulator(eng, sched, Config{
+		Mix:       []MixEntry{{ID: a, Weight: 1}},
+		ThinkTime: 0.1,
+		Load:      Constant(10),
+		Transitions: map[metrics.ClassID][]MixEntry{
+			a: {{ID: b, Weight: 1}},
+			b: {{ID: c, Weight: 1}},
+			c: {{ID: a, Weight: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	eng.RunUntil(120)
+	em.Stop()
+	snap := dbe.Snapshot(120)
+	na := snap[a].Get(metrics.Throughput)
+	nb := snap[b].Get(metrics.Throughput)
+	nc := snap[c].Get(metrics.Throughput)
+	if na == 0 || nb == 0 || nc == 0 {
+		t.Fatalf("cycle incomplete: %v %v %v", na, nb, nc)
+	}
+	// On a cycle the three rates converge.
+	for _, pair := range [][2]float64{{na, nb}, {nb, nc}, {nc, na}} {
+		if ratio := pair[0] / pair[1]; ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("cycle rates diverge: %v %v %v", na, nb, nc)
+		}
+	}
+}
+
+func TestMixSelectionRespectsWeights(t *testing.T) {
+	eng := sim.NewEngine(3)
+	srv := server.MustNew(server.Config{Name: "s1", Cores: 8, MemoryPages: 10000})
+	dbe := engine.MustNew(engine.Config{Name: "e1", Pool: bufferpool.Config{Capacity: 5000}}, srv)
+	heavy := metrics.ClassID{App: "shop", Class: "Heavy"}
+	app := &cluster.Application{
+		Name: "shop", SLA: sla.Default(),
+		Classes: []engine.ClassSpec{
+			{ID: browse, CPUPerQuery: 0.001},
+			{ID: heavy, CPUPerQuery: 0.001},
+		},
+	}
+	sched, err := cluster.NewScheduler(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.AddReplica(cluster.NewReplica(dbe, srv)); err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewEmulator(eng, sched, Config{
+		Mix:       []MixEntry{{ID: browse, Weight: 9}, {ID: heavy, Weight: 1}},
+		ThinkTime: 0.05,
+		Load:      Constant(20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	eng.RunUntil(120)
+	em.Stop()
+	snap := dbe.Snapshot(120)
+	nb := snap[browse].Get(metrics.Throughput)
+	nh := snap[heavy].Get(metrics.Throughput)
+	if nh == 0 {
+		t.Fatal("low-weight class never drawn")
+	}
+	if ratio := nb / nh; ratio < 6 || ratio > 13 {
+		t.Fatalf("mix ratio = %.1f, want ≈9", ratio)
+	}
+}
