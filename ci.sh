@@ -1,0 +1,10 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging:
+# vet, full build, and the test suite under the race detector
+# (the obs package is read concurrently by the HTTP endpoints
+# while the simulation writes, so -race is load-bearing).
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...

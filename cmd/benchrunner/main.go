@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"outlierlb/internal/experiments"
+	"outlierlb/internal/obscli"
 	"outlierlb/internal/plot"
 )
 
@@ -22,7 +23,19 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig3|fig4|fig5|fig6|table1|table2|table3|ablations|all")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit figures as CSV series instead of aligned text")
+	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
+	verbose := flag.Bool("v", false, "print each controller decision to stderr as it happens")
 	flag.Parse()
+
+	session, err := obscli.Start(*obsAddr, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		session.Finish()
+		session.WaitForInterrupt()
+	}()
 
 	runners := map[string]func(uint64, bool){
 		"fig3":      runFig3,

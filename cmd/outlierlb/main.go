@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"outlierlb/internal/experiments"
+	"outlierlb/internal/obscli"
 	"outlierlb/internal/sim"
 	"outlierlb/internal/trace"
 	"outlierlb/internal/workload/rubis"
@@ -27,6 +28,8 @@ func main() {
 	record := flag.String("record", "", "write a synthetic TPC-W page-access trace to FILE and exit")
 	recordApp := flag.String("record-app", "tpcw", "application to record: tpcw|tpcw-noindex|rubis")
 	recordN := flag.Int("record-n", 500000, "accesses to record")
+	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
+	verbose := flag.Bool("v", false, "print each controller decision to stderr as it happens")
 	flag.Parse()
 
 	if *record != "" {
@@ -36,6 +39,12 @@ func main() {
 		}
 		fmt.Printf("wrote %d accesses to %s\n", *recordN, *record)
 		return
+	}
+
+	session, err := obscli.Start(*obsAddr, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(1)
 	}
 
 	switch *scenario {
@@ -55,6 +64,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "outlierlb: need -scenario cpu|indexdrop|consolidation|iocontention|lockcontention|failure or -record FILE")
 		os.Exit(2)
 	}
+
+	session.Finish()
+	session.WaitForInterrupt()
 }
 
 func runFailure(seed uint64) {

@@ -446,6 +446,21 @@ func (p *Pool) Stats(class string) Stats {
 	return Stats{}
 }
 
+// TotalStats sums the counters across every class — the pool-wide view
+// the observability layer exposes as hit-ratio and traffic gauges.
+func (p *Pool) TotalStats() Stats {
+	var total Stats
+	for _, s := range p.stats {
+		total.Accesses += s.Accesses
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Prefetches += s.Prefetches
+		total.Evictions += s.Evictions
+		total.Flushes += s.Flushes
+	}
+	return total
+}
+
 // ResetStats zeroes all per-class counters without touching pool contents.
 func (p *Pool) ResetStats() {
 	for _, s := range p.stats {

@@ -6,6 +6,7 @@ import (
 
 	"outlierlb/internal/bufferpool"
 	"outlierlb/internal/engine"
+	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 )
 
@@ -20,6 +21,12 @@ type Manager struct {
 	// manager provisions. Capacity defaults to the hosting server's
 	// memory when zero.
 	PoolConfig bufferpool.Config
+	// Observer, when non-nil, receives engine-lifecycle events
+	// (provisioned/decommissioned/attached).
+	Observer obs.Observer
+	// Clock supplies the virtual time stamped onto lifecycle events; the
+	// manager itself has no simulation reference. Nil means time 0.
+	Clock      func() float64
 	nextEngine int
 }
 
@@ -30,6 +37,18 @@ func NewManager() *Manager {
 		schedulers: make(map[string]*Scheduler),
 		replicas:   make(map[*engine.Engine]*Replica),
 	}
+}
+
+// emit sends a lifecycle event to the attached observer, if any.
+func (m *Manager) emit(kind obs.EventKind, app, srv, cause string) {
+	if m.Observer == nil {
+		return
+	}
+	now := 0.0
+	if m.Clock != nil {
+		now = m.Clock()
+	}
+	m.Observer.Event(obs.Event{Time: now, Kind: kind, App: app, Server: srv, Cause: cause})
 }
 
 // AddServer adds a physical server to the pool.
@@ -111,6 +130,8 @@ func (m *Manager) Provision(app string, srv *server.Server) (*Replica, error) {
 	}
 	m.engines[srv] = append(m.engines[srv], eng)
 	m.replicas[eng] = rep
+	m.emit(obs.EventEngineUp, app, srv.Name(),
+		fmt.Sprintf("%s provisioned (%d-page pool)", eng.Name(), cfg.Pool.Capacity))
 	return rep, nil
 }
 
@@ -151,6 +172,7 @@ func (m *Manager) Decommission(app string, rep *Replica) error {
 		}
 	}
 	delete(m.replicas, eng)
+	m.emit(obs.EventEngineDown, app, srv.Name(), eng.Name()+" decommissioned")
 	return nil
 }
 
@@ -162,7 +184,12 @@ func (m *Manager) Attach(app string, rep *Replica) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown application %q", app)
 	}
-	return sched.AddReplica(rep)
+	if err := sched.AddReplica(rep); err != nil {
+		return err
+	}
+	m.emit(obs.EventAttach, app, rep.Server().Name(),
+		"shares "+rep.Engine().Name()+" with its existing tenants")
+	return nil
 }
 
 // Schedulers returns all registered schedulers sorted by application name.

@@ -40,6 +40,23 @@ func (a *LogAnalyzer) Snapshot(interval float64) map[string]map[metrics.ClassID]
 	return out
 }
 
+// SnapshotStats is Snapshot with per-class latency distributions
+// attached, for observers that need percentiles alongside the vectors.
+// Like Snapshot it resets the engine's interval counters.
+func (a *LogAnalyzer) SnapshotStats(interval float64) (map[string]map[metrics.ClassID]metrics.Vector, map[metrics.ClassID]metrics.ClassStats) {
+	flat := a.eng.SnapshotStats(interval)
+	out := make(map[string]map[metrics.ClassID]metrics.Vector)
+	for id, s := range flat {
+		byApp := out[id.App]
+		if byApp == nil {
+			byApp = make(map[metrics.ClassID]metrics.Vector)
+			out[id.App] = byApp
+		}
+		byApp[id] = s.Vector
+	}
+	return out, flat
+}
+
 // MRCSamples is the default fixed number of page accesses an MRC
 // estimate is computed from. Fixing the sample count makes estimates from
 // different points in time comparable: an MRC from a short window

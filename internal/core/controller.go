@@ -9,6 +9,7 @@ import (
 	"outlierlb/internal/engine"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
+	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
 )
@@ -170,6 +171,18 @@ type Controller struct {
 	lastTick     float64
 	started      bool
 	suspended    bool
+
+	// observer receives the decision trace; observing caches whether it
+	// is a real sink, so the tick path only builds event payloads (maps,
+	// slices, histogram copies) when someone is listening.
+	observer  obs.Observer
+	observing bool
+
+	// lastSnaps retains the most recent tick's per-engine snapshots so
+	// DiagnoseServerLive can re-run the (otherwise destructive) outlier
+	// analysis without consuming a fresh interval.
+	lastSnaps   map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector
+	lastSnapsAt float64
 }
 
 // NewController wires a controller to a simulation and a cluster manager.
@@ -187,7 +200,20 @@ func NewController(s *sim.Engine, mgr *cluster.Manager, cfg Config) (*Controller
 		violStreak:   make(map[string]int),
 		cooldown:     make(map[string]int),
 		stableStreak: make(map[string]int),
+		observer:     obs.Nop{},
 	}, nil
+}
+
+// SetObserver attaches an observer to the decision trace. Passing nil
+// (or obs.Nop{}) detaches: the tick path reverts to building no event
+// payloads.
+func (c *Controller) SetObserver(o obs.Observer) {
+	if o == nil {
+		o = obs.Nop{}
+	}
+	c.observer = o
+	_, nop := o.(obs.Nop)
+	c.observing = !nop
 }
 
 // Signatures exposes the stable-state signature store.
@@ -232,6 +258,10 @@ func (c *Controller) analyzer(eng *engine.Engine) *LogAnalyzer {
 
 func (c *Controller) record(a Action) {
 	c.actions = append(c.actions, a)
+	c.observer.Event(obs.Event{
+		Time: a.Time, Kind: obs.EventKind(a.Kind),
+		App: a.App, Server: a.Server, Class: a.Class, Cause: a.Detail,
+	})
 	if a.App != "" && a.Kind != ActionShrink {
 		c.cooldown[a.App] = c.cfg.SettleIntervals
 	}
@@ -261,17 +291,51 @@ func (c *Controller) Tick() {
 		interval = c.cfg.Interval
 	}
 
-	// Snapshot every engine exactly once and sample system metrics.
+	// Snapshot every engine exactly once and sample system metrics. With
+	// an observer attached the stats flavour is used, so per-class latency
+	// distributions and pool state reach the registry; without one the
+	// plain vector path runs and nothing extra is allocated.
 	snaps := make(map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector)
 	cpu := make(map[*server.Server]float64)
 	disk := make(map[*server.Server]float64)
 	for _, srv := range c.mgr.Servers() {
 		cpu[srv] = srv.CPUUtilization(now)
 		disk[srv] = srv.Disk().UtilizationWindow(now)
+		var engObs []obs.EngineObs
 		for _, eng := range c.mgr.EnginesOn(srv) {
-			snaps[eng] = c.analyzer(eng).Snapshot(interval)
+			if !c.observing {
+				snaps[eng] = c.analyzer(eng).Snapshot(interval)
+				continue
+			}
+			grouped, flat := c.analyzer(eng).SnapshotStats(interval)
+			snaps[eng] = grouped
+			for id, st := range flat {
+				if st.Latency.Count == 0 {
+					continue
+				}
+				c.observer.ClassLatency(obs.ClassLatencyObs{
+					Server: srv.Name(), App: id.App, Class: id.Class,
+					Count: st.Latency.Count, Mean: st.Latency.Mean,
+					P50: st.Latency.P50, P95: st.Latency.P95, P99: st.Latency.P99,
+					Max: st.Latency.Max, Hist: st.Hist,
+				})
+			}
+			pool := eng.Pool()
+			engObs = append(engObs, obs.EngineObs{
+				Engine:    eng.Name(),
+				HitRatio:  pool.TotalStats().HitRatio(),
+				Resident:  pool.Resident(),
+				Capacity:  pool.Capacity(),
+				QuotaKeys: len(pool.Quotas()),
+			})
+		}
+		if c.observing {
+			c.observer.ServerSampled(obs.ServerObs{
+				Time: now, Server: srv.Name(), CPU: cpu[srv], Disk: disk[srv], Engines: engObs,
+			})
 		}
 	}
+	c.lastSnaps, c.lastSnapsAt = snaps, now
 
 	var violated []*cluster.Scheduler
 	for _, sched := range c.mgr.Schedulers() {
@@ -280,6 +344,14 @@ func (c *Controller) Tick() {
 		c.allocation = append(c.allocation, AllocationSample{
 			Time: now, App: app, Replicas: len(sched.Replicas()),
 		})
+		if c.observing {
+			c.observer.IntervalClosed(obs.IntervalObs{
+				Time: now, App: app,
+				AvgLatency: iv.AvgLatency, P95Latency: iv.P95Latency, P99Latency: iv.P99Latency,
+				Throughput: iv.Throughput, Queries: iv.Queries, Met: iv.Met,
+				Replicas: len(sched.Replicas()),
+			})
+		}
 		if iv.Queries == 0 {
 			continue
 		}
@@ -294,6 +366,18 @@ func (c *Controller) Tick() {
 		} else {
 			c.stableStreak[app] = 0
 			c.violStreak[app]++
+			if c.observing {
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventViolation, App: app,
+					Cause: fmt.Sprintf("avg latency %.3fs over SLA %.2fs (streak %d)",
+						iv.AvgLatency, sched.App().SLA.MaxAvgLatency, c.violStreak[app]),
+					Fields: map[string]float64{
+						"avg_latency": iv.AvgLatency,
+						"p95_latency": iv.P95Latency,
+						"queries":     float64(iv.Queries),
+					},
+				})
+			}
 			violated = append(violated, sched)
 		}
 	}
@@ -341,6 +425,12 @@ func (c *Controller) recordStable(now float64, sched *cluster.Scheduler,
 		}
 		sig := c.sigs.Get(app, r.Server().Name())
 		sig.UpdateMetrics(now, vectors)
+		if c.observing {
+			c.observer.Event(obs.Event{
+				Time: now, Kind: obs.EventSignature, App: app, Server: r.Server().Name(),
+				Fields: map[string]float64{"classes": float64(len(vectors))},
+			})
+		}
 		for id := range vectors {
 			total := eng.WindowTotal(id)
 			refreshEvery := int64(c.cfg.MRCSampleCount) / 2
@@ -542,6 +632,22 @@ func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cl
 	}
 	sig := c.sigs.Get(app, srv.Name())
 	reports := Detect(current, sig.Metrics, c.cfg.Fences)
+	if c.observing {
+		for _, rep := range Outliers(reports) {
+			fields := make(map[string]float64)
+			for m := 0; m < metrics.NumMetrics; m++ {
+				if rep.ByMetric[m] != NotOutlier {
+					fields["impact_"+metrics.Metric(m).String()] = rep.Impact.Get(metrics.Metric(m))
+				}
+			}
+			c.observer.Event(obs.Event{
+				Time: now, Kind: obs.EventOutlier,
+				App: rep.ID.App, Server: srv.Name(), Class: rep.ID.Class,
+				Level: rep.Max().String(), Fields: fields,
+				Cause: "metric impact outside IQR fences vs stable state",
+			})
+		}
+	}
 
 	var candidates []metrics.ClassID
 	for id, rep := range reports {
@@ -559,7 +665,7 @@ func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cl
 	})
 
 	capacity := eng.Pool().Capacity()
-	problems := c.confirmProblems(candidates, srv, eng, capacity)
+	problems := c.confirmProblems(now, candidates, srv, eng, capacity)
 	if len(problems) == 0 {
 		// §5.4: the victim's own classes show no MRC change — consider
 		// the other applications' classes on the same engine (newly
@@ -571,7 +677,7 @@ func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cl
 			}
 		}
 		sort.Slice(foreign, func(i, j int) bool { return foreign[i].String() < foreign[j].String() })
-		problems = c.confirmProblems(foreign, srv, eng, capacity)
+		problems = c.confirmProblems(now, foreign, srv, eng, capacity)
 	}
 	if len(problems) == 0 {
 		return false
@@ -701,7 +807,7 @@ func (c *Controller) diagnoseLocks(now float64, sched *cluster.Scheduler, r *clu
 // whose miss ratio stays near 1 no matter how much memory they get — are
 // not memory problems (no quota or placement can help them), and neither
 // are classes whose memory need is a sliver of the pool.
-func (c *Controller) confirmProblems(candidates []metrics.ClassID, srv *server.Server, eng *engine.Engine, capacity int) []problem {
+func (c *Controller) confirmProblems(now float64, candidates []metrics.ClassID, srv *server.Server, eng *engine.Engine, capacity int) []problem {
 	const uncacheableMR = 0.9
 	var out []problem
 	for _, id := range candidates {
@@ -718,6 +824,23 @@ func (c *Controller) confirmProblems(candidates []metrics.ClassID, srv *server.S
 		ownSig := c.sigs.Get(id.App, srv.Name())
 		old, had := ownSig.MRC[id]
 		if !had || mrc.SignificantChange(old, params, c.cfg.MRCChangeFactor) {
+			if c.observing {
+				fields := map[string]float64{
+					"acceptable_memory": float64(params.AcceptableMemory),
+					"ideal_miss_ratio":  params.IdealMissRatio,
+					"capacity":          float64(capacity),
+				}
+				cause := "first MRC estimate for this class here"
+				if had {
+					fields["prev_acceptable_memory"] = float64(old.AcceptableMemory)
+					cause = "acceptable memory changed significantly"
+				}
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventMRCDiagnosis,
+					App: id.App, Server: srv.Name(), Class: id.Class,
+					Cause: cause, Fields: fields,
+				})
+			}
 			out = append(out, problem{id: id, params: params})
 			ownSig.SetMRC(id, params)
 			ownSig.MRCSampleCount[id] = eng.WindowTotal(id)

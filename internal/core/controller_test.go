@@ -22,7 +22,7 @@ type testbed struct {
 	ctl *Controller
 }
 
-func newTestbed(t *testing.T, servers int, poolPages int, cfg Config) *testbed {
+func newTestbed(t testing.TB, servers int, poolPages int, cfg Config) *testbed {
 	t.Helper()
 	if cfg.MRCSampleCount == 0 {
 		// Test scenarios run short streams; a small fixed sample keeps
@@ -57,7 +57,7 @@ func cpuApp(name string, classes int, cpuPerQuery float64) *cluster.Application 
 	return app
 }
 
-func startApp(t *testing.T, tb *testbed, app *cluster.Application) *cluster.Scheduler {
+func startApp(t testing.TB, tb *testbed, app *cluster.Application) *cluster.Scheduler {
 	t.Helper()
 	sched, err := cluster.NewScheduler(app)
 	if err != nil {

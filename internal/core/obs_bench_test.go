@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"outlierlb/internal/obs"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/workload"
+)
+
+// benchIntervalLoop measures the controller's measurement-interval loop
+// (one Tick per iteration, including the workload simulated inside the
+// interval). Comparing the Disabled and Enabled variants bounds the
+// telemetry overhead on the hot path.
+func benchIntervalLoop(b *testing.B, observer obs.Observer) {
+	tb := newTestbed(b, 2, 4096, Config{Interval: 10})
+	if observer != nil {
+		tb.ctl.SetObserver(observer)
+	}
+	rng := sim.NewRNG(3)
+	app := scanApp("shop", rng, 3000)
+	sched := startApp(b, tb, app)
+	em, err := workload.NewEmulator(tb.sim, sched, workload.Config{
+		Mix: mixFor(app), ThinkTime: 0.4, Load: workload.Constant(8),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.ctl.Start()
+	em.Start()
+	tb.sim.RunUntil(100) // warm the pool and record a stable signature
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.sim.RunUntil(sim.Time(100 + float64(i+1)*tb.ctl.cfg.Interval))
+	}
+	b.StopTimer()
+	em.Stop()
+}
+
+func BenchmarkObserverDisabled(b *testing.B) {
+	benchIntervalLoop(b, nil)
+}
+
+func BenchmarkObserverEnabled(b *testing.B) {
+	benchIntervalLoop(b, obs.NewRecorder(4096))
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"outlierlb/internal/engine"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/trace"
+	"outlierlb/internal/workload"
+)
+
+// TestDiagnosisReportGolden pins the operator-facing rendering of a
+// canned interference diagnosis: one extreme memory outlier, one mild
+// latency outlier, an I/O ranking and a lock holder — the §5.5 shape.
+func TestDiagnosisReportGolden(t *testing.T) {
+	rep := &DiagnosisReport{
+		Server: "srv1", CPUUtil: 0.42, DiskUtil: 0.91,
+		Outliers: []OutlierLine{
+			{Class: "best", Level: "extreme", Metrics: []string{"misses", "read_ahead"}, MemoryHit: true},
+			{Class: "pointa", Level: "mild", Metrics: []string{"latency"}},
+		},
+		TopIO: []IOLine{
+			{Class: "shop/best", Pages: 8600, Share: 0.87},
+			{Class: "shop/pointa", Pages: 1285, Share: 0.13},
+		},
+		TopLockHolders: []string{"shop/pointb"},
+	}
+	want := strings.Join([]string{
+		"server srv1: CPU 42%, disk 91%",
+		"  outlier best                     extreme  misses,read_ahead [memory]",
+		"  outlier pointa                   mild     latency",
+		"  io      shop/best                    8600 pages (87%)",
+		"  io      shop/pointa                  1285 pages (13%)",
+		"  locks   held longest by shop/pointb",
+		"",
+	}, "\n")
+	if got := rep.String(); got != want {
+		t.Errorf("rendered report drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestDiagnosisReportJSONRoundTrip(t *testing.T) {
+	rep := &DiagnosisReport{
+		Server: "srv1", CPUUtil: 0.42, DiskUtil: 0.91,
+		Outliers: []OutlierLine{
+			{Class: "best", Level: "extreme", Metrics: []string{"misses"}, MemoryHit: true},
+		},
+		TopIO:          []IOLine{{Class: "shop/best", Pages: 8600, Share: 0.87}},
+		TopLockHolders: []string{"shop/pointb"},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DiagnosisReport
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, rep) {
+		t.Errorf("round trip lost data:\n got %+v\nwant %+v", &got, rep)
+	}
+	// The wire names are part of the endpoint contract.
+	s := string(b)
+	for _, field := range []string{`"server"`, `"cpu_utilization"`, `"disk_utilization"`,
+		`"outliers"`, `"memory_hit"`, `"top_io"`, `"share"`, `"top_lock_holders"`} {
+		if !strings.Contains(s, field) {
+			t.Errorf("JSON missing field %s: %s", field, s)
+		}
+	}
+	// Empty sections are omitted, not null-rendered.
+	b, err = json.Marshal(&DiagnosisReport{Server: "srv2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"outliers", "top_io", "top_lock_holders"} {
+		if strings.Contains(string(b), absent) {
+			t.Errorf("empty report should omit %q: %s", absent, b)
+		}
+	}
+}
+
+// TestObserverDecisionTraceCycle replays the §5.3 index drop with a
+// Recorder attached and asserts the full decision trace reaches it:
+// stable signatures during warmup, then violation → outlier context →
+// MRC diagnosis → retuning action, in that order. It also exercises the
+// live diagnosis path the /debug/diagnosis endpoint uses.
+func TestObserverDecisionTraceCycle(t *testing.T) {
+	tb := newTestbed(t, 2, 4096, Config{Interval: 10, MRCChangeFactor: 1.25})
+	rec := obs.NewRecorder(4096)
+	tb.ctl.SetObserver(rec)
+
+	// Before the first tick the live diagnosis must refuse, not crash.
+	if _, err := tb.ctl.DiagnoseServerLive("srv1"); err == nil {
+		t.Fatal("live diagnosis before any tick should fail")
+	} else if _, ok := err.(obs.NotReadyError); !ok {
+		t.Fatalf("want NotReadyError before first tick, got %v", err)
+	}
+	if _, err := tb.ctl.DiagnoseServerLive("nope"); err == nil {
+		t.Fatal("unknown server accepted")
+	} else if _, ok := err.(obs.NotReadyError); ok {
+		t.Fatal("unknown server should not be a not-ready condition")
+	}
+
+	rng := sim.NewRNG(3)
+	app := scanApp("shop", rng, 3000)
+	sched := startApp(t, tb, app)
+	em, err := workload.NewEmulator(tb.sim, sched, workload.Config{
+		Mix: mixFor(app), ThinkTime: 0.4, Load: workload.Constant(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.ctl.Start()
+	em.Start()
+	tb.sim.RunUntil(120)
+
+	// Degrade "best" to the scan mixture (the dropped index).
+	scan := &trace.SequentialScan{Base: 100000, Span: 60000}
+	hot := trace.NewUniformSet(rng.Fork(), 100000, 1200)
+	mixGen, err := trace.NewMixture(rng.Fork(), []trace.Generator{scan, hot},
+		[]float64{0.7, 0.3}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.UpdateClass(engine.ClassSpec{
+		ID:            metrics.ClassID{App: "shop", Class: "best"},
+		CPUPerQuery:   0.05,
+		PagesPerQuery: 500,
+		Pattern:       mixGen,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tb.sim.RunUntil(400)
+	em.Stop()
+
+	events := rec.Events().Recent(0)
+	kinds := make(map[obs.EventKind]int)
+	firstSeq := make(map[obs.EventKind]uint64)
+	for _, e := range events {
+		if kinds[e.Kind] == 0 {
+			firstSeq[e.Kind] = e.Seq
+		}
+		kinds[e.Kind]++
+	}
+	for _, want := range []obs.EventKind{
+		obs.EventSignature, obs.EventViolation, obs.EventOutlier, obs.EventMRCDiagnosis,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("decision trace has no %s event; kinds seen: %v", want, kinds)
+		}
+	}
+	retunes := kinds[obs.EventQuota] + kinds[obs.EventReschedule]
+	if retunes == 0 {
+		t.Fatalf("decision trace has no retuning event; kinds seen: %v", kinds)
+	}
+	// The cycle must appear in causal order: a violation precedes the
+	// diagnosis, which precedes the action.
+	firstRetune := firstSeq[obs.EventQuota]
+	if kinds[obs.EventQuota] == 0 ||
+		(kinds[obs.EventReschedule] > 0 && firstSeq[obs.EventReschedule] < firstRetune) {
+		firstRetune = firstSeq[obs.EventReschedule]
+	}
+	if firstSeq[obs.EventViolation] > firstSeq[obs.EventMRCDiagnosis] {
+		t.Error("MRC diagnosis recorded before any SLA violation")
+	}
+	if firstSeq[obs.EventMRCDiagnosis] > firstRetune {
+		t.Error("retuning action recorded before the MRC diagnosis that justified it")
+	}
+
+	// The registry view agrees with the event log.
+	reg := rec.Registry()
+	if v := reg.Value(obs.MetricViolations, obs.L("app", "shop")); v == 0 {
+		t.Error("violations counter is zero despite violation events")
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	exposition := b.String()
+	for _, want := range []string{
+		obs.MetricOutliers, obs.MetricServerCPU, obs.MetricPoolHitRatio,
+		obs.MetricClassLatency + `_count{app="shop",class="best"`,
+		obs.MetricAppLatencyQ + `{app="shop",quantile="0.99"}`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+
+	// Live diagnosis now works, repeatedly, without consuming anything.
+	for i := 0; i < 2; i++ {
+		reports, err := tb.ctl.DiagnoseServerLive("srv1")
+		if err != nil {
+			t.Fatalf("live diagnosis (call %d): %v", i+1, err)
+		}
+		if len(reports) == 0 || reports[0].Server != "srv1" {
+			t.Fatalf("live diagnosis (call %d) = %+v", i+1, reports)
+		}
+	}
+}
+
+// TestObserverDetachRestoresNopPath ensures SetObserver(nil) detaches
+// cleanly and the controller keeps working on the payload-free path.
+func TestObserverDetachRestoresNopPath(t *testing.T) {
+	tb := newTestbed(t, 1, 2000, Config{Interval: 10})
+	rec := obs.NewRecorder(16)
+	tb.ctl.SetObserver(rec)
+	tb.ctl.SetObserver(nil)
+	app := cpuApp("calm", 2, 0.005)
+	sched := startApp(t, tb, app)
+	em, err := workload.NewEmulator(tb.sim, sched, workload.Config{
+		Mix: mixFor(app), ThinkTime: 0.5, Load: workload.Constant(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.ctl.Start()
+	em.Start()
+	tb.sim.RunUntil(40)
+	em.Stop()
+	if rec.Events().Total() != 0 {
+		t.Errorf("detached recorder still received %d events", rec.Events().Total())
+	}
+	// The snapshots for live diagnosis are retained regardless.
+	if _, err := tb.ctl.DiagnoseServerLive("srv1"); err != nil {
+		t.Errorf("live diagnosis without observer: %v", err)
+	}
+}

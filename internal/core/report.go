@@ -7,6 +7,7 @@ import (
 
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/metrics"
+	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 )
 
@@ -16,30 +17,30 @@ import (
 // the stable state, lock holders, I/O ranking). It takes no action —
 // it is the explainability companion to the controller's action log.
 type DiagnosisReport struct {
-	Server   string
-	CPUUtil  float64
-	DiskUtil float64
+	Server   string  `json:"server"`
+	CPUUtil  float64 `json:"cpu_utilization"`
+	DiskUtil float64 `json:"disk_utilization"`
 	// Outliers lists flagged query contexts, strongest first.
-	Outliers []OutlierLine
+	Outliers []OutlierLine `json:"outliers,omitempty"`
 	// TopIO ranks classes by disk pages read, descending.
-	TopIO []IOLine
+	TopIO []IOLine `json:"top_io,omitempty"`
 	// TopLockHolders ranks classes by lock hold time, descending.
-	TopLockHolders []string
+	TopLockHolders []string `json:"top_lock_holders,omitempty"`
 }
 
 // OutlierLine is one flagged query context.
 type OutlierLine struct {
-	Class     string
-	Level     string // "mild" or "extreme"
-	Metrics   []string
-	MemoryHit bool
+	Class     string   `json:"class"`
+	Level     string   `json:"level"` // "mild" or "extreme"
+	Metrics   []string `json:"metrics,omitempty"`
+	MemoryHit bool     `json:"memory_hit"`
 }
 
 // IOLine is one class's share of the server's disk traffic.
 type IOLine struct {
-	Class string
-	Pages int64
-	Share float64
+	Class string  `json:"class"`
+	Pages int64   `json:"pages"`
+	Share float64 `json:"share"`
 }
 
 // Diagnose builds a report for app on srv from the current interval's
@@ -116,6 +117,55 @@ func (r *DiagnosisReport) String() string {
 		fmt.Fprintf(&b, "  locks   held longest by %s\n", strings.Join(r.TopLockHolders, ", "))
 	}
 	return b.String()
+}
+
+// DiagnoseServerLive re-runs the diagnosis for every application active
+// on the named server against the most recent tick's retained snapshots.
+// Unlike Diagnose/DiagnoseScheduler it consumes nothing: the interval
+// counters are untouched, so the /debug/diagnosis endpoint can call it
+// repeatedly. It returns obs.NotReadyError before the first tick.
+func (c *Controller) DiagnoseServerLive(name string) ([]*DiagnosisReport, error) {
+	var srv *server.Server
+	for _, s := range c.mgr.Servers() {
+		if s.Name() == name {
+			srv = s
+			break
+		}
+	}
+	if srv == nil {
+		return nil, fmt.Errorf("core: unknown server %q", name)
+	}
+	if c.lastSnaps == nil {
+		return nil, obs.NotReadyError{Reason: "no measurement interval has closed yet"}
+	}
+	// Collect the applications with per-class data on this server's
+	// engines, merging across engines in case a server hosts several.
+	byApp := make(map[string]map[metrics.ClassID]metrics.Vector)
+	for _, eng := range c.mgr.EnginesOn(srv) {
+		for app, vectors := range c.lastSnaps[eng] {
+			merged := byApp[app]
+			if merged == nil {
+				merged = make(map[metrics.ClassID]metrics.Vector, len(vectors))
+				byApp[app] = merged
+			}
+			for id, v := range vectors {
+				merged[id] = v
+			}
+		}
+	}
+	apps := make([]string, 0, len(byApp))
+	for app := range byApp {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	out := make([]*DiagnosisReport, 0, len(apps))
+	for _, app := range apps {
+		out = append(out, c.Diagnose(c.lastSnapsAt, app, srv, byApp[app]))
+	}
+	if len(out) == 0 {
+		return nil, obs.NotReadyError{Reason: fmt.Sprintf("no query-class data on server %q yet", name)}
+	}
+	return out, nil
 }
 
 // DiagnoseScheduler is a convenience that snapshots every replica of an

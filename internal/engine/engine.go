@@ -282,6 +282,14 @@ func (e *Engine) Snapshot(interval float64) map[metrics.ClassID]metrics.Vector {
 	return e.collector.Snapshot(interval)
 }
 
+// SnapshotStats is Snapshot with per-class latency distributions
+// attached. Like Snapshot it resets the interval counters; call one or
+// the other per interval, not both.
+func (e *Engine) SnapshotStats(interval float64) map[metrics.ClassID]metrics.ClassStats {
+	e.logbuf.Flush()
+	return e.collector.SnapshotStats(interval)
+}
+
 // Window returns the recent page accesses of class id (oldest first), the
 // input to MRC recomputation.
 func (e *Engine) Window(id metrics.ClassID) []uint64 {

@@ -11,6 +11,7 @@ import (
 	"outlierlb/internal/bufferpool"
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/core"
+	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
 	"outlierlb/internal/storage"
@@ -50,6 +51,23 @@ type testbed struct {
 	ctl *core.Controller
 }
 
+// obsHooks lets callers (the command-line tools) attach observability to
+// the testbeds the scenario functions build internally. The scenario
+// functions take only a seed, so this is deliberately process-global.
+var obsHooks struct {
+	observer  obs.Observer
+	onTestbed func(ctl *core.Controller, mgr *cluster.Manager, s *sim.Engine)
+}
+
+// SetObsHooks installs an observer attached to every testbed built after
+// the call, plus an optional callback receiving each testbed's
+// controller, manager and simulation (the tools use it to point live
+// diagnosis at the most recent run). Pass nil, nil to clear.
+func SetObsHooks(o obs.Observer, onTestbed func(ctl *core.Controller, mgr *cluster.Manager, s *sim.Engine)) {
+	obsHooks.observer = o
+	obsHooks.onTestbed = onTestbed
+}
+
 func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	s := sim.NewEngine(seed)
 	mgr := cluster.NewManager()
@@ -60,6 +78,14 @@ func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	ctl, err := core.NewController(s, mgr, cfg)
 	if err != nil {
 		panic(err) // static wiring cannot fail
+	}
+	if obsHooks.observer != nil {
+		ctl.SetObserver(obsHooks.observer)
+		mgr.Observer = obsHooks.observer
+		mgr.Clock = func() float64 { return s.Now().Seconds() }
+	}
+	if obsHooks.onTestbed != nil {
+		obsHooks.onTestbed(ctl, mgr, s)
 	}
 	return &testbed{sim: s, mgr: mgr, ctl: ctl}
 }

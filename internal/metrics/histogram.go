@@ -72,6 +72,16 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
+// Sum reports the exact sum of all samples (tracked outside the buckets).
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
+
 // Min and Max report the exact extremes.
 func (h *Histogram) Min() float64 {
 	if h.total == 0 {

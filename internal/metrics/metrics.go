@@ -73,7 +73,9 @@ type ClassID struct {
 func (c ClassID) String() string { return c.App + "/" + c.Class }
 
 // classAccum accumulates raw counters for one query class during the
-// current measurement interval.
+// current measurement interval. The latency histogram survives resets
+// (cleared, not reallocated) so steady-state snapshots allocate nothing
+// per class.
 type classAccum struct {
 	queries     int64
 	latencySum  float64
@@ -82,6 +84,15 @@ type classAccum struct {
 	ioReqs      int64
 	readAhead   int64
 	lockWaitSum float64
+	latencies   *Histogram
+}
+
+func (a *classAccum) reset() {
+	h := a.latencies
+	*a = classAccum{latencies: h}
+	if h != nil {
+		h.Reset()
+	}
 }
 
 // Collector accumulates per-query-class samples and produces per-interval
@@ -113,6 +124,10 @@ func (c *Collector) RecordQuery(id ClassID, latency float64) {
 	a := c.get(id)
 	a.queries++
 	a.latencySum += latency
+	if a.latencies == nil {
+		a.latencies = NewHistogram()
+	}
+	a.latencies.Observe(latency)
 }
 
 // RecordAccess records a logical page access; miss reports whether it
@@ -151,20 +166,85 @@ func (c *Collector) Queries(id ClassID) int64 {
 	return 0
 }
 
+// LatencySummary condenses one query class's per-query latency
+// distribution over a measurement interval. Quantiles come from the
+// class's logarithmic histogram (≤15% overestimates — the safe direction
+// for SLA work); Mean and Max are exact.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// ClassStats couples a class's per-interval metric vector with its
+// latency distribution — the Vector-adjacent snapshot data consumers use
+// when average latency alone is not enough.
+type ClassStats struct {
+	Vector  Vector
+	Latency LatencySummary
+	// Hist is an independent copy of the interval's latency histogram
+	// (nil when the class completed no queries); receivers may retain
+	// and merge it.
+	Hist *Histogram
+}
+
+// checkInterval rejects non-positive measurement intervals. Rates divided
+// by a zero or negative interval are silently wrong in every consumer
+// (outlier detection would compare garbage ratios), so this is a
+// programming error worth a panic rather than a coerced default.
+func checkInterval(interval float64) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("metrics: Snapshot requires a positive interval in seconds, got %v", interval))
+	}
+}
+
 // Snapshot converts the counters accumulated over an interval of the given
 // length (seconds) into one metric vector per query class, then resets the
 // collector for the next interval. Classes with no activity yield a zero
 // vector and are still reported, so stable-state signatures keep an entry
-// for idle classes.
+// for idle classes. A non-positive interval panics.
 func (c *Collector) Snapshot(interval float64) map[ClassID]Vector {
-	if interval <= 0 {
-		interval = 1
+	stats := c.snapshotStats(interval, false)
+	out := make(map[ClassID]Vector, len(stats))
+	for id, s := range stats {
+		out[id] = s.Vector
 	}
-	out := make(map[ClassID]Vector, len(c.accum))
+	return out
+}
+
+// SnapshotStats is Snapshot with the per-class latency distributions
+// attached. Like Snapshot it resets the collector; call one or the other
+// per interval, not both.
+func (c *Collector) SnapshotStats(interval float64) map[ClassID]ClassStats {
+	return c.snapshotStats(interval, true)
+}
+
+// snapshotStats implements both snapshot flavours; withHist controls
+// whether per-class histogram copies are made (an allocation the plain
+// vector path should not pay).
+func (c *Collector) snapshotStats(interval float64, withHist bool) map[ClassID]ClassStats {
+	checkInterval(interval)
+	out := make(map[ClassID]ClassStats, len(c.accum))
 	for id, a := range c.accum {
-		var v Vector
+		var s ClassStats
+		v := &s.Vector
 		if a.queries > 0 {
 			v[Latency] = a.latencySum / float64(a.queries)
+			qs := a.latencies.Percentiles(0.5, 0.95, 0.99)
+			s.Latency = LatencySummary{
+				Count: a.queries,
+				Mean:  a.latencies.Mean(),
+				P50:   qs[0],
+				P95:   qs[1],
+				P99:   qs[2],
+				Max:   a.latencies.Max(),
+			}
+			if withHist {
+				s.Hist = a.latencies.Clone()
+			}
 		}
 		v[Throughput] = float64(a.queries) / interval
 		v[BufferMisses] = float64(a.misses) / interval
@@ -172,8 +252,8 @@ func (c *Collector) Snapshot(interval float64) map[ClassID]Vector {
 		v[IORequests] = float64(a.ioReqs) / interval
 		v[ReadAhead] = float64(a.readAhead) / interval
 		v[LockWait] = a.lockWaitSum / interval
-		out[id] = v
-		*a = classAccum{}
+		out[id] = s
+		a.reset()
 	}
 	return out
 }

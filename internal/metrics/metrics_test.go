@@ -66,12 +66,60 @@ func TestCollectorIdleClassStillReported(t *testing.T) {
 	}
 }
 
-func TestCollectorZeroIntervalDoesNotPanic(t *testing.T) {
+func TestCollectorNonPositiveIntervalPanics(t *testing.T) {
+	for _, interval := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Snapshot(%v) did not panic", interval)
+				}
+			}()
+			c := NewCollector()
+			c.RecordQuery(best, 1)
+			c.Snapshot(interval)
+		}()
+	}
+}
+
+func TestCollectorSnapshotStatsPercentiles(t *testing.T) {
 	c := NewCollector()
-	c.RecordQuery(best, 1)
-	snap := c.Snapshot(0)
-	if snap[best].Get(Throughput) != 1 {
-		t.Errorf("zero interval should be clamped to 1s")
+	// 97 fast queries and 3 slow ones: p50/p95 stay near 10ms, p99 and
+	// max must surface the tail that the average hides.
+	for i := 0; i < 97; i++ {
+		c.RecordQuery(best, 0.010)
+	}
+	for i := 0; i < 3; i++ {
+		c.RecordQuery(best, 2.0)
+	}
+	stats := c.SnapshotStats(10)
+	s, ok := stats[best]
+	if !ok {
+		t.Fatal("BestSeller missing from stats snapshot")
+	}
+	lat := s.Latency
+	if lat.Count != 100 {
+		t.Fatalf("count = %d, want 100", lat.Count)
+	}
+	if lat.P50 > 0.02 {
+		t.Errorf("p50 = %v, want ≈0.01", lat.P50)
+	}
+	if lat.P99 < 1.0 || lat.Max != 2.0 {
+		t.Errorf("tail lost: p99 = %v, max = %v", lat.P99, lat.Max)
+	}
+	if lat.P95 > lat.P99 || lat.P50 > lat.P95 {
+		t.Errorf("quantiles not monotone: %+v", lat)
+	}
+	if s.Hist == nil || s.Hist.Count() != 100 {
+		t.Error("stats snapshot missing histogram copy")
+	}
+	// The vector view must agree with the summary's mean.
+	if got, want := s.Vector.Get(Latency), lat.Mean; got != want {
+		t.Errorf("vector latency %v != summary mean %v", got, want)
+	}
+	// Idle interval afterwards: summary resets, class still reported.
+	stats = c.SnapshotStats(10)
+	if s := stats[best]; s.Latency.Count != 0 || s.Hist != nil {
+		t.Errorf("latency summary not reset: %+v", s.Latency)
 	}
 }
 

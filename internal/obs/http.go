@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// DiagnoseFunc produces a live diagnosis for the named server — the
+// /debug/diagnosis handler's backend. Implementations return any
+// JSON-marshalable value (in this codebase, []*core.DiagnosisReport).
+// Returning an error yields a 404/503 depending on Retryable.
+type DiagnoseFunc func(server string) (interface{}, error)
+
+// NotReadyError marks a diagnosis request that arrived before the data
+// source is safe to read (e.g. the simulation is still running in
+// another goroutine). The handler maps it to 503 instead of 404.
+type NotReadyError struct{ Reason string }
+
+func (e NotReadyError) Error() string { return e.Reason }
+
+// MuxConfig wires the debug endpoints to their data sources. Any nil
+// source disables its endpoints with 404s rather than panics.
+type MuxConfig struct {
+	// Log backs /debug/decisions.
+	Log *EventLog
+	// Registry backs /metrics.
+	Registry *Registry
+	// Diagnose backs /debug/diagnosis.
+	Diagnose DiagnoseFunc
+}
+
+// decisionsResponse is the /debug/decisions payload.
+type decisionsResponse struct {
+	// Total is how many events were ever emitted; the ring buffer may
+	// hold fewer.
+	Total uint64 `json:"total"`
+	// Events holds the most recent events, oldest first.
+	Events []Event `json:"events"`
+}
+
+// NewMux returns an http.ServeMux serving the observability endpoints:
+//
+//	/healthz              liveness probe ("ok")
+//	/metrics              Prometheus text exposition
+//	/debug/decisions      recent decision-trace events as JSON
+//	                      (?n=limit, ?kind=, ?app= filters)
+//	/debug/diagnosis      live DiagnosisReport (?server=name)
+func NewMux(cfg MuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if cfg.Registry != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = cfg.Registry.WriteText(w)
+		})
+	}
+	if cfg.Log != nil {
+		mux.HandleFunc("/debug/decisions", func(w http.ResponseWriter, req *http.Request) {
+			n := 0
+			if s := req.URL.Query().Get("n"); s != "" {
+				v, err := strconv.Atoi(s)
+				if err != nil || v < 0 {
+					http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+					return
+				}
+				n = v
+			}
+			kind := req.URL.Query().Get("kind")
+			app := req.URL.Query().Get("app")
+			events := cfg.Log.Recent(0)
+			if kind != "" || app != "" {
+				filtered := events[:0]
+				for _, e := range events {
+					if kind != "" && string(e.Kind) != kind {
+						continue
+					}
+					if app != "" && e.App != app {
+						continue
+					}
+					filtered = append(filtered, e)
+				}
+				events = filtered
+			}
+			if n > 0 && len(events) > n {
+				events = events[len(events)-n:]
+			}
+			if events == nil {
+				events = []Event{}
+			}
+			writeJSON(w, decisionsResponse{Total: cfg.Log.Total(), Events: events})
+		})
+	}
+	if cfg.Diagnose != nil {
+		mux.HandleFunc("/debug/diagnosis", func(w http.ResponseWriter, req *http.Request) {
+			srv := req.URL.Query().Get("server")
+			if srv == "" {
+				http.Error(w, "missing ?server= parameter", http.StatusBadRequest)
+				return
+			}
+			report, err := cfg.Diagnose(srv)
+			if err != nil {
+				code := http.StatusNotFound
+				if _, notReady := err.(NotReadyError); notReady {
+					code = http.StatusServiceUnavailable
+				}
+				http.Error(w, err.Error(), code)
+				return
+			}
+			writeJSON(w, report)
+		})
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve listens on addr and serves the debug endpoints in a background
+// goroutine, returning the server and the bound address (useful with
+// ":0"). The caller shuts it down via srv.Close.
+func Serve(addr string, cfg MuxConfig) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(cfg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testMux(t *testing.T) (*Recorder, *httptest.Server) {
+	t.Helper()
+	rec := NewRecorder(16)
+	srv := httptest.NewServer(NewMux(MuxConfig{
+		Log:      rec.Events(),
+		Registry: rec.Registry(),
+		Diagnose: func(server string) (interface{}, error) {
+			switch server {
+			case "db1":
+				return map[string]string{"server": "db1"}, nil
+			case "warming":
+				return nil, NotReadyError{Reason: "still running"}
+			default:
+				return nil, io.EOF // any non-NotReady error → 404
+			}
+		},
+	}))
+	t.Cleanup(srv.Close)
+	return rec, srv
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHealthz(t *testing.T) {
+	_, srv := testMux(t)
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	rec, srv := testMux(t)
+	rec.Event(Event{Kind: EventQuota, App: "tpcw"})
+	code, body, hdr := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q, want the 0.0.4 text exposition", ct)
+	}
+	if !strings.Contains(body, MetricEvents+`{kind="enforce-quota"} 1`) {
+		t.Errorf("metrics body missing event counter:\n%s", body)
+	}
+}
+
+func TestDecisionsEndpointFilters(t *testing.T) {
+	rec, srv := testMux(t)
+	rec.Event(Event{Kind: EventViolation, App: "tpcw", Time: 10})
+	rec.Event(Event{Kind: EventOutlier, App: "tpcw", Class: "BestSeller", Time: 10})
+	rec.Event(Event{Kind: EventViolation, App: "rubis", Time: 20})
+
+	var got struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	decode := func(url string) {
+		t.Helper()
+		code, body, _ := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("%s status = %d", url, code)
+		}
+		got.Events = nil
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatalf("%s: %v\n%s", url, err, body)
+		}
+	}
+
+	decode(srv.URL + "/debug/decisions")
+	if got.Total != 3 || len(got.Events) != 3 {
+		t.Fatalf("unfiltered: total=%d events=%d, want 3/3", got.Total, len(got.Events))
+	}
+	decode(srv.URL + "/debug/decisions?kind=sla-violation")
+	if len(got.Events) != 2 {
+		t.Errorf("kind filter: %d events, want 2", len(got.Events))
+	}
+	decode(srv.URL + "/debug/decisions?app=rubis")
+	if len(got.Events) != 1 || got.Events[0].App != "rubis" {
+		t.Errorf("app filter: %+v", got.Events)
+	}
+	decode(srv.URL + "/debug/decisions?n=1")
+	if len(got.Events) != 1 || got.Events[0].Time != 20 {
+		t.Errorf("n=1 should return only the newest event: %+v", got.Events)
+	}
+	if code, _, _ := get(t, srv.URL+"/debug/decisions?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", code)
+	}
+}
+
+func TestDiagnosisEndpointStatusCodes(t *testing.T) {
+	_, srv := testMux(t)
+	if code, _, _ := get(t, srv.URL+"/debug/diagnosis"); code != http.StatusBadRequest {
+		t.Errorf("missing server param: %d, want 400", code)
+	}
+	code, body, _ := get(t, srv.URL+"/debug/diagnosis?server=db1")
+	if code != http.StatusOK || !strings.Contains(body, `"db1"`) {
+		t.Errorf("known server: %d %q", code, body)
+	}
+	if code, _, _ := get(t, srv.URL+"/debug/diagnosis?server=warming"); code != http.StatusServiceUnavailable {
+		t.Errorf("not ready: %d, want 503", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/debug/diagnosis?server=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown server: %d, want 404", code)
+	}
+}
+
+func TestMuxWithoutSources(t *testing.T) {
+	srv := httptest.NewServer(NewMux(MuxConfig{}))
+	defer srv.Close()
+	if code, _, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz without sources: %d", code)
+	}
+	for _, path := range []string{"/metrics", "/debug/decisions", "/debug/diagnosis?server=x"} {
+		if code, _, _ := get(t, srv.URL+path); code != http.StatusNotFound {
+			t.Errorf("%s without a source: %d, want 404", path, code)
+		}
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	rec := NewRecorder(4)
+	srv, addr, err := Serve("127.0.0.1:0", MuxConfig{Log: rec.Events(), Registry: rec.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _, _ := get(t, "http://"+addr+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("healthz via Serve = %d", code)
+	}
+}

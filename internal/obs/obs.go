@@ -1,0 +1,199 @@
+// Package obs is the observability layer: a typed decision-trace event
+// log, a Prometheus-style metric registry, and an HTTP debug server. The
+// paper's central claim is that fine-grained load balancing is
+// *explainable* — §5.5 walks an administrator from per-class counters to
+// an interference diagnosis — so every controller decision (SLA
+// violation, outlier context, MRC diagnosis, quota change, migration,
+// fallback) is emitted as a structured event an operator can replay.
+//
+// The simulation and controller code talk to the layer through the
+// Observer interface. The default implementation, Nop, discards
+// everything, so instrumented hot paths pay only an interface call when
+// observability is disabled; Recorder is the real implementation backing
+// the /metrics and /debug endpoints.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"outlierlb/internal/metrics"
+)
+
+// EventKind labels one decision-trace event. The retuning-action kinds
+// mirror core.ActionKind string-for-string so an Action converts to an
+// Event without a mapping table.
+type EventKind string
+
+// Controller retuning actions (mirroring core.ActionKind).
+const (
+	EventProvision   EventKind = "provision-replica"
+	EventQuota       EventKind = "enforce-quota"
+	EventReschedule  EventKind = "reschedule-class"
+	EventIOMove      EventKind = "io-move-class"
+	EventFallback    EventKind = "coarse-isolate"
+	EventShrink      EventKind = "release-replica"
+	EventLockReport  EventKind = "lock-contention"
+	EventMaintain    EventKind = "maintain-quota"
+	EventExhausted   EventKind = "resources-exhausted"
+)
+
+// Diagnosis and lifecycle events beyond the action log.
+const (
+	// EventViolation marks a measurement interval that broke its SLA.
+	EventViolation EventKind = "sla-violation"
+	// EventOutlier marks a query context flagged by IQR outlier
+	// detection; Fields carries the impact value per flagged metric.
+	EventOutlier EventKind = "outlier-context"
+	// EventMRCDiagnosis marks a class confirmed as a memory problem by
+	// MRC recomputation; Fields carries the fresh curve parameters.
+	EventMRCDiagnosis EventKind = "mrc-diagnosis"
+	// EventSignature marks a stable interval whose metrics refreshed the
+	// application's stable-state signature.
+	EventSignature EventKind = "signature-recorded"
+	// EventEngineUp / EventEngineDown / EventAttach are the resource
+	// manager's infrastructure events.
+	EventEngineUp   EventKind = "engine-provisioned"
+	EventEngineDown EventKind = "engine-decommissioned"
+	EventAttach     EventKind = "replica-attached"
+)
+
+// Event is one structured decision-trace record.
+type Event struct {
+	// Seq is assigned by the event log: a monotonically increasing
+	// sequence number across the run.
+	Seq uint64 `json:"seq"`
+	// Time is the virtual time of the decision, in seconds.
+	Time float64 `json:"time"`
+	Kind EventKind `json:"kind"`
+	// App, Server and Class locate the decision; empty when not
+	// applicable.
+	App    string `json:"app,omitempty"`
+	Server string `json:"server,omitempty"`
+	Class  string `json:"class,omitempty"`
+	// Level is the outlier strength ("mild"/"extreme") for outlier
+	// events.
+	Level string `json:"level,omitempty"`
+	// Cause is the human-readable explanation, matching the controller's
+	// action detail strings.
+	Cause string `json:"cause,omitempty"`
+	// Fields carries numeric evidence: metric impact values for outlier
+	// events, MRC parameters for diagnosis events.
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// String renders the event as one operator-readable line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%.0fs %s", e.Time, e.Kind)
+	if e.App != "" {
+		fmt.Fprintf(&b, " app=%s", e.App)
+	}
+	if e.Server != "" {
+		fmt.Fprintf(&b, " server=%s", e.Server)
+	}
+	if e.Class != "" {
+		fmt.Fprintf(&b, " class=%s", e.Class)
+	}
+	if e.Level != "" {
+		fmt.Fprintf(&b, " level=%s", e.Level)
+	}
+	if len(e.Fields) > 0 {
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.3g", k, e.Fields[k])
+		}
+	}
+	if e.Cause != "" {
+		fmt.Fprintf(&b, " — %s", e.Cause)
+	}
+	return b.String()
+}
+
+// IntervalObs is one application's closed measurement interval, as seen
+// by an observer.
+type IntervalObs struct {
+	Time       float64 `json:"time"`
+	App        string  `json:"app"`
+	AvgLatency float64 `json:"avg_latency"`
+	P95Latency float64 `json:"p95_latency"`
+	P99Latency float64 `json:"p99_latency"`
+	Throughput float64 `json:"throughput"`
+	Queries    int64   `json:"queries"`
+	Met        bool    `json:"met"`
+	Replicas   int     `json:"replicas"`
+}
+
+// EngineObs is one database engine's buffer-pool state at a tick.
+type EngineObs struct {
+	Engine    string  `json:"engine"`
+	HitRatio  float64 `json:"hit_ratio"`
+	Resident  int     `json:"resident_pages"`
+	Capacity  int     `json:"capacity_pages"`
+	QuotaKeys int     `json:"quotas"`
+}
+
+// ServerObs is one physical server's utilization sample at a tick.
+type ServerObs struct {
+	Time    float64     `json:"time"`
+	Server  string      `json:"server"`
+	CPU     float64     `json:"cpu_utilization"`
+	Disk    float64     `json:"disk_utilization"`
+	Engines []EngineObs `json:"engines,omitempty"`
+}
+
+// ClassLatencyObs is one query class's latency distribution over the
+// interval that just closed on one server.
+type ClassLatencyObs struct {
+	Server string
+	App    string
+	Class  string
+	Count  int64
+	Mean   float64
+	P50    float64
+	P95    float64
+	P99    float64
+	Max    float64
+	// Hist, when non-nil, is a private copy of the interval's latency
+	// histogram the receiver may retain and merge.
+	Hist *metrics.Histogram
+}
+
+// Observer receives the decision trace and periodic samples. All methods
+// are called from the (single-threaded) simulation loop; implementations
+// that expose data to other goroutines must synchronize internally.
+type Observer interface {
+	// Event delivers one decision-trace event.
+	Event(e Event)
+	// IntervalClosed delivers an application's measurement-interval
+	// outcome.
+	IntervalClosed(iv IntervalObs)
+	// ServerSampled delivers a server utilization sample.
+	ServerSampled(s ServerObs)
+	// ClassLatency delivers one class's per-interval latency summary.
+	ClassLatency(cl ClassLatencyObs)
+}
+
+// Nop is the no-op Observer: every method returns immediately. It is the
+// default everywhere an observer can be attached, keeping the simulation
+// hot path free of observability cost when tracing is off.
+type Nop struct{}
+
+// Event implements Observer.
+func (Nop) Event(Event) {}
+
+// IntervalClosed implements Observer.
+func (Nop) IntervalClosed(IntervalObs) {}
+
+// ServerSampled implements Observer.
+func (Nop) ServerSampled(ServerObs) {}
+
+// ClassLatency implements Observer.
+func (Nop) ClassLatency(ClassLatencyObs) {}
+
+var _ Observer = Nop{}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"outlierlb/internal/metrics"
+)
+
+func TestEventLogRingEviction(t *testing.T) {
+	log := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		log.Append(Event{Kind: EventQuota, Time: float64(i)})
+	}
+	if log.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", log.Total())
+	}
+	if log.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capacity)", log.Len())
+	}
+	got := log.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("Recent(0) = %d events, want 3", len(got))
+	}
+	// Oldest-first, the two earliest events evicted.
+	for i, e := range got {
+		if e.Time != float64(i+2) {
+			t.Errorf("event %d time = %v, want %v", i, e.Time, i+2)
+		}
+		if e.Seq != uint64(i+2) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i+2)
+		}
+	}
+	if tail := log.Recent(1); len(tail) != 1 || tail[0].Time != 4 {
+		t.Errorf("Recent(1) = %+v, want just the newest event", tail)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Time: 120, Kind: EventOutlier, App: "tpcw", Server: "db1",
+		Class: "BestSeller", Level: "extreme",
+		Fields: map[string]float64{"impact_misses": 42.5},
+		Cause:  "metric impact outside IQR fences vs stable state",
+	}
+	s := e.String()
+	for _, want := range []string{"t=120s", "outlier-context", "app=tpcw", "server=db1",
+		"class=BestSeller", "level=extreme", "impact_misses=42.5", "IQR fences"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestEventJSONOmitsEmptyFields(t *testing.T) {
+	b, err := json.Marshal(Event{Seq: 1, Time: 10, Kind: EventProvision, App: "tpcw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, absent := range []string{"server", "class", "level", "cause", "fields"} {
+		if strings.Contains(s, `"`+absent+`"`) {
+			t.Errorf("marshaled event %s should omit empty %q", s, absent)
+		}
+	}
+}
+
+func TestRegistryTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("test_events_total", "Events by kind.")
+	r.Add("test_events_total", L("kind", "enforce-quota"), 2)
+	r.Add("test_events_total", L("kind", "sla-violation"), 1)
+	r.Set("test_gauge", nil, 0.5)
+	r.Observe("test_latency_seconds", L("app", "tpcw"), 0.25)
+	r.Observe("test_latency_seconds", L("app", "tpcw"), 0.75)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_events_total Events by kind.",
+		"# TYPE test_events_total counter",
+		`test_events_total{kind="enforce-quota"} 2`,
+		`test_events_total{kind="sla-violation"} 1`,
+		"# TYPE test_gauge gauge",
+		"test_gauge 0.5",
+		"# TYPE test_latency_seconds summary",
+		`test_latency_seconds{app="tpcw",quantile="0.5"}`,
+		`test_latency_seconds{app="tpcw",quantile="0.99"}`,
+		`test_latency_seconds_sum{app="tpcw"} 1`,
+		`test_latency_seconds_count{app="tpcw"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders must match byte for byte.
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition is not deterministic across renders")
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Set("g", L("c", `a"b\c`+"\n"), 1)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `g{c="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("exposition = %q, want %q", b.String(), want)
+	}
+}
+
+func TestRegistryTypeMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("using one metric as counter and gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Add("m", nil, 1)
+	r.Set("m", nil, 2)
+}
+
+func TestRecorderCountsEventsAndOutliers(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Event(Event{Kind: EventQuota, App: "tpcw"})
+	rec.Event(Event{Kind: EventOutlier, App: "tpcw", Class: "BestSeller", Level: "extreme"})
+	rec.Event(Event{Kind: EventOutlier, App: "tpcw", Class: "NewProducts", Level: "mild"})
+
+	reg := rec.Registry()
+	if got := reg.Value(MetricEvents, L("kind", string(EventQuota))); got != 1 {
+		t.Errorf("events{enforce-quota} = %v, want 1", got)
+	}
+	if got := reg.Value(MetricOutliers, L("level", "extreme")); got != 1 {
+		t.Errorf("outliers{extreme} = %v, want 1", got)
+	}
+	if got := reg.Value(MetricOutliers, L("level", "mild")); got != 1 {
+		t.Errorf("outliers{mild} = %v, want 1", got)
+	}
+	if rec.Events().Total() != 3 {
+		t.Errorf("event log total = %d, want 3", rec.Events().Total())
+	}
+}
+
+func TestRecorderVerboseMirrorsDecisionsNotSignatures(t *testing.T) {
+	rec := NewRecorder(16)
+	var b strings.Builder
+	rec.SetVerbose(&b)
+	rec.Event(Event{Kind: EventSignature, App: "tpcw"})
+	rec.Event(Event{Kind: EventReschedule, App: "tpcw", Class: "BestSeller"})
+	out := b.String()
+	if strings.Contains(out, string(EventSignature)) {
+		t.Error("verbose mirror should skip signature refreshes")
+	}
+	if !strings.Contains(out, string(EventReschedule)) {
+		t.Errorf("verbose mirror missing the reschedule decision: %q", out)
+	}
+}
+
+func TestRecorderIntervalAndSamples(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.IntervalClosed(IntervalObs{
+		Time: 10, App: "tpcw", AvgLatency: 0.3, P95Latency: 0.8, P99Latency: 1.2,
+		Throughput: 50, Queries: 500, Met: false, Replicas: 2,
+	})
+	rec.ServerSampled(ServerObs{
+		Time: 10, Server: "db1", CPU: 0.9, Disk: 0.2,
+		Engines: []EngineObs{{Engine: "engine-0", HitRatio: 0.95, Resident: 8000, Capacity: 8192, QuotaKeys: 1}},
+	})
+	h := metrics.NewHistogram()
+	h.Observe(0.2)
+	rec.ClassLatency(ClassLatencyObs{
+		Server: "db1", App: "tpcw", Class: "BestSeller",
+		Count: 1, Mean: 0.2, P50: 0.2, P95: 0.2, P99: 0.2, Max: 0.2, Hist: h,
+	})
+
+	reg := rec.Registry()
+	checks := []struct {
+		name   string
+		labels Labels
+		want   float64
+	}{
+		{MetricViolations, L("app", "tpcw"), 1},
+		{MetricIntervals, L("app", "tpcw", "met", "false"), 1},
+		{MetricAppLatencyAvg, L("app", "tpcw"), 0.3},
+		{MetricAppLatencyQ, L("app", "tpcw", "quantile", "0.99"), 1.2},
+		{MetricAppReplicas, L("app", "tpcw"), 2},
+		{MetricServerCPU, L("server", "db1"), 0.9},
+		{MetricPoolHitRatio, L("server", "db1", "engine", "engine-0"), 0.95},
+		{MetricVirtualTime, nil, 10},
+	}
+	for _, c := range checks {
+		if got := reg.Value(c.name, c.labels); got != c.want {
+			t.Errorf("%s%s = %v, want %v", c.name, c.labels.render(), got, c.want)
+		}
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), MetricClassLatency+`_count{app="tpcw",class="BestSeller"} 1`) {
+		t.Errorf("class latency summary missing from exposition:\n%s", b.String())
+	}
+}
+
+// TestRecorderConcurrency exercises the Recorder from writer and reader
+// goroutines simultaneously; run under -race this proves the HTTP server
+// can read while the simulation writes.
+func TestRecorderConcurrency(t *testing.T) {
+	rec := NewRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec.Event(Event{Kind: EventQuota, App: "tpcw", Time: float64(i)})
+				rec.IntervalClosed(IntervalObs{App: "tpcw", Queries: 1, Met: true, Replicas: 1})
+				rec.ServerSampled(ServerObs{Server: "db1", CPU: 0.5})
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec.Events().Recent(0)
+				var b strings.Builder
+				_ = rec.Registry().WriteText(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Events().Total() != 800 {
+		t.Errorf("total events = %d, want 800", rec.Events().Total())
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Metric names exposed by the Recorder. Kept as constants so tests, docs
+// and scrape configs reference one spelling.
+const (
+	MetricEvents           = "outlierlb_events_total"
+	MetricOutliers         = "outlierlb_outliers_total"
+	MetricViolations       = "outlierlb_sla_violations_total"
+	MetricIntervals        = "outlierlb_intervals_total"
+	MetricAppLatencyAvg    = "outlierlb_app_latency_avg_seconds"
+	MetricAppLatencyQ      = "outlierlb_app_latency_quantile_seconds"
+	MetricAppThroughput    = "outlierlb_app_throughput_qps"
+	MetricAppReplicas      = "outlierlb_app_replicas"
+	MetricServerCPU        = "outlierlb_server_cpu_utilization"
+	MetricServerDisk       = "outlierlb_server_disk_utilization"
+	MetricPoolHitRatio     = "outlierlb_pool_hit_ratio"
+	MetricPoolResident     = "outlierlb_pool_resident_pages"
+	MetricPoolQuotas       = "outlierlb_pool_quotas"
+	MetricClassLatency     = "outlierlb_class_latency_seconds"
+	MetricClassLatencyQ    = "outlierlb_class_latency_quantile_seconds"
+	MetricVirtualTime      = "outlierlb_virtual_time_seconds"
+)
+
+// Recorder is the standard Observer: it appends every decision-trace
+// event to a ring-buffered EventLog and maintains the metric registry the
+// /metrics endpoint serves. Safe for concurrent use (the HTTP server
+// reads while the simulation writes).
+type Recorder struct {
+	log *EventLog
+	reg *Registry
+
+	mu      sync.Mutex
+	verbose io.Writer
+}
+
+// NewRecorder returns a recorder whose event log holds the most recent
+// capacity events (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	r := &Recorder{log: NewEventLog(capacity), reg: NewRegistry()}
+	r.reg.Help(MetricEvents, "Decision-trace events emitted, by kind.")
+	r.reg.Help(MetricOutliers, "Outlier query contexts flagged, by strength level.")
+	r.reg.Help(MetricViolations, "Measurement intervals that violated their application's SLA.")
+	r.reg.Help(MetricIntervals, "Measurement intervals closed, by SLA outcome.")
+	r.reg.Help(MetricAppLatencyAvg, "Average query latency of the last closed interval, per application.")
+	r.reg.Help(MetricAppLatencyQ, "Query latency quantiles of the last closed interval, per application.")
+	r.reg.Help(MetricAppThroughput, "Throughput of the last closed interval, per application.")
+	r.reg.Help(MetricAppReplicas, "Replicas currently allocated, per application.")
+	r.reg.Help(MetricServerCPU, "Mean core utilization over the last interval, per server.")
+	r.reg.Help(MetricServerDisk, "Disk utilization over the last interval, per server.")
+	r.reg.Help(MetricPoolHitRatio, "Buffer-pool hit ratio, per engine.")
+	r.reg.Help(MetricPoolResident, "Resident buffer-pool pages, per engine.")
+	r.reg.Help(MetricPoolQuotas, "Enforced buffer-pool quotas, per engine.")
+	r.reg.Help(MetricClassLatency, "Per-query-class latency distribution across all intervals.")
+	r.reg.Help(MetricClassLatencyQ, "Per-query-class latency quantiles of the last closed interval.")
+	r.reg.Help(MetricVirtualTime, "Current virtual time of the simulation.")
+	return r
+}
+
+// Events exposes the ring-buffered decision trace.
+func (r *Recorder) Events() *EventLog { return r.log }
+
+// Registry exposes the metric registry.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// SetVerbose mirrors every decision event (everything except the
+// per-interval signature refreshes) as one human-readable line to w.
+// Pass nil to disable.
+func (r *Recorder) SetVerbose(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.verbose = w
+}
+
+// Event implements Observer.
+func (r *Recorder) Event(e Event) {
+	e = r.log.Append(e)
+	r.reg.Add(MetricEvents, L("kind", string(e.Kind)), 1)
+	if e.Kind == EventOutlier {
+		r.reg.Add(MetricOutliers, L("level", e.Level), 1)
+	}
+	if e.Kind == EventSignature {
+		return // stable-state bookkeeping, too chatty for the mirror
+	}
+	r.mu.Lock()
+	w := r.verbose
+	r.mu.Unlock()
+	if w != nil {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// IntervalClosed implements Observer.
+func (r *Recorder) IntervalClosed(iv IntervalObs) {
+	app := L("app", iv.App)
+	r.reg.Add(MetricIntervals, L("app", iv.App, "met", strconv.FormatBool(iv.Met)), 1)
+	if !iv.Met {
+		r.reg.Add(MetricViolations, app, 1)
+	}
+	r.reg.Set(MetricAppReplicas, app, float64(iv.Replicas))
+	r.reg.Set(MetricVirtualTime, nil, iv.Time)
+	if iv.Queries == 0 {
+		return
+	}
+	r.reg.Set(MetricAppLatencyAvg, app, iv.AvgLatency)
+	r.reg.Set(MetricAppLatencyQ, L("app", iv.App, "quantile", "0.95"), iv.P95Latency)
+	r.reg.Set(MetricAppLatencyQ, L("app", iv.App, "quantile", "0.99"), iv.P99Latency)
+	r.reg.Set(MetricAppThroughput, app, iv.Throughput)
+}
+
+// ServerSampled implements Observer.
+func (r *Recorder) ServerSampled(s ServerObs) {
+	srv := L("server", s.Server)
+	r.reg.Set(MetricServerCPU, srv, s.CPU)
+	r.reg.Set(MetricServerDisk, srv, s.Disk)
+	for _, e := range s.Engines {
+		eng := L("server", s.Server, "engine", e.Engine)
+		r.reg.Set(MetricPoolHitRatio, eng, e.HitRatio)
+		r.reg.Set(MetricPoolResident, eng, float64(e.Resident))
+		r.reg.Set(MetricPoolQuotas, eng, float64(e.QuotaKeys))
+	}
+}
+
+// ClassLatency implements Observer.
+func (r *Recorder) ClassLatency(cl ClassLatencyObs) {
+	if cl.Count == 0 {
+		return
+	}
+	// Cumulative per-query distribution across the run (summary with
+	// quantiles, sum and count)…
+	r.reg.ObserveHistogram(MetricClassLatency, L("app", cl.App, "class", cl.Class), cl.Hist)
+	// …and the last interval's quantiles from the class histogram.
+	r.reg.Set(MetricClassLatencyQ, L("app", cl.App, "class", cl.Class, "quantile", "0.5"), cl.P50)
+	r.reg.Set(MetricClassLatencyQ, L("app", cl.App, "class", cl.Class, "quantile", "0.95"), cl.P95)
+	r.reg.Set(MetricClassLatencyQ, L("app", cl.App, "class", cl.Class, "quantile", "0.99"), cl.P99)
+}
+
+var _ Observer = (*Recorder)(nil)

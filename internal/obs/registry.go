@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"outlierlb/internal/metrics"
+)
+
+// Label is one metric dimension.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Labels is an ordered label set.
+type Labels []Label
+
+// L builds a label set from alternating name/value pairs:
+// L("app", "tpcw", "class", "BestSeller"). Panics on an odd argument
+// count — label sets are static call sites, not data.
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L requires name/value pairs")
+	}
+	out := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Name: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// render produces the canonical `{a="b",c="d"}` suffix (labels sorted by
+// name), or "" for an empty set.
+func (ls Labels) render() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	sorted := append(Labels(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// series is one (metric, label set) time series.
+type series struct {
+	labels string
+	value  float64
+	hist   *metrics.Histogram // non-nil for summaries
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name   string
+	typ    string // "counter" | "gauge" | "summary"
+	help   string
+	series map[string]*series
+}
+
+// Registry holds counters, gauges and latency summaries and renders them
+// in the Prometheus text exposition format. Families are created lazily
+// with the type implied by the first operation (Add → counter, Set →
+// gauge, Observe → summary); mixing operations on one name panics, since
+// that is always an instrumentation bug. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Help sets the HELP string rendered for metric name.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	f.help = help
+}
+
+func (r *Registry) seriesFor(name, typ string, labels Labels) *series {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ == "" {
+		f.typ = typ
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q used as both %s and %s", name, f.typ, typ))
+	}
+	key := labels.render()
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		if typ == "summary" {
+			s.hist = metrics.NewHistogram()
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Add increments the counter name{labels} by delta (negative deltas
+// panic: counters only go up).
+func (r *Registry) Add(name string, labels Labels, delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: negative counter increment for %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, "counter", labels).value += delta
+}
+
+// Set assigns the gauge name{labels}.
+func (r *Registry) Set(name string, labels Labels, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, "gauge", labels).value = v
+}
+
+// Observe records one sample into the summary name{labels}.
+func (r *Registry) Observe(name string, labels Labels, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, "summary", labels).hist.Observe(v)
+}
+
+// ObserveHistogram merges a whole histogram of samples into the summary
+// name{labels} — the batch form of Observe for per-interval histograms.
+func (r *Registry) ObserveHistogram(name string, labels Labels, h *metrics.Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, "summary", labels).hist.Merge(h)
+}
+
+// Value returns the current value of a counter or gauge (0 when the
+// series does not exist). Tests and reports use it; summaries return 0.
+func (r *Registry) Value(name string, labels Labels) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return 0
+	}
+	s := f.series[labels.render()]
+	if s == nil || s.hist != nil {
+		return 0
+	}
+	return s.value
+}
+
+// summaryQuantiles are the quantile series each summary exposes.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WriteText renders every family in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by metric name and
+// label set.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		if f.typ == "" {
+			continue // Help declared but never used
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			if s.hist == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.value); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, q := range summaryQuantiles {
+				if err := writeQuantile(w, f.name, s.labels, q, s.hist.Quantile(q)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, s.labels, s.hist.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hist.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeQuantile emits one summary quantile line, splicing the quantile
+// label into the existing label set.
+func writeQuantile(w io.Writer, name, labels string, q, v float64) error {
+	ql := fmt.Sprintf(`quantile="%g"`, q)
+	if labels == "" {
+		labels = "{" + ql + "}"
+	} else {
+		labels = labels[:len(labels)-1] + "," + ql + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %g\n", name, labels, v)
+	return err
+}

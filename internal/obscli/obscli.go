@@ -1,0 +1,120 @@
+// Package obscli wires the observability layer into the command-line
+// tools: it attaches a Recorder to every testbed the experiments package
+// builds, optionally serves the debug endpoints, and gates live
+// diagnosis so the (single-threaded) controller is only read once the
+// simulation has finished.
+package obscli
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/core"
+	"outlierlb/internal/experiments"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/sim"
+)
+
+// EventLogCapacity is how many decision-trace events the tools retain.
+const EventLogCapacity = 4096
+
+// Session is one tool invocation's observability state.
+type Session struct {
+	// Recorder is nil when observability is disabled (no -obs.addr, no -v).
+	Recorder *obs.Recorder
+
+	srv  *http.Server
+	addr string
+
+	mu      sync.Mutex
+	ctl     *core.Controller
+	running bool
+}
+
+// Start configures observability from the tools' flags: addr is the
+// -obs.addr listen address ("" disables the HTTP server), verbose the -v
+// switch mirroring decisions to stderr. With both off it returns a
+// disabled session, leaving the simulation hot path on the no-op
+// observer.
+func Start(addr string, verbose bool) (*Session, error) {
+	s := &Session{}
+	if addr == "" && !verbose {
+		return s, nil
+	}
+	s.Recorder = obs.NewRecorder(EventLogCapacity)
+	if verbose {
+		s.Recorder.SetVerbose(os.Stderr)
+	}
+	experiments.SetObsHooks(s.Recorder, func(ctl *core.Controller, _ *cluster.Manager, _ *sim.Engine) {
+		s.mu.Lock()
+		s.ctl = ctl
+		s.running = true
+		s.mu.Unlock()
+	})
+	if addr != "" {
+		srv, bound, err := obs.Serve(addr, obs.MuxConfig{
+			Log:      s.Recorder.Events(),
+			Registry: s.Recorder.Registry(),
+			Diagnose: s.diagnose,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.srv, s.addr = srv, bound
+		fmt.Fprintf(os.Stderr, "observability: serving /metrics, /debug/decisions, /debug/diagnosis on http://%s\n", bound)
+	}
+	return s, nil
+}
+
+// Addr reports the bound HTTP address, or "" when no server runs.
+func (s *Session) Addr() string { return s.addr }
+
+// diagnose backs /debug/diagnosis: it refuses while the simulation is
+// still running (the controller is not goroutine-safe) and otherwise
+// re-runs the read-only diagnosis against the last tick's snapshots.
+func (s *Session) diagnose(server string) (interface{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctl == nil {
+		return nil, obs.NotReadyError{Reason: "no run has started yet"}
+	}
+	if s.running {
+		return nil, obs.NotReadyError{Reason: "simulation still running; diagnosis is available once it completes"}
+	}
+	return s.ctl.DiagnoseServerLive(server)
+}
+
+// Finish marks the run complete, enabling live diagnosis. Call it after
+// the scenario function returns (the simulation ran to completion inside
+// it).
+func (s *Session) Finish() {
+	s.mu.Lock()
+	s.running = false
+	s.mu.Unlock()
+}
+
+// WaitForInterrupt blocks until SIGINT/SIGTERM so the endpoints stay
+// scrapeable after the run, then shuts the server down. A no-op without
+// a server.
+func (s *Session) WaitForInterrupt() {
+	if s.srv == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "observability: run complete; endpoints stay up on http://%s (Ctrl-C to exit)\n", s.addr)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+	_ = s.srv.Close()
+}
+
+// Close shuts the HTTP server down without waiting.
+func (s *Session) Close() {
+	if s.srv != nil {
+		_ = s.srv.Close()
+	}
+}

@@ -43,6 +43,7 @@ type Interval struct {
 	Start, End float64 // virtual time bounds
 	AvgLatency float64
 	P95Latency float64 // estimated 95th percentile (0 with no samples)
+	P99Latency float64 // estimated 99th percentile (0 with no samples)
 	Throughput float64 // completed interactions per second
 	Queries    int64
 	Met        bool
@@ -79,7 +80,9 @@ func (t *Tracker) CloseInterval(start, end float64) Interval {
 	iv := Interval{Start: start, End: end, Queries: t.queries}
 	if t.queries > 0 {
 		iv.AvgLatency = t.latencySum / float64(t.queries)
-		iv.P95Latency = t.hist.Quantile(0.95)
+		qs := t.hist.Percentiles(0.95, 0.99)
+		iv.P95Latency = qs[0]
+		iv.P99Latency = qs[1]
 	}
 	if d := end - start; d > 0 {
 		iv.Throughput = float64(t.queries) / d
