@@ -184,7 +184,10 @@ func BenchmarkAblationMidpointVsQuota(b *testing.B) {
 // measures the latency envelope until the controller restores capacity.
 func BenchmarkFailureRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.FailureRecovery(uint64(i + 1))
+		r, err := experiments.FailureRecovery(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.BeforeLatency, "healthy-latency-s")
 		b.ReportMetric(r.DuringLatency, "failover-latency-s")
 		b.ReportMetric(r.AfterLatency, "recovered-latency-s")

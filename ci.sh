@@ -8,3 +8,9 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Seed-pinned chaos smoke run: gray-failure + flapping under seed 1,
+# short mode. The full 3-seed chaos suite already ran above; this run
+# proves the scenarios stay deterministic and clean when invoked the
+# way an operator would rerun them.
+go test -short -run TestChaosSmoke -count=1 ./internal/experiments/

@@ -5,7 +5,8 @@
 //	benchrunner -exp table2       # one experiment
 //	benchrunner -exp fig5 -csv    # machine-readable series
 //
-// Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, ablations.
+// Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, ablations,
+// chaos.
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig3|fig4|fig5|fig6|table1|table2|table3|ablations|all")
+	exp := flag.String("exp", "all", "experiment to run: fig3|fig4|fig5|fig6|table1|table2|table3|ablations|chaos|all")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit figures as CSV series instead of aligned text")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
@@ -46,8 +47,9 @@ func main() {
 		"table2":    runTable2,
 		"table3":    runTable3,
 		"ablations": runAblations,
+		"chaos":     runChaosSuite,
 	}
-	names := []string{"fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "ablations"}
+	names := []string{"fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "ablations", "chaos"}
 
 	want := strings.ToLower(*exp)
 	if want == "all" {
@@ -188,6 +190,44 @@ func runTable3(seed uint64, _ bool) {
 	fmt.Printf("diagnosis: CPU %.0f%%, top I/O class %s with %.0f%% of its application's I/O (paper: 87%%)\n",
 		100*r.CPUUtilization, r.TopIOClass, 100*r.TopIOShare)
 	fmt.Println("paper: 1.5s/97 → 4.8s/30 → 1.5s/95")
+}
+
+func runChaosSuite(seed uint64, csv bool) {
+	fmt.Println("=== Chaos: replica health management under injected faults ===")
+	scenarios := []struct {
+		name string
+		fn   func(uint64) (*experiments.ChaosResult, error)
+	}{
+		{"gray-failure", experiments.ChaosGrayFailure},
+		{"flapping", experiments.ChaosFlapping},
+		{"metric-blackout", experiments.ChaosMetricBlackout},
+	}
+	if csv {
+		fmt.Println("scenario,healthy,fault,final,errors,trips,recoveries,retries,degraded,provisions,shrinks,target_healthy")
+	} else {
+		fmt.Printf("%-16s %8s %8s %8s %7s %6s %6s %8s %9s %8s %7s\n",
+			"scenario", "healthy", "fault", "final", "errors", "trips", "recov", "retries", "degraded", "actions", "healthy")
+	}
+	for _, sc := range scenarios {
+		r, err := sc.fn(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", sc.name, err)
+			os.Exit(1)
+		}
+		if csv {
+			fmt.Printf("%s,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%v\n",
+				sc.name, r.HealthyLatency, r.FaultLatency, r.FinalLatency, r.ClientErrors,
+				r.BreakerTrips, r.Recoveries, r.Retries, r.DegradedEvents, r.Provisions, r.Shrinks, r.TargetHealthy)
+		} else {
+			fmt.Printf("%-16s %7.3fs %7.3fs %7.3fs %7d %6d %6d %8d %9d %3d+%-3d %7v\n",
+				sc.name, r.HealthyLatency, r.FaultLatency, r.FinalLatency, r.ClientErrors,
+				r.BreakerTrips, r.Recoveries, r.Retries, r.DegradedEvents, r.Provisions, r.Shrinks, r.TargetHealthy)
+		}
+	}
+	if !csv {
+		fmt.Println("invariants: zero client errors, fault-window latency under the query deadline,")
+		fmt.Println("breaker trips probed back to healthy, at most one provision/shrink pair per fault")
+	}
 }
 
 func runAblations(seed uint64, _ bool) {

@@ -6,6 +6,9 @@
 //	outlierlb -scenario consolidation  # §5.4 two apps in one DBMS, class reschedule
 //	outlierlb -scenario iocontention   # §5.5 two VMs, dom-0 I/O interference
 //	outlierlb -scenario lockcontention # §7 future work: lock-wait outliers
+//	outlierlb -scenario grayfailure    # chaos: one replica's disk degrades 8x
+//	outlierlb -scenario flapping       # chaos: one replica cycles down/up
+//	outlierlb -scenario blackout       # chaos: one server's metrics go dark
 //	outlierlb -record tpcw.trace       # dump a TPC-W page-access trace for mrctool
 package main
 
@@ -60,8 +63,17 @@ func main() {
 		runLockContention(*seed)
 	case "failure":
 		runFailure(*seed)
+	case "grayfailure":
+		runChaos(*seed, "one replica's disk degrades 8x for 200s (gray failure: it answers, slowly)",
+			experiments.ChaosGrayFailure)
+	case "flapping":
+		runChaos(*seed, "one replica cycles down/up every ~15s for 120s",
+			experiments.ChaosFlapping)
+	case "blackout":
+		runChaos(*seed, "one server's monitoring goes dark for 150s while it keeps serving",
+			experiments.ChaosMetricBlackout)
 	default:
-		fmt.Fprintln(os.Stderr, "outlierlb: need -scenario cpu|indexdrop|consolidation|iocontention|lockcontention|failure or -record FILE")
+		fmt.Fprintln(os.Stderr, "outlierlb: need -scenario cpu|indexdrop|consolidation|iocontention|lockcontention|failure|grayfailure|flapping|blackout or -record FILE")
 		os.Exit(2)
 	}
 
@@ -72,11 +84,39 @@ func main() {
 func runFailure(seed uint64) {
 	fmt.Println("scenario: one of two TPC-W replicas crashes under load")
 	fmt.Println()
-	r := experiments.FailureRecovery(seed)
+	r, err := experiments.FailureRecovery(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("healthy latency:   %.3fs (two replicas)\n", r.BeforeLatency)
 	fmt.Printf("failover latency:  %.3fs (survivor saturated)\n", r.DuringLatency)
 	fmt.Printf("recovered latency: %.3fs (replacement provisioned: %v)\n", r.AfterLatency, r.Provisioned)
 	fmt.Printf("client errors:     %d\n", r.ClientErrors)
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
+}
+
+func runChaos(seed uint64, desc string, fn func(uint64) (*experiments.ChaosResult, error)) {
+	fmt.Println("scenario:", desc)
+	fmt.Println()
+	r, err := fn(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("target replica:     %s\n", r.Target)
+	fmt.Printf("healthy latency:    %.3fs\n", r.HealthyLatency)
+	fmt.Printf("fault latency:      %.3fs\n", r.FaultLatency)
+	fmt.Printf("recovered latency:  %.3fs\n", r.FinalLatency)
+	fmt.Printf("client errors:      %d\n", r.ClientErrors)
+	fmt.Printf("breaker trips:      %d (probes %d, recoveries %d)\n", r.BreakerTrips, r.Probes, r.Recoveries)
+	fmt.Printf("read retries:       %d\n", r.Retries)
+	fmt.Printf("degraded analyses:  %d\n", r.DegradedEvents)
+	fmt.Printf("capacity actions:   %d provision(s), %d shrink(s)\n", r.Provisions, r.Shrinks)
+	fmt.Printf("target ended run:   healthy=%v\n", r.TargetHealthy)
 	fmt.Println()
 	for _, a := range r.Actions {
 		fmt.Println("action:", a)

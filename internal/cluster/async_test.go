@@ -110,6 +110,49 @@ func TestAsyncInterleavedConsistency(t *testing.T) {
 	}
 }
 
+func TestRecoveredReplicaServesNoStaleReads(t *testing.T) {
+	// Regression for recovery under async replication: MarkRecovered
+	// performs state transfer and clears the replica's freshness
+	// horizon, so reads routed to the recovered replica are immediately
+	// consistent — they neither wait out a pre-crash apply lag nor
+	// observe pre-crash staleness.
+	r1, r2 := newReplica(t, "s1"), newReplica(t, "s2")
+	s := newSched(t, r1, r2)
+	s.SetAsyncReplication(5.0)
+	// Write 1's primary is r2, so r1 is a laggard with a freshness
+	// horizon out at t≈5 when it crashes.
+	if _, err := s.Submit(0, writeID); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkFailed(r1)
+	if _, err := s.Submit(0.1, writeID); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkRecovered(r1)
+	if err := s.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Pin reads to the recovered replica: the scheduler admits them
+	// immediately instead of holding them until the stale pre-crash
+	// apply horizon (t≈5) — state transfer made the replica fresh now.
+	if err := s.PlaceClass(readID, r1); err != nil {
+		t.Fatal(err)
+	}
+	r, start := s.pickFreshReplica(0.2, s.Placement(readID), readID, nil)
+	if r != r1 {
+		t.Fatalf("read routed to %v, want the recovered replica", r)
+	}
+	if start != 0.2 {
+		t.Fatalf("read held until %v — a pre-crash freshness horizon survived recovery", start)
+	}
+	if _, err := s.Submit(0.2, readID); err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.AppliedSeq("shop"); got != s.WriteSeq() {
+		t.Fatalf("recovered replica at seq %d, scheduler at %d", got, s.WriteSeq())
+	}
+}
+
 func TestAsyncRemoveLaggingReplica(t *testing.T) {
 	r1, r2 := newReplica(t, "s1"), newReplica(t, "s2")
 	s := newSched(t, r1, r2)

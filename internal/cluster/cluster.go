@@ -16,6 +16,7 @@ import (
 
 	"outlierlb/internal/engine"
 	"outlierlb/internal/metrics"
+	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sla"
 )
@@ -34,8 +35,15 @@ type Replica struct {
 	appliedSeq map[string]int64
 
 	// failed marks a crashed replica: it receives no reads and applies
-	// no writes until recovery.
+	// no writes until recovery. This is the announced (administrative)
+	// crash — the scheduler is told.
 	failed bool
+
+	// down marks a fault-injected crash the scheduler has NOT been told
+	// about: the replica is still routed to, but its queries go
+	// unanswered until the failure detector notices (contrast failed).
+	// Meaningful only when the scheduler's health management is enabled.
+	down bool
 }
 
 // NewReplica wraps an engine hosted on srv as a replica.
@@ -54,6 +62,15 @@ func (r *Replica) AppliedSeq(app string) int64 { return r.appliedSeq[app] }
 
 // Failed reports whether the replica is currently crashed.
 func (r *Replica) Failed() bool { return r.failed }
+
+// SetDown injects (true) or clears (false) an unannounced crash: the
+// fault-injection hook behind the detector-driven failure model. Unlike
+// MarkFailed, nothing in the scheduler learns of it directly — queries
+// routed here simply time out until the circuit breaker opens.
+func (r *Replica) SetDown(on bool) { r.down = on }
+
+// Down reports whether an unannounced crash is active.
+func (r *Replica) Down() bool { return r.down }
 
 // Application describes one hosted database application.
 type Application struct {
@@ -90,6 +107,15 @@ type Scheduler struct {
 	asyncLag float64
 	freshAt  map[*Replica]float64
 	balancer Balancer
+
+	// Failure detection, retry and circuit breaking (health.go). The
+	// default hcfg (QueryDeadline == 0) disables all of it, preserving
+	// the announced-failure model exactly.
+	hcfg      HealthConfig
+	health    map[*Replica]*replicaHealth
+	observer  obs.Observer
+	observing bool
+	clock     func() float64
 }
 
 // Balancer selects how reads spread over a class's placement.
@@ -125,6 +151,8 @@ func NewScheduler(app *Application) (*Scheduler, error) {
 		placement: make(map[metrics.ClassID][]*Replica),
 		rr:        make(map[metrics.ClassID]int),
 		freshAt:   make(map[*Replica]float64),
+		health:    make(map[*Replica]*replicaHealth),
+		observer:  obs.Nop{},
 	}, nil
 }
 
@@ -313,9 +341,12 @@ func (s *Scheduler) Placement(id metrics.ClassID) []*Replica {
 
 // Submit executes one query of class id arriving at virtual time now and
 // returns its completion time. Read-only queries go to one replica of the
-// class's placement (round-robin); writes go to every replica of the
-// application (read-one-write-all) and complete when the slowest replica
-// finishes. The query's latency feeds the application-level SLA tracker.
+// class's placement (round-robin), falling through to the next candidate
+// if a replica refuses or — with health management enabled — times out;
+// writes go to every replica of the application (read-one-write-all) and
+// complete when the slowest finishes, or at the per-query deadline when a
+// replica is unresponsive. The query's latency feeds the
+// application-level SLA tracker.
 func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err error) {
 	spec, ok := s.spec(id)
 	if !ok {
@@ -332,6 +363,9 @@ func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err e
 			done, err = s.submitWriteSync(now, id)
 		}
 		if err != nil {
+			// The write happened nowhere — roll the sequence back so the
+			// replica set has no gap to account for.
+			s.writeSeq--
 			return now, err
 		}
 	} else {
@@ -339,11 +373,7 @@ func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err e
 		if len(reps) == 0 {
 			return now, fmt.Errorf("cluster: class %v has no placement", id)
 		}
-		r, start := s.pickFreshReplica(now, reps, id)
-		if r == nil {
-			return now, fmt.Errorf("cluster: no consistent replica for read of %v", id)
-		}
-		done, err = r.eng.Execute(start, id)
+		done, err = s.submitRead(now, id, reps)
 		if err != nil {
 			return now, err
 		}
@@ -352,21 +382,161 @@ func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err e
 	return done, nil
 }
 
+// submitRead routes one read. Without health management a replica whose
+// engine refuses the query is skipped and the next consistent candidate
+// tried; the read fails only when every candidate is exhausted. With
+// health management each attempt also carries a deadline, failures feed
+// the failure detector, and retries back off exponentially.
+func (s *Scheduler) submitRead(now float64, id metrics.ClassID, reps []*Replica) (float64, error) {
+	if s.hcfg.Enabled() {
+		return s.submitReadHealth(now, id, reps)
+	}
+	var excluded map[*Replica]bool
+	var lastErr error
+	for {
+		r, start := s.pickFreshReplica(now, reps, id, excluded)
+		if r == nil {
+			if lastErr != nil {
+				return now, lastErr
+			}
+			return now, fmt.Errorf("cluster: no consistent replica for read of %v", id)
+		}
+		done, execErr := r.eng.Execute(start, id)
+		if execErr == nil {
+			return done, nil
+		}
+		// One replica's refusal is not the cluster's: fall through.
+		lastErr = execErr
+		if excluded == nil {
+			excluded = make(map[*Replica]bool, len(reps))
+		}
+		excluded[r] = true
+	}
+}
+
+// submitReadHealth is the detector-driven read path: each attempt has a
+// deadline, a timed-out or refused attempt is retried on another replica
+// after a capped exponential backoff, and every outcome feeds the
+// per-replica circuit breaker. A timed-out attempt still consumes work
+// on the slow replica — the client abandoned the query, the replica
+// didn't. Once every alternative is exhausted the read makes one final
+// patient attempt: abandoning at the deadline only buys the client
+// anything while another replica is left to try, so with nowhere to go
+// it waits the query out instead of surfacing a latency blip as an
+// error.
+func (s *Scheduler) submitReadHealth(now float64, id metrics.ClassID, reps []*Replica) (float64, error) {
+	excluded := make(map[*Replica]bool, len(reps))
+	arrive := now
+	var lastErr error
+	for attempt := 1; attempt <= s.hcfg.MaxRetries; attempt++ {
+		r, start := s.pickFreshReplica(arrive, reps, id, excluded)
+		if r == nil {
+			break
+		}
+		deadline := arrive + s.hcfg.QueryDeadline
+		failAt := deadline
+		if r.down {
+			// Unanswered: the client waits out the full deadline.
+			s.recordTimeout(deadline, r, "read unanswered: replica unresponsive")
+		} else {
+			d, execErr := r.eng.Execute(start, id)
+			switch {
+			case execErr == nil && d <= deadline:
+				s.recordSuccess(d, r)
+				return d, nil
+			case execErr == nil:
+				s.recordTimeout(deadline, r, "read exceeded deadline")
+			default:
+				lastErr = execErr
+				failAt = start
+				s.recordTimeout(start, r, "read refused: "+execErr.Error())
+			}
+		}
+		excluded[r] = true
+		backoff := s.retryBackoff(attempt)
+		if s.observing {
+			s.observer.Event(obs.Event{
+				Time: failAt, Kind: obs.EventQueryRetry, App: s.app.Name,
+				Server: r.srv.Name(), Class: id.Class,
+				Cause:  fmt.Sprintf("attempt %d failed; retrying elsewhere after %.2gs backoff", attempt, backoff),
+				Fields: map[string]float64{"attempt": float64(attempt), "backoff": backoff},
+			})
+		}
+		arrive = failAt + backoff
+	}
+	// Patient final attempt: exclusions are reset (a slow answer from an
+	// already-tried replica beats no answer), unresponsive replicas are
+	// waited out and crossed off one by one, and a live replica's late
+	// completion is delivered to the client — it still counts as a
+	// timeout for the detector. Only a cluster with no live consistent
+	// replica surfaces an error.
+	patientExcluded := make(map[*Replica]bool, len(reps))
+	for {
+		r, start := s.pickFreshReplica(arrive, reps, id, patientExcluded)
+		if r == nil {
+			break
+		}
+		deadline := arrive + s.hcfg.QueryDeadline
+		if r.down {
+			s.recordTimeout(deadline, r, "read unanswered: replica unresponsive")
+			patientExcluded[r] = true
+			arrive = deadline
+			continue
+		}
+		d, execErr := r.eng.Execute(start, id)
+		if execErr != nil {
+			lastErr = execErr
+			s.recordTimeout(start, r, "read refused: "+execErr.Error())
+			patientExcluded[r] = true
+			arrive = start
+			continue
+		}
+		if d <= deadline {
+			s.recordSuccess(d, r)
+		} else {
+			s.recordTimeout(deadline, r, "read exceeded deadline")
+		}
+		return d, nil
+	}
+	if lastErr != nil {
+		return now, lastErr
+	}
+	return now, fmt.Errorf("cluster: read of %v failed on every candidate replica", id)
+}
+
 // MarkFailed crashes a replica: reads avoid it and writes skip it until
 // recovery. Failing every replica of a live application makes it
-// unavailable, which Submit reports as an error.
+// unavailable, which Submit reports as an error. This is the announced
+// (administrative) crash; fault-injected crashes use Replica.SetDown and
+// are discovered by the failure detector instead.
 func (s *Scheduler) MarkFailed(r *Replica) {
 	r.failed = true
+	if s.observing {
+		s.observer.Event(obs.Event{
+			Time: s.clockNow(), Kind: obs.EventReplicaFailed,
+			App: s.app.Name, Server: r.srv.Name(),
+			Cause: "announced replica crash",
+		})
+	}
 }
 
 // MarkRecovered brings a crashed replica back. Recovery performs state
 // transfer from a live replica, so the returned replica is up to date
 // (its missed writes are not replayed query by query; the engine's
-// caches, however, start from whatever survived the crash).
+// caches, however, start from whatever survived the crash). Any failure-
+// detector state for the replica is cleared.
 func (s *Scheduler) MarkRecovered(r *Replica) {
 	r.failed = false
 	r.appliedSeq[s.app.Name] = s.writeSeq
 	delete(s.freshAt, r)
+	s.resetHealth(r)
+	if s.observing {
+		s.observer.Event(obs.Event{
+			Time: s.clockNow(), Kind: obs.EventReplicaRecovered,
+			App: s.app.Name, Server: r.srv.Name(),
+			Cause: "administrative recovery with state transfer",
+		})
+	}
 }
 
 // live filters out failed replicas.
@@ -382,11 +552,17 @@ func live(reps []*Replica) []*Replica {
 
 // submitWriteSync executes the write on every live replica and completes
 // when the slowest finishes — classic read-one-write-all (failed
-// replicas resynchronize via state transfer at recovery).
+// replicas resynchronize via state transfer at recovery). The write is
+// atomic with respect to appliedSeq: no replica's sequence advances
+// until every replica has executed, so a partial failure aborts cleanly
+// instead of diverging the replica set.
 func (s *Scheduler) submitWriteSync(now float64, id metrics.ClassID) (done float64, err error) {
 	reps := live(s.replicas)
 	if len(reps) == 0 {
 		return now, fmt.Errorf("cluster: application %q has no live replicas", s.app.Name)
+	}
+	if s.hcfg.Enabled() {
+		return s.submitWriteSyncHealth(now, id, reps)
 	}
 	done = now
 	for _, r := range reps {
@@ -394,17 +570,77 @@ func (s *Scheduler) submitWriteSync(now float64, id metrics.ClassID) (done float
 		if execErr != nil {
 			return now, execErr
 		}
-		r.appliedSeq[s.app.Name] = s.writeSeq
 		if d > done {
 			done = d
 		}
+	}
+	for _, r := range reps {
+		r.appliedSeq[s.app.Name] = s.writeSeq
+	}
+	return done, nil
+}
+
+// submitWriteSyncHealth is submitWriteSync under the failure detector:
+// breaker-open replicas are skipped entirely (they resynchronize by
+// state transfer when probed), an unresponsive replica costs the client
+// the full deadline and feeds the detector, and a replica that executes
+// past the deadline still applies the write — the client just stops
+// waiting for it. A definite engine error still aborts atomically; the
+// write only errors out when it reached no replica at all.
+func (s *Scheduler) submitWriteSyncHealth(now float64, id metrics.ClassID, reps []*Replica) (float64, error) {
+	deadline := now + s.hcfg.QueryDeadline
+	done := now
+	targets := make([]*Replica, 0, len(reps))
+	for _, r := range reps {
+		if s.admitted(now, r) {
+			targets = append(targets, r)
+		}
+	}
+	if len(targets) == 0 {
+		// Every breaker is open: fail open and write everywhere. With no
+		// admitted replica left, refusing the write would turn a detector
+		// artifact into a client error — and a replica that does answer
+		// stays current, so fail-open reads stay consistent.
+		targets = reps
+	}
+	applied := make([]*Replica, 0, len(targets))
+	for _, r := range targets {
+		if r.down {
+			// Unacknowledged: ROWA waits for this replica until the
+			// deadline, then gives up on it.
+			done = deadline
+			s.recordTimeout(deadline, r, "write unacknowledged: replica unresponsive")
+			continue
+		}
+		d, execErr := r.eng.Execute(now, id)
+		if execErr != nil {
+			return now, execErr
+		}
+		applied = append(applied, r)
+		if d > deadline {
+			s.recordTimeout(deadline, r, "write exceeded deadline")
+			d = deadline
+		} else {
+			s.recordSuccess(d, r)
+		}
+		if d > done {
+			done = d
+		}
+	}
+	if len(applied) == 0 {
+		return now, fmt.Errorf("cluster: write of %v reached no replica", id)
+	}
+	for _, r := range applied {
+		r.appliedSeq[s.app.Name] = s.writeSeq
 	}
 	return done, nil
 }
 
 // submitWriteAsync executes the write on one replica and completes when
 // it does; the remaining replicas apply the write asyncLag seconds later
-// and their freshness horizon moves accordingly.
+// and their freshness horizon moves accordingly. Like the synchronous
+// path, no appliedSeq or freshness horizon advances until every replica
+// has executed, so a partial failure aborts without divergence.
 func (s *Scheduler) submitWriteAsync(now float64, id metrics.ClassID) (done float64, err error) {
 	reps := live(s.replicas)
 	if len(reps) == 0 {
@@ -415,10 +651,7 @@ func (s *Scheduler) submitWriteAsync(now float64, id metrics.ClassID) (done floa
 	if err != nil {
 		return now, err
 	}
-	primary.appliedSeq[s.app.Name] = s.writeSeq
-	if f := s.freshAt[primary]; done > f {
-		s.freshAt[primary] = done
-	}
+	appliedAt := map[*Replica]float64{primary: done}
 	for _, r := range reps {
 		if r == primary {
 			continue
@@ -428,6 +661,9 @@ func (s *Scheduler) submitWriteAsync(now float64, id metrics.ClassID) (done floa
 		if execErr != nil {
 			return now, execErr
 		}
+		appliedAt[r] = d
+	}
+	for r, d := range appliedAt {
 		r.appliedSeq[s.app.Name] = s.writeSeq
 		if d > s.freshAt[r] {
 			s.freshAt[r] = d
@@ -441,13 +677,32 @@ func (s *Scheduler) submitWriteAsync(now float64, id metrics.ClassID) (done floa
 // replicas serve immediately (round-robin among them); if every replica
 // in the placement is still applying writes, the read waits on the one
 // that becomes fresh soonest — strong consistency is never given up.
-func (s *Scheduler) pickFreshReplica(now float64, reps []*Replica, id metrics.ClassID) (*Replica, float64) {
+// Replicas in excluded (already tried this query) and replicas whose
+// circuit breaker is open are not candidates; a breaker whose probe time
+// has arrived is promoted to probation here and serves normally. When
+// every consistent candidate's breaker is open the picker fails open and
+// routes anyway — with nowhere healthy left to send the query, refusing
+// it would turn a detector artifact into a client error.
+func (s *Scheduler) pickFreshReplica(now float64, reps []*Replica, id metrics.ClassID, excluded map[*Replica]bool) (*Replica, float64) {
+	if r, start := s.pickReplica(now, reps, id, excluded, false); r != nil {
+		return r, start
+	}
+	if !s.hcfg.Enabled() {
+		return nil, 0
+	}
+	return s.pickReplica(now, reps, id, excluded, true)
+}
+
+func (s *Scheduler) pickReplica(now float64, reps []*Replica, id metrics.ClassID, excluded map[*Replica]bool, failOpen bool) (*Replica, float64) {
 	n := len(reps)
 	var soonest, best *Replica
 	soonestAt, bestLoad := 0.0, 0.0
 	for i := 0; i < n; i++ {
 		r := reps[(s.rr[id]+i)%n]
-		if r.failed {
+		if r.failed || excluded[r] {
+			continue
+		}
+		if !failOpen && !s.admitted(now, r) {
 			continue
 		}
 		behind := r.appliedSeq[s.app.Name] != s.writeSeq
@@ -484,10 +739,19 @@ func (s *Scheduler) pickFreshReplica(now float64, reps []*Replica, id metrics.Cl
 }
 
 // ConsistencyCheck verifies the read-one-write-all invariant: every live
-// replica has applied exactly the scheduler's write sequence (failed
-// replicas are brought up to date by state transfer at recovery).
+// replica has applied exactly the scheduler's write sequence. Replicas
+// that are administratively failed, currently down, or held by the
+// failure detector in the suspected/failed states are exempt — they are
+// brought up to date by state transfer at recovery or probe time, and
+// reads already avoid them via the applied-sequence check.
 func (s *Scheduler) ConsistencyCheck() error {
 	for _, r := range live(s.replicas) {
+		if r.down {
+			continue
+		}
+		if h := s.health[r]; h != nil && (h.state == HealthFailed || h.state == HealthSuspected) {
+			continue
+		}
 		if got := r.appliedSeq[s.app.Name]; got != s.writeSeq {
 			return fmt.Errorf("cluster: replica on %q applied %d writes, scheduler issued %d",
 				r.srv.Name(), got, s.writeSeq)

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"fmt"
+
+	"outlierlb/internal/obs"
+)
+
+// HealthState is one replica's position in the scheduler's failure
+// detector: healthy → suspected (first timeout) → failed (circuit
+// breaker open) → probation (half-open probe) → healthy. The detector is
+// driven entirely by per-query deadlines and latency observations — the
+// scheduler is never told about a crash, it infers one — which is what
+// lets it survive gray failures (slow disks), flapping replicas and
+// other partial faults that an announced-crash model cannot see.
+type HealthState int
+
+// The health states.
+const (
+	// HealthHealthy: full read/write traffic.
+	HealthHealthy HealthState = iota
+	// HealthSuspected: at least one recent timeout; traffic continues
+	// while the breaker counts.
+	HealthSuspected
+	// HealthFailed: the circuit breaker is open; the replica receives no
+	// traffic until the probe time.
+	HealthFailed
+	// HealthProbation: half-open — the replica was state-transferred and
+	// serves again; the next outcome decides between healthy and failed.
+	HealthProbation
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthSuspected:
+		return "suspected"
+	case HealthFailed:
+		return "failed"
+	case HealthProbation:
+		return "probation"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(h))
+}
+
+// HealthConfig tunes the scheduler's failure detector, retry policy and
+// per-replica circuit breaker. The zero value disables detection
+// entirely (QueryDeadline == 0): the scheduler behaves exactly as the
+// announced-failure model did.
+type HealthConfig struct {
+	// QueryDeadline is the per-query deadline in seconds. A read whose
+	// completion would exceed start+deadline is abandoned at the deadline
+	// and retried on another replica; a write skips replicas that time
+	// out (they resynchronize by state transfer on recovery). Zero
+	// disables all health management.
+	QueryDeadline float64
+	// MaxRetries is how many deadline-bounded attempts a read makes
+	// before the final patient attempt, which waits the query out on the
+	// best remaining live replica instead of abandoning at the deadline
+	// (there is nowhere left to retry). Default 2.
+	MaxRetries int
+	// RetryBackoff is the initial client backoff before a retry, in
+	// seconds; it doubles per attempt up to RetryBackoffMax. Defaults
+	// 0.05 and 1.
+	RetryBackoff    float64
+	RetryBackoffMax float64
+	// BreakerThreshold trips the breaker after this many consecutive
+	// timeouts on one replica. Default 3.
+	BreakerThreshold int
+	// BreakerWindow and BreakerWindowCount trip the breaker when
+	// WindowCount timeouts land within Window seconds even if successes
+	// interleave — the gray-failure path, where fast cached queries keep
+	// resetting a purely consecutive counter. Defaults 30 and 6.
+	BreakerWindow      float64
+	BreakerWindowCount int
+	// BreakerWindowRate additionally requires windowed timeouts to make
+	// up at least this fraction of the window's outcomes before the
+	// windowed condition trips. An absolute count alone would trip on the
+	// latency tail of a busy but healthy replica — at hundreds of queries
+	// per second, even a 0.1% tail clears any fixed count. Default 0.25.
+	BreakerWindowRate float64
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open probe, in seconds; it doubles on each failed probe up to
+	// BreakerCooldownMax. Defaults 10 and 60.
+	BreakerCooldown    float64
+	BreakerCooldownMax float64
+}
+
+// Enabled reports whether health management is active.
+func (c HealthConfig) Enabled() bool { return c.QueryDeadline > 0 }
+
+func (c *HealthConfig) fill() {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 0.05
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 1
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 30
+	}
+	if c.BreakerWindowCount <= 0 {
+		c.BreakerWindowCount = 6
+	}
+	if c.BreakerWindowRate <= 0 {
+		c.BreakerWindowRate = 0.25
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10
+	}
+	if c.BreakerCooldownMax <= 0 {
+		c.BreakerCooldownMax = 60
+	}
+}
+
+// DefaultHealthConfig returns the detector defaults with the given
+// per-query deadline.
+func DefaultHealthConfig(deadline float64) HealthConfig {
+	c := HealthConfig{QueryDeadline: deadline}
+	c.fill()
+	return c
+}
+
+// replicaHealth is the per-replica detector state.
+type replicaHealth struct {
+	state       HealthState
+	consecutive int       // consecutive timeouts since the last success
+	recent      []float64 // timestamps of recent timeouts (windowed trip)
+	recentOK    []float64 // timestamps of recent successes (windowed rate)
+	openUntil   float64   // earliest probe time while failed
+	cooldown    float64   // current open period (doubles, capped)
+	trips       int       // lifetime breaker trips
+}
+
+// pruneBefore drops timestamps older than cutoff from the front of ts.
+func pruneBefore(ts []float64, cutoff float64) []float64 {
+	for len(ts) > 0 && ts[0] < cutoff {
+		ts = ts[1:]
+	}
+	return ts
+}
+
+// SetHealthConfig enables (QueryDeadline > 0) or disables the failure
+// detector, retry policy and circuit breaker. Missing knobs are filled
+// with defaults.
+func (s *Scheduler) SetHealthConfig(cfg HealthConfig) {
+	if cfg.Enabled() {
+		cfg.fill()
+	}
+	s.hcfg = cfg
+}
+
+// HealthConfig returns the active health configuration.
+func (s *Scheduler) HealthConfig() HealthConfig { return s.hcfg }
+
+// SetObserver attaches an observer to the scheduler's health and
+// retry decision trace. Passing nil (or obs.Nop{}) detaches.
+func (s *Scheduler) SetObserver(o obs.Observer) {
+	if o == nil {
+		o = obs.Nop{}
+	}
+	s.observer = o
+	_, nop := o.(obs.Nop)
+	s.observing = !nop
+}
+
+// SetClock supplies virtual time for events emitted outside Submit
+// (MarkFailed/MarkRecovered have no now parameter). Nil means time 0.
+func (s *Scheduler) SetClock(fn func() float64) { s.clock = fn }
+
+func (s *Scheduler) clockNow() float64 {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return 0
+}
+
+// Health reports the detector state of r (healthy when detection is off
+// or the replica is unknown).
+func (s *Scheduler) Health(r *Replica) HealthState {
+	if h := s.health[r]; h != nil {
+		return h.state
+	}
+	return HealthHealthy
+}
+
+// BreakerTrips reports how many times r's circuit breaker has tripped.
+func (s *Scheduler) BreakerTrips(r *Replica) int {
+	if h := s.health[r]; h != nil {
+		return h.trips
+	}
+	return 0
+}
+
+func (s *Scheduler) healthFor(r *Replica) *replicaHealth {
+	h := s.health[r]
+	if h == nil {
+		h = &replicaHealth{cooldown: s.hcfg.BreakerCooldown}
+		s.health[r] = h
+	}
+	return h
+}
+
+// emitHealth sends one health-transition event.
+func (s *Scheduler) emitHealth(now float64, kind obs.EventKind, r *Replica, cause string, fields map[string]float64) {
+	if !s.observing {
+		return
+	}
+	s.observer.Event(obs.Event{
+		Time: now, Kind: kind, App: s.app.Name,
+		Server: r.srv.Name(), Cause: cause, Fields: fields,
+	})
+}
+
+// admitted reports whether the detector currently routes traffic to r,
+// promoting an open breaker to probation (with state transfer) when its
+// probe time has arrived.
+func (s *Scheduler) admitted(now float64, r *Replica) bool {
+	if !s.hcfg.Enabled() {
+		return true
+	}
+	h := s.health[r]
+	if h == nil || h.state != HealthFailed {
+		return true
+	}
+	if now < h.openUntil {
+		return false
+	}
+	// Half-open: recovery performs state transfer from a live replica, so
+	// the probation replica is up to date and may serve reads.
+	h.state = HealthProbation
+	r.appliedSeq[s.app.Name] = s.writeSeq
+	delete(s.freshAt, r)
+	s.emitHealth(now, obs.EventBreakerProbe, r,
+		fmt.Sprintf("breaker half-open after %.1fs; probing", h.cooldown), nil)
+	return true
+}
+
+// recordSuccess feeds one successful query outcome into the detector. A
+// success resets the consecutive counter but not the timeout window —
+// gray failures interleave successes with timeouts, and wiping the
+// window on every fast query would blind the windowed trip condition.
+func (s *Scheduler) recordSuccess(now float64, r *Replica) {
+	h := s.health[r]
+	if h == nil {
+		return
+	}
+	h.consecutive = 0
+	cutoff := now - s.hcfg.BreakerWindow
+	h.recentOK = append(pruneBefore(h.recentOK, cutoff), now)
+	switch h.state {
+	case HealthProbation:
+		h.state = HealthHealthy
+		h.cooldown = s.hcfg.BreakerCooldown
+		h.recent = h.recent[:0]
+		h.recentOK = h.recentOK[:0]
+		s.emitHealth(now, obs.EventReplicaRecovered, r,
+			"probe succeeded; replica healthy again", map[string]float64{"trips": float64(h.trips)})
+	case HealthSuspected:
+		// Demote to healthy only once every windowed timeout has aged
+		// out, so one fast query doesn't clear a suspicion the window
+		// still supports.
+		h.recent = pruneBefore(h.recent, cutoff)
+		if len(h.recent) == 0 {
+			h.state = HealthHealthy
+		}
+	}
+}
+
+// recordTimeout feeds one timed-out (or errored) query outcome into the
+// detector, tripping the breaker when the consecutive or windowed
+// threshold is reached.
+func (s *Scheduler) recordTimeout(now float64, r *Replica, cause string) {
+	h := s.healthFor(r)
+	h.consecutive++
+	cutoff := now - s.hcfg.BreakerWindow
+	h.recent = append(pruneBefore(h.recent, cutoff), now)
+	h.recentOK = pruneBefore(h.recentOK, cutoff)
+	switch h.state {
+	case HealthHealthy:
+		h.state = HealthSuspected
+		s.emitHealth(now, obs.EventReplicaSuspected, r, cause, nil)
+	case HealthProbation:
+		// A failed probe reopens the breaker with a doubled cooldown.
+		h.state = HealthFailed
+		h.cooldown = min(2*h.cooldown, s.hcfg.BreakerCooldownMax)
+		h.openUntil = now + h.cooldown
+		h.trips++
+		s.emitHealth(now, obs.EventBreakerTrip, r,
+			"probe failed: "+cause, map[string]float64{"cooldown": h.cooldown, "trips": float64(h.trips)})
+		return
+	case HealthFailed:
+		return
+	}
+	// The windowed condition needs both a count and a rate: the count
+	// keeps one slow query from tripping an idle replica, the rate keeps
+	// the latency tail of a busy healthy replica (many successes, a few
+	// timeouts) from tripping it.
+	windowed := len(h.recent) >= s.hcfg.BreakerWindowCount &&
+		float64(len(h.recent)) >= s.hcfg.BreakerWindowRate*float64(len(h.recent)+len(h.recentOK))
+	if h.consecutive >= s.hcfg.BreakerThreshold || windowed {
+		h.state = HealthFailed
+		h.openUntil = now + h.cooldown
+		h.trips++
+		s.emitHealth(now, obs.EventBreakerTrip, r,
+			fmt.Sprintf("%s (%d consecutive, %d of %d in %.0fs)",
+				cause, h.consecutive, len(h.recent), len(h.recent)+len(h.recentOK), s.hcfg.BreakerWindow),
+			map[string]float64{"cooldown": h.cooldown, "trips": float64(h.trips)})
+	}
+}
+
+// resetHealth clears detector state (administrative recovery).
+func (s *Scheduler) resetHealth(r *Replica) {
+	delete(s.health, r)
+}
+
+// retryBackoff returns the capped exponential client backoff before
+// retry number attempt (1-based).
+func (s *Scheduler) retryBackoff(attempt int) float64 {
+	b := s.hcfg.RetryBackoff
+	for i := 1; i < attempt; i++ {
+		b *= 2
+		if b >= s.hcfg.RetryBackoffMax {
+			return s.hcfg.RetryBackoffMax
+		}
+	}
+	return min(b, s.hcfg.RetryBackoffMax)
+}

@@ -68,6 +68,22 @@ type Config struct {
 	// justified them has reverted. Zero disables maintenance.
 	MaintainEvery int
 
+	// SignatureMaxAge bounds, in seconds, how stale a stable-state
+	// signature may be and still anchor outlier detection. When a metric
+	// blackout (or a long instability) has kept the signature from
+	// refreshing past this age, outlier detection is skipped in favour of
+	// the top-k heavyweight path and a degraded-analysis event is
+	// emitted — comparing fresh counters against an ancient baseline
+	// produces confident nonsense. Zero means no bound.
+	SignatureMaxAge float64
+
+	// ShrinkAfter is how many consecutive stable intervals an application
+	// must accumulate before a low-load replica release is considered.
+	// Default 1 (shrink on the first qualifying interval); chaos
+	// configurations raise it so a flapping replica's alternating
+	// pressure cannot drive provision/decommission oscillation.
+	ShrinkAfter int
+
 	// Ablation switches (off in normal operation):
 
 	// PreferMigration disables quota enforcement: every feasible quota
@@ -109,6 +125,9 @@ func (c *Config) fill() {
 	}
 	if c.SettleIntervals <= 0 {
 		c.SettleIntervals = 2
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 1
 	}
 }
 
@@ -183,6 +202,12 @@ type Controller struct {
 	// analysis without consuming a fresh interval.
 	lastSnaps   map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector
 	lastSnapsAt float64
+
+	// engSnapAt tracks when each engine was last snapshotted, so the
+	// first snapshot after a metric blackout normalizes its accumulated
+	// counters over the true gap instead of one interval (which would
+	// inflate every rate and fabricate outliers).
+	engSnapAt map[*engine.Engine]float64
 }
 
 // NewController wires a controller to a simulation and a cluster manager.
@@ -201,6 +226,7 @@ func NewController(s *sim.Engine, mgr *cluster.Manager, cfg Config) (*Controller
 		cooldown:     make(map[string]int),
 		stableStreak: make(map[string]int),
 		observer:     obs.Nop{},
+		engSnapAt:    make(map[*engine.Engine]float64),
 	}, nil
 }
 
@@ -294,20 +320,42 @@ func (c *Controller) Tick() {
 	// Snapshot every engine exactly once and sample system metrics. With
 	// an observer attached the stats flavour is used, so per-class latency
 	// distributions and pool state reach the registry; without one the
-	// plain vector path runs and nothing extra is allocated.
+	// plain vector path runs and nothing extra is allocated. Servers whose
+	// monitoring is blacked out contribute nothing this tick — no vmstat
+	// sample, no engine snapshots — and the controller degrades to
+	// diagnosing without them rather than mistaking absent data for idle
+	// machines.
 	snaps := make(map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector)
 	cpu := make(map[*server.Server]float64)
 	disk := make(map[*server.Server]float64)
+	blackout := make(map[*server.Server]bool)
 	for _, srv := range c.mgr.Servers() {
+		if srv.MetricsBlackedOut() {
+			blackout[srv] = true
+			if c.observing {
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventDegradedAnalysis, Server: srv.Name(),
+					Cause: "metrics unreachable; no utilization sample or engine snapshot this interval",
+				})
+			}
+			continue
+		}
 		cpu[srv] = srv.CPUUtilization(now)
 		disk[srv] = srv.Disk().UtilizationWindow(now)
 		var engObs []obs.EngineObs
 		for _, eng := range c.mgr.EnginesOn(srv) {
+			// The first snapshot after a blackout covers every skipped
+			// interval; normalize over the true gap.
+			engInterval := interval
+			if last, ok := c.engSnapAt[eng]; ok && now-last > 0 {
+				engInterval = now - last
+			}
+			c.engSnapAt[eng] = now
 			if !c.observing {
-				snaps[eng] = c.analyzer(eng).Snapshot(interval)
+				snaps[eng] = c.analyzer(eng).Snapshot(engInterval)
 				continue
 			}
-			grouped, flat := c.analyzer(eng).SnapshotStats(interval)
+			grouped, flat := c.analyzer(eng).SnapshotStats(engInterval)
 			snaps[eng] = grouped
 			for id, st := range flat {
 				if st.Latency.Count == 0 {
@@ -359,7 +407,7 @@ func (c *Controller) Tick() {
 			c.violStreak[app] = 0
 			c.stableStreak[app]++
 			c.recordStable(now, sched, snaps)
-			c.maybeShrink(now, sched, iv.AvgLatency, cpu)
+			c.maybeShrink(now, sched, iv.AvgLatency, cpu, blackout)
 			if c.cfg.MaintainEvery > 0 && c.stableStreak[app]%c.cfg.MaintainEvery == 0 {
 				c.maintainQuotas(now, sched)
 			}
@@ -396,7 +444,7 @@ func (c *Controller) Tick() {
 		if acted {
 			continue
 		}
-		acted = c.diagnose(now, sched, snaps, cpu, disk)
+		acted = c.diagnose(now, sched, snaps, cpu, disk, blackout)
 		if acted {
 			// The configuration changed; violation streaks restart so the
 			// coarse fallback only fires when actions stop helping.
@@ -452,7 +500,7 @@ func (c *Controller) recordStable(now float64, sched *cluster.Scheduler,
 // within its SLA and all of its servers are nearly idle — the scale-down
 // half of the dynamic allocation shown in Figure 3(b).
 func (c *Controller) maybeShrink(now float64, sched *cluster.Scheduler,
-	avgLatency float64, cpu map[*server.Server]float64) {
+	avgLatency float64, cpu map[*server.Server]float64, blackout map[*server.Server]bool) {
 	if c.cfg.ShrinkBelow <= 0 {
 		return
 	}
@@ -460,10 +508,20 @@ func (c *Controller) maybeShrink(now float64, sched *cluster.Scheduler,
 	if len(reps) < 2 {
 		return
 	}
+	// Anti-oscillation: a single quiet interval in the middle of a fault
+	// episode must not release capacity that the next flap will need.
+	if c.stableStreak[sched.App().Name] < c.cfg.ShrinkAfter {
+		return
+	}
 	if avgLatency > 0.5*sched.App().SLA.MaxAvgLatency {
 		return
 	}
 	for _, r := range reps {
+		// An unknown utilization is not a low one: with any server's
+		// metrics blacked out the shrink decision is deferred.
+		if blackout[r.Server()] {
+			return
+		}
 		if cpu[r.Server()] >= c.cfg.ShrinkBelow {
 			return
 		}
@@ -539,15 +597,27 @@ func parseKey(key string) (metrics.ClassID, bool) {
 // and reports whether a retuning action was taken.
 func (c *Controller) diagnose(now float64, sched *cluster.Scheduler,
 	snaps map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector,
-	cpu, disk map[*server.Server]float64) bool {
+	cpu, disk map[*server.Server]float64, blackout map[*server.Server]bool) bool {
 	app := sched.App().Name
 
 	// 1. CPU saturation → reactive provisioning (§5.2, fully automated).
 	// Saturation shows either as high measured utilization or as a CPU
 	// run-queue backlog (under closed-loop clients, a saturated server
 	// throttles its own arrival rate, so backlog is the clearer signal).
+	// A blacked-out server is skipped outright: its absent sample reads
+	// as zero, and diagnosing "idle" from missing data would be exactly
+	// the misdiagnosis graceful degradation exists to prevent.
 	for _, r := range sched.Replicas() {
 		srv := r.Server()
+		if blackout[srv] {
+			if c.observing {
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventDegradedAnalysis, App: app, Server: srv.Name(),
+					Cause: "violation diagnosis skipped this server: metrics blacked out",
+				})
+			}
+			continue
+		}
 		// A backlog only indicates CPU saturation when the cores are
 		// actually busy; queries blocked on locks or I/O reserve future
 		// CPU time without consuming the present.
@@ -559,9 +629,14 @@ func (c *Controller) diagnose(now float64, sched *cluster.Scheduler,
 		}
 	}
 
-	// 2. Outlier detection + memory interference diagnosis per server.
+	// 2. Outlier detection + memory interference diagnosis per server
+	// (blacked-out servers have no snapshot this tick and drop out via
+	// the empty-snapshot guard).
 	if !c.cfg.CoarseOnly {
 		for _, r := range sched.Replicas() {
+			if blackout[r.Server()] {
+				continue
+			}
 			if c.diagnoseMemory(now, sched, r, snaps) {
 				return true
 			}
@@ -631,7 +706,27 @@ func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cl
 		return false
 	}
 	sig := c.sigs.Get(app, srv.Name())
-	reports := Detect(current, sig.Metrics, c.cfg.Fences)
+	// A signature that has not been refreshed within SignatureMaxAge —
+	// e.g. because a metric blackout or a long violation streak starved
+	// recordStable — no longer describes the stable state. Comparing
+	// against it would flag every drifted class as an outlier, so skip
+	// outlier detection entirely and fall through to the top-k heuristic
+	// (§3.3.2), which needs only the current snapshot.
+	sigStale := c.cfg.SignatureMaxAge > 0 && len(sig.Metrics) > 0 &&
+		now-sig.RecordedAt > c.cfg.SignatureMaxAge
+	var reports map[metrics.ClassID]*Report
+	if sigStale {
+		if c.observing {
+			c.observer.Event(obs.Event{
+				Time: now, Kind: obs.EventDegradedAnalysis, App: app, Server: srv.Name(),
+				Cause: fmt.Sprintf("signature %.0fs old exceeds max age %.0fs; outlier detection skipped, using top-k heavyweights",
+					now-sig.RecordedAt, c.cfg.SignatureMaxAge),
+				Fields: map[string]float64{"signature_age": now - sig.RecordedAt},
+			})
+		}
+	} else {
+		reports = Detect(current, sig.Metrics, c.cfg.Fences)
+	}
 	if c.observing {
 		for _, rep := range Outliers(reports) {
 			fields := make(map[string]float64)

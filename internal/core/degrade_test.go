@@ -1,0 +1,209 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"outlierlb/internal/engine"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/server"
+	"outlierlb/internal/workload"
+)
+
+// TestBlackoutSuppressesProvisioningUntilMetricsReturn drives a server
+// into CPU saturation while its monitoring is blacked out: the
+// controller must not act on the absent sample (a missing measurement
+// reads as zero utilization), must narrate the degradation, and must
+// provision normally once metrics return.
+func TestBlackoutSuppressesProvisioningUntilMetricsReturn(t *testing.T) {
+	// FallbackAfter is raised so the coarse fallback does not mask the
+	// behavior under test: with every fine-grained path degraded, a long
+	// violation streak would otherwise trigger isolation.
+	tb := newTestbed(t, 3, 2000, Config{Interval: 10, FallbackAfter: 100})
+	rec := obs.NewRecorder(8192)
+	tb.ctl.SetObserver(rec)
+	app := cpuApp("busy", 4, 0.15)
+	sched := startApp(t, tb, app)
+	srv := sched.Replicas()[0].Server()
+	srv.SetMetricsBlackout(true)
+
+	em, err := workload.NewEmulator(tb.sim, sched, workload.Config{
+		Mix: mixFor(app), ThinkTime: 0.1, Load: workload.Constant(60),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.ctl.Start()
+	em.Start()
+	tb.sim.RunUntil(100)
+
+	for _, a := range tb.ctl.Actions() {
+		t.Fatalf("controller acted on a blacked-out server: %+v", a)
+	}
+	var tickDegraded, diagDegraded bool
+	for _, e := range rec.Events().Recent(0) {
+		switch e.Kind {
+		case obs.EventDegradedAnalysis:
+			if e.Server != srv.Name() {
+				t.Fatalf("degraded event for wrong server: %+v", e)
+			}
+			if e.App == "" {
+				tickDegraded = true
+			} else {
+				diagDegraded = true
+			}
+		case obs.EventOutlier:
+			if e.Server == srv.Name() {
+				t.Fatalf("outlier diagnosis emitted for blacked-out server: %+v", e)
+			}
+		}
+	}
+	if !tickDegraded {
+		t.Error("no tick-level degraded-analysis event during blackout")
+	}
+	if !diagDegraded {
+		t.Error("no diagnosis-level degraded-analysis event during blackout")
+	}
+
+	// Metrics return: the very next violated interval is actionable and
+	// the controller provisions its way back under the SLA.
+	srv.SetMetricsBlackout(false)
+	tb.sim.RunUntil(350)
+	em.Stop()
+	provisions := 0
+	for _, a := range tb.ctl.Actions() {
+		if a.Kind == ActionProvision {
+			provisions++
+		}
+	}
+	if provisions == 0 {
+		t.Fatalf("no provisioning after blackout cleared; actions: %v", tb.ctl.Actions())
+	}
+	hist := sched.Tracker().History()
+	if last := hist[len(hist)-1]; !last.Met {
+		t.Fatalf("final interval still violates SLA after recovery: %+v", last)
+	}
+}
+
+// TestStaleSignatureSkipsOutlierDetection pins the SignatureMaxAge
+// degradation: against a stale stable state the controller must not run
+// outlier detection (every drifted class would be flagged) — it narrates
+// the degradation and falls through to the top-k heuristic instead. The
+// same deviation against a fresh signature is flagged normally.
+func TestStaleSignatureSkipsOutlierDetection(t *testing.T) {
+	tb := newTestbed(t, 1, 2000, Config{Interval: 10, SignatureMaxAge: 50})
+	app := cpuApp("shop", 6, 0.005)
+	sched := startApp(t, tb, app)
+	r := sched.Replicas()[0]
+
+	stable := make(map[metrics.ClassID]metrics.Vector)
+	current := make(map[metrics.ClassID]metrics.Vector)
+	for _, spec := range app.Classes {
+		stable[spec.ID] = vec(100, nil)
+		current[spec.ID] = vec(100, nil)
+	}
+	deviant := app.Classes[0].ID
+	current[deviant] = vec(100, map[metrics.Metric]float64{
+		metrics.BufferMisses: 5000,
+		metrics.ReadAhead:    3000,
+	})
+	snaps := map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector{
+		r.Engine(): {"shop": current},
+	}
+	sig := tb.ctl.Signatures().Get("shop", r.Server().Name())
+	rec := obs.NewRecorder(256)
+	tb.ctl.SetObserver(rec)
+
+	// Signature recorded at t=0, diagnosis at t=100: stale at max age 50.
+	sig.UpdateMetrics(0, stable)
+	tb.ctl.diagnoseMemory(100, sched, r, snaps)
+	degraded := 0
+	for _, e := range rec.Events().Recent(0) {
+		if e.Kind == obs.EventOutlier {
+			t.Fatalf("outlier flagged against a stale signature: %+v", e)
+		}
+		if e.Kind == obs.EventDegradedAnalysis {
+			if !strings.Contains(e.Cause, "signature") {
+				t.Fatalf("degraded event with unexpected cause: %+v", e)
+			}
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("stale signature produced no degraded-analysis event")
+	}
+
+	// Refresh the signature: the identical deviation is now an outlier.
+	sig.UpdateMetrics(95, stable)
+	before := rec.Events().Total()
+	tb.ctl.diagnoseMemory(100, sched, r, snaps)
+	outliers := 0
+	for _, e := range rec.Events().Recent(0) {
+		if e.Seq < before {
+			continue
+		}
+		if e.Kind == obs.EventDegradedAnalysis {
+			t.Fatalf("fresh signature reported as degraded: %+v", e)
+		}
+		if e.Kind == obs.EventOutlier && e.Class == deviant.Class {
+			outliers++
+		}
+	}
+	if outliers == 0 {
+		t.Fatal("deviant class not flagged against a fresh signature")
+	}
+}
+
+// TestShrinkWaitsForStableStreakAndMetrics pins the two anti-oscillation
+// guards on scale-down: a shrink needs ShrinkAfter consecutive stable
+// intervals, and is deferred whenever any replica's server has its
+// metrics blacked out (an unknown utilization is not a low one).
+func TestShrinkWaitsForStableStreakAndMetrics(t *testing.T) {
+	tb := newTestbed(t, 2, 2000, Config{Interval: 10, ShrinkBelow: 0.5, ShrinkAfter: 3})
+	app := cpuApp("calm", 2, 0.005)
+	sched := startApp(t, tb, app)
+	if _, err := tb.mgr.ProvisionOnFreeServer("calm"); err != nil {
+		t.Fatal(err)
+	}
+	reps := sched.Replicas()
+	cpu := map[*server.Server]float64{
+		reps[0].Server(): 0.1,
+		reps[1].Server(): 0.1,
+	}
+
+	tb.ctl.stableStreak["calm"] = 2
+	tb.ctl.maybeShrink(100, sched, 0.01, cpu, nil)
+	if len(tb.ctl.Actions()) != 0 {
+		t.Fatalf("shrank below the ShrinkAfter streak: %v", tb.ctl.Actions())
+	}
+
+	tb.ctl.stableStreak["calm"] = 3
+	blackout := map[*server.Server]bool{reps[1].Server(): true}
+	tb.ctl.maybeShrink(110, sched, 0.01, cpu, blackout)
+	if len(tb.ctl.Actions()) != 0 {
+		t.Fatalf("shrank while a server's metrics were blacked out: %v", tb.ctl.Actions())
+	}
+
+	tb.ctl.maybeShrink(120, sched, 0.01, cpu, nil)
+	acts := tb.ctl.Actions()
+	if len(acts) != 1 || acts[0].Kind != ActionShrink {
+		t.Fatalf("eligible shrink did not happen: %v", acts)
+	}
+	if len(sched.Replicas()) != 1 {
+		t.Fatalf("replicas = %d after shrink, want 1", len(sched.Replicas()))
+	}
+}
+
+// TestShrinkAfterDefault pins the fill() default: a zero ShrinkAfter
+// behaves like the pre-existing single-stable-interval rule.
+func TestShrinkAfterDefault(t *testing.T) {
+	var cfg Config
+	cfg.fill()
+	if cfg.ShrinkAfter != 1 {
+		t.Fatalf("ShrinkAfter default = %d, want 1", cfg.ShrinkAfter)
+	}
+	if cfg.SignatureMaxAge != 0 {
+		t.Fatalf("SignatureMaxAge default = %v, want 0 (unbounded)", cfg.SignatureMaxAge)
+	}
+}

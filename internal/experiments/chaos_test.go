@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// chaosSeeds pins the seeds the chaos suite runs under; the scenarios
+// are deterministic, so any behavioural drift under these seeds is a
+// real change, not noise.
+var chaosSeeds = []uint64{1, 2, 3}
+
+// assertChaosInvariants checks the claims every chaos scenario makes
+// regardless of the injected fault: clients never see an error, latency
+// inflation inside the fault window stays under the query deadline, the
+// run ends back at healthy baseline latency with the target replica
+// readmitted, and a single fault provokes at most one
+// provision/decommission pair from the controller.
+func assertChaosInvariants(t *testing.T, name string, r *ChaosResult) {
+	t.Helper()
+	if r.ClientErrors != 0 {
+		t.Errorf("%s seed=%d: %d client errors, want 0", name, r.Seed, r.ClientErrors)
+	}
+	if r.FaultLatency > chaosDeadline {
+		t.Errorf("%s seed=%d: fault-window latency %.3fs exceeds the %.0fs query deadline",
+			name, r.Seed, r.FaultLatency, chaosDeadline)
+	}
+	if r.FinalLatency > 0.1 {
+		t.Errorf("%s seed=%d: final latency %.3fs; recovery did not restore the baseline",
+			name, r.Seed, r.FinalLatency)
+	}
+	if !r.TargetHealthy {
+		t.Errorf("%s seed=%d: target replica %s did not end the run healthy", name, r.Seed, r.Target)
+	}
+	if r.Provisions > 1 || r.Shrinks > 1 {
+		t.Errorf("%s seed=%d: %d provisions / %d shrinks; one fault must cause at most one action pair",
+			name, r.Seed, r.Provisions, r.Shrinks)
+	}
+}
+
+func TestChaosGrayFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestChaosSmoke in short mode")
+	}
+	for _, seed := range chaosSeeds {
+		r, err := ChaosGrayFailure(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertChaosInvariants(t, "gray", r)
+		// The replica keeps answering slowly, so only the windowed breaker
+		// condition can catch it — and it must, repeatedly, with every
+		// open breaker probed back to service once the disk recovers.
+		if r.BreakerTrips == 0 {
+			t.Errorf("gray seed=%d: breaker never tripped on the degraded replica", seed)
+		}
+		if r.Probes == 0 || r.Recoveries == 0 {
+			t.Errorf("gray seed=%d: trips=%d but probes=%d recoveries=%d; breaker never cycled back",
+				seed, r.BreakerTrips, r.Probes, r.Recoveries)
+		}
+		if r.Retries == 0 {
+			t.Errorf("gray seed=%d: no reads were retried off the slow replica", seed)
+		}
+	}
+}
+
+func TestChaosFlapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestChaosSmoke in short mode")
+	}
+	for _, seed := range chaosSeeds {
+		r, err := ChaosFlapping(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertChaosInvariants(t, "flap", r)
+		if r.BreakerTrips == 0 {
+			t.Errorf("flap seed=%d: breaker never tripped across the flap phases", seed)
+		}
+		if r.Recoveries == 0 {
+			t.Errorf("flap seed=%d: replica was never probed back to healthy between flaps", seed)
+		}
+		// The stable-streak guard must keep the flaps from translating
+		// into capacity oscillation (assertChaosInvariants bounds the
+		// action count; here the flap run specifically should not shrink).
+		if r.Shrinks != 0 {
+			t.Errorf("flap seed=%d: controller shrank capacity mid-flap", seed)
+		}
+	}
+}
+
+func TestChaosMetricBlackout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestChaosSmoke in short mode")
+	}
+	for _, seed := range chaosSeeds {
+		r, err := ChaosMetricBlackout(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertChaosInvariants(t, "blackout", r)
+		// The server keeps serving; only its metrics vanish. The
+		// controller must narrate the degradation and must not diagnose
+		// outliers for a server it cannot measure.
+		if r.DegradedEvents == 0 {
+			t.Errorf("blackout seed=%d: controller never reported degraded analysis for the dark server", seed)
+		}
+		if r.TargetOutlierDiagnoses != 0 {
+			t.Errorf("blackout seed=%d: %d outlier diagnoses for the blacked-out server, want 0",
+				seed, r.TargetOutlierDiagnoses)
+		}
+	}
+}
+
+// TestChaosDeterminism reruns one scenario under the same seed and
+// requires identical outcomes: the fault injector rides the simulation's
+// seeded RNG, so a chaos run is exactly reproducible.
+func TestChaosDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping determinism rerun in short mode")
+	}
+	a, err := ChaosFlapping(chaosSeeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosFlapping(chaosSeeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ClientErrors != b.ClientErrors || a.BreakerTrips != b.BreakerTrips ||
+		a.Recoveries != b.Recoveries || a.Retries != b.Retries ||
+		len(a.Events) != len(b.Events) ||
+		a.FaultLatency != b.FaultLatency || a.FinalLatency != b.FinalLatency {
+		t.Errorf("same seed, different runs:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+// TestChaosSmoke is the seed-pinned short-mode run wired into ci.sh:
+// one gray-failure and one flapping run, core invariants only.
+func TestChaosSmoke(t *testing.T) {
+	for name, fn := range map[string]func(uint64) (*ChaosResult, error){
+		"gray": ChaosGrayFailure, "flap": ChaosFlapping,
+	} {
+		r, err := fn(chaosSeeds[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertChaosInvariants(t, name, r)
+		if r.BreakerTrips == 0 || r.Recoveries == 0 {
+			t.Errorf("%s: trips=%d recoveries=%d; detector never cycled", name, r.BreakerTrips, r.Recoveries)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 package experiments
 
 import (
-	"outlierlb/internal/cluster"
+	"fmt"
+
 	"outlierlb/internal/core"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/tpcw"
@@ -29,7 +30,7 @@ type FailureResult struct {
 // FailureRecovery runs TPC-W on two replicas under a load that needs
 // both, crashes one, and lets the controller restore capacity from the
 // free pool.
-func FailureRecovery(seed uint64) *FailureResult {
+func FailureRecovery(seed uint64) (*FailureResult, error) {
 	const (
 		interval = 10.0
 		crashAt  = 400.0
@@ -40,8 +41,9 @@ func FailureRecovery(seed uint64) *FailureResult {
 	tb := newTestbed(seed, 3, 2*PoolPages, core.Config{Interval: interval, SettleIntervals: 3, FallbackAfter: 10})
 	app := tpcw.New(tb.sim.RNG().Fork(), tpcw.Options{})
 	sched := tb.startApp(app)
-	if _, err := tb.mgr.ProvisionOnFreeServer(app.Name); err != nil {
-		panic(err)
+	victim, err := tb.mgr.ProvisionOnFreeServer(app.Name)
+	if err != nil {
+		return nil, fmt.Errorf("provisioning second replica: %w", err)
 	}
 	em := tb.emulate(sched, tpcw.Mix(), think, workload.Constant(clients))
 	em.Start()
@@ -51,7 +53,6 @@ func FailureRecovery(seed uint64) *FailureResult {
 	res := &FailureResult{}
 	res.BeforeLatency, _ = windowStats(sched, 200, crashAt)
 
-	victim := sched.Replicas()[1]
 	sched.MarkFailed(victim)
 	tb.sim.RunUntil(crashAt + 60)
 	res.DuringLatency, _ = windowStats(sched, crashAt, crashAt+60)
@@ -66,14 +67,5 @@ func FailureRecovery(seed uint64) *FailureResult {
 		}
 	}
 	res.Actions = tb.ctl.Actions()
-	return res
-}
-
-// FailedReplica returns a replica pointer for tests that must assert on
-// the victim's state; unexported fields stay encapsulated.
-func FailedReplica(sched *cluster.Scheduler) *cluster.Replica {
-	if len(sched.Replicas()) < 2 {
-		return nil
-	}
-	return sched.Replicas()[1]
+	return res, nil
 }

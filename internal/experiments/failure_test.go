@@ -10,7 +10,10 @@ func TestFailureRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long scenario")
 	}
-	r := FailureRecovery(1)
+	r, err := FailureRecovery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Availability: no client ever sees an error — the survivor keeps
 	// serving throughout.
 	if r.ClientErrors != 0 {

@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"testing"
+
+	"outlierlb/internal/bufferpool"
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/engine"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/storage"
+)
+
+type captureObs struct {
+	obs.Nop
+	events []obs.Event
+}
+
+func (c *captureObs) Event(e obs.Event) { c.events = append(c.events, e) }
+
+func newReplica(t *testing.T, name string) *cluster.Replica {
+	t.Helper()
+	srv := server.MustNew(server.Config{
+		Name: name, Cores: 4, MemoryPages: 10000,
+		Disk: storage.Params{Seek: 0.001, PerPage: 0.0001},
+	})
+	eng, err := engine.New(engine.Config{Name: "eng-" + name, Pool: bufferpool.Config{Capacity: 5000}}, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster.NewReplica(eng, srv)
+}
+
+func newInjector(seed uint64) (*sim.Engine, *Injector, *captureObs) {
+	eng := sim.NewEngine(seed)
+	in := New(eng)
+	rec := &captureObs{}
+	in.SetObserver(rec)
+	return eng, in, rec
+}
+
+func TestCrashAndRecovery(t *testing.T) {
+	eng, in, rec := newInjector(1)
+	r := newReplica(t, "db1")
+	in.Crash(r, 5, 15)
+
+	eng.RunUntil(4)
+	if r.Down() {
+		t.Fatal("replica down before the fault fires")
+	}
+	eng.RunUntil(10)
+	if !r.Down() {
+		t.Fatal("replica up during the crash window")
+	}
+	eng.RunUntil(20)
+	if r.Down() {
+		t.Fatal("replica still down after recovery")
+	}
+	if len(rec.events) != 2 ||
+		rec.events[0].Kind != obs.EventFaultInjected || rec.events[0].Time != 5 ||
+		rec.events[1].Kind != obs.EventFaultCleared || rec.events[1].Time != 15 {
+		t.Fatalf("events = %+v", rec.events)
+	}
+}
+
+func TestPermanentCrash(t *testing.T) {
+	eng, in, _ := newInjector(1)
+	r := newReplica(t, "db1")
+	in.Crash(r, 5, 0) // recoverAt ≤ at: never recovers
+	eng.Run()
+	if !r.Down() {
+		t.Fatal("permanent crash recovered")
+	}
+}
+
+func TestCorrelatedCrash(t *testing.T) {
+	eng, in, _ := newInjector(1)
+	r1, r2, r3 := newReplica(t, "db1"), newReplica(t, "db2"), newReplica(t, "db3")
+	in.CorrelatedCrash([]*cluster.Replica{r1, r2}, 10, 20)
+	eng.RunUntil(10)
+	if !r1.Down() || !r2.Down() {
+		t.Fatal("correlated crash missed a replica")
+	}
+	if r3.Down() {
+		t.Fatal("untargeted replica crashed")
+	}
+	eng.RunUntil(20)
+	if r1.Down() || r2.Down() {
+		t.Fatal("correlated crash did not recover together")
+	}
+}
+
+func TestGrayFailureDegradesAndRestoresDisk(t *testing.T) {
+	eng, in, rec := newInjector(1)
+	r := newReplica(t, "db1")
+	in.GrayFailure(r.Server(), 100, 300, 8)
+
+	eng.RunUntil(99)
+	if got := r.Server().Disk().Slowdown(); got != 1 {
+		t.Fatalf("slowdown before fault = %v", got)
+	}
+	eng.RunUntil(200)
+	if got := r.Server().Disk().Slowdown(); got != 8 {
+		t.Fatalf("slowdown during fault = %v, want 8", got)
+	}
+	eng.RunUntil(400)
+	if got := r.Server().Disk().Slowdown(); got != 1 {
+		t.Fatalf("slowdown after clear = %v", got)
+	}
+	if len(rec.events) != 2 || rec.events[0].Fields["factor"] != 8 {
+		t.Fatalf("events = %+v", rec.events)
+	}
+}
+
+func TestMetricBlackoutTogglesServer(t *testing.T) {
+	eng, in, _ := newInjector(1)
+	r := newReplica(t, "db1")
+	in.MetricBlackout(r.Server(), 50, 150)
+	eng.RunUntil(60)
+	if !r.Server().MetricsBlackedOut() {
+		t.Fatal("server not blacked out during the fault")
+	}
+	eng.RunUntil(150)
+	if r.Server().MetricsBlackedOut() {
+		t.Fatal("blackout survived its clear time")
+	}
+}
+
+func TestFlapCyclesAndEndsUp(t *testing.T) {
+	eng, in, rec := newInjector(1)
+	r := newReplica(t, "db1")
+	in.Flap(r, 10, 100, 5, 10, 0)
+
+	eng.RunUntil(12)
+	if !r.Down() {
+		t.Fatal("first flap phase missing")
+	}
+	eng.RunUntil(17) // 10+5: first up phase
+	if r.Down() {
+		t.Fatal("replica not restored after down phase")
+	}
+	eng.RunUntil(500)
+	if r.Down() {
+		t.Fatal("flapping left the replica down after the window closed")
+	}
+	downs := 0
+	for _, e := range rec.events {
+		if e.Kind == obs.EventFaultInjected {
+			downs++
+		}
+	}
+	// 90 s window, 15 s cycle: several full cycles.
+	if downs < 4 {
+		t.Fatalf("only %d flap cycles in the window", downs)
+	}
+	// No event escapes the window.
+	for _, e := range rec.events {
+		if e.Time > 101 {
+			t.Fatalf("fault event after window close: %+v", e)
+		}
+	}
+}
+
+func TestFlapJitterIsSeedReproducible(t *testing.T) {
+	times := func(seed uint64) []float64 {
+		eng, in, rec := newInjector(seed)
+		in.Flap(newReplica(t, "db1"), 0, 200, 5, 10, 2)
+		eng.Run()
+		out := make([]float64, len(rec.events))
+		for i, e := range rec.events {
+			out[i] = e.Time
+		}
+		return out
+	}
+	a, b := times(7), times(7)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d at %v vs %v — jitter not reproducible", i, a[i], b[i])
+		}
+	}
+	c := times(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered schedules")
+	}
+}

@@ -28,15 +28,15 @@ type EventKind string
 
 // Controller retuning actions (mirroring core.ActionKind).
 const (
-	EventProvision   EventKind = "provision-replica"
-	EventQuota       EventKind = "enforce-quota"
-	EventReschedule  EventKind = "reschedule-class"
-	EventIOMove      EventKind = "io-move-class"
-	EventFallback    EventKind = "coarse-isolate"
-	EventShrink      EventKind = "release-replica"
-	EventLockReport  EventKind = "lock-contention"
-	EventMaintain    EventKind = "maintain-quota"
-	EventExhausted   EventKind = "resources-exhausted"
+	EventProvision  EventKind = "provision-replica"
+	EventQuota      EventKind = "enforce-quota"
+	EventReschedule EventKind = "reschedule-class"
+	EventIOMove     EventKind = "io-move-class"
+	EventFallback   EventKind = "coarse-isolate"
+	EventShrink     EventKind = "release-replica"
+	EventLockReport EventKind = "lock-contention"
+	EventMaintain   EventKind = "maintain-quota"
+	EventExhausted  EventKind = "resources-exhausted"
 )
 
 // Diagnosis and lifecycle events beyond the action log.
@@ -59,13 +59,46 @@ const (
 	EventAttach     EventKind = "replica-attached"
 )
 
+// Replica health, fault-injection, and degraded-analysis events. The
+// scheduler's failure detector and circuit breaker narrate every
+// transition of the per-replica health state machine (healthy →
+// suspected → failed → probation → healthy) so /debug/decisions explains
+// every recovery, not just every retuning action.
+const (
+	// EventReplicaSuspected marks a replica's first query timeout since
+	// it was last healthy.
+	EventReplicaSuspected EventKind = "replica-suspected"
+	// EventReplicaFailed marks an announced (administrative) replica
+	// crash — the scheduler was told, not the detector.
+	EventReplicaFailed EventKind = "replica-failed"
+	// EventBreakerTrip marks the circuit breaker opening on a replica:
+	// it receives no traffic until a half-open probe is due.
+	EventBreakerTrip EventKind = "breaker-trip"
+	// EventBreakerProbe marks a half-open probe: the replica moves to
+	// probation and the next queries decide its fate.
+	EventBreakerProbe EventKind = "breaker-probe"
+	// EventReplicaRecovered marks a replica returning to healthy, via a
+	// successful probe or an administrative recovery.
+	EventReplicaRecovered EventKind = "replica-recovered"
+	// EventQueryRetry marks one read retried on another replica after a
+	// timeout or error.
+	EventQueryRetry EventKind = "query-retry"
+	// EventFaultInjected / EventFaultCleared bracket each injected fault
+	// (crash, gray failure, flap phase, metric blackout).
+	EventFaultInjected EventKind = "fault-injected"
+	EventFaultCleared  EventKind = "fault-cleared"
+	// EventDegradedAnalysis marks the controller skipping or downgrading
+	// its diagnosis because a server's metrics are missing or stale.
+	EventDegradedAnalysis EventKind = "degraded-analysis"
+)
+
 // Event is one structured decision-trace record.
 type Event struct {
 	// Seq is assigned by the event log: a monotonically increasing
 	// sequence number across the run.
 	Seq uint64 `json:"seq"`
 	// Time is the virtual time of the decision, in seconds.
-	Time float64 `json:"time"`
+	Time float64   `json:"time"`
 	Kind EventKind `json:"kind"`
 	// App, Server and Class locate the decision; empty when not
 	// applicable.
@@ -197,3 +230,49 @@ func (Nop) ServerSampled(ServerObs) {}
 func (Nop) ClassLatency(ClassLatencyObs) {}
 
 var _ Observer = Nop{}
+
+// tee forwards every call to a fixed set of observers, in order.
+type tee struct{ outs []Observer }
+
+func (t tee) Event(e Event) {
+	for _, o := range t.outs {
+		o.Event(e)
+	}
+}
+func (t tee) IntervalClosed(iv IntervalObs) {
+	for _, o := range t.outs {
+		o.IntervalClosed(iv)
+	}
+}
+func (t tee) ServerSampled(s ServerObs) {
+	for _, o := range t.outs {
+		o.ServerSampled(s)
+	}
+}
+func (t tee) ClassLatency(cl ClassLatencyObs) {
+	for _, o := range t.outs {
+		o.ClassLatency(cl)
+	}
+}
+
+// Tee returns an Observer that forwards every call to each non-nil
+// observer in order — e.g. a scenario's private recorder plus a tool's
+// live metrics endpoint. Zero usable observers degrade to Nop.
+func Tee(observers ...Observer) Observer {
+	var outs []Observer
+	for _, o := range observers {
+		if o != nil {
+			if _, nop := o.(Nop); nop {
+				continue
+			}
+			outs = append(outs, o)
+		}
+	}
+	switch len(outs) {
+	case 0:
+		return Nop{}
+	case 1:
+		return outs[0]
+	}
+	return tee{outs: outs}
+}

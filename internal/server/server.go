@@ -38,6 +38,7 @@ type Server struct {
 	busyMark float64 // busy value at last interval reset
 	lastObs  float64 // time of last interval reset
 	vms      []*VM
+	blackout bool // metrics collection unreachable (monitoring fault)
 }
 
 // New returns a server. Cores and MemoryPages must be positive.
@@ -78,6 +79,16 @@ func (s *Server) MemoryPages() int { return s.cfg.MemoryPages }
 
 // Disk returns the shared I/O channel (dom-0) of this server.
 func (s *Server) Disk() *storage.Disk { return s.disk }
+
+// SetMetricsBlackout toggles a monitoring fault: while active, the
+// server's statistics (vmstat samples, engine snapshots) are unreachable
+// — the machine keeps serving queries, but the controller must diagnose
+// without fresh data from it.
+func (s *Server) SetMetricsBlackout(on bool) { s.blackout = on }
+
+// MetricsBlackedOut reports whether the server's metrics are currently
+// unreachable.
+func (s *Server) MetricsBlackedOut() bool { return s.blackout }
 
 // RunCPU schedules work seconds of CPU on the least-loaded core starting
 // no earlier than now and returns the completion time. The model treats

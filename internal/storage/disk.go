@@ -48,6 +48,7 @@ type Disk struct {
 	busyMark float64 // busy value at last windowed observation
 	lastObs  float64 // time of last windowed observation
 	byClass  map[string]int64
+	slowdown float64 // service-time multiplier; <1 clamps to 1 (healthy)
 }
 
 // NewDisk returns a disk with the given parameters.
@@ -78,6 +79,9 @@ func (d *Disk) Read(now float64, class string, pages int) (done float64) {
 		start = d.freeAt
 	}
 	service := d.params.Seek + float64(pages)*d.params.PerPage
+	if d.slowdown > 1 {
+		service *= d.slowdown
+	}
 	done = start + service
 	d.freeAt = done
 	d.requests++
@@ -85,6 +89,27 @@ func (d *Disk) Read(now float64, class string, pages int) (done float64) {
 	d.busy += service
 	d.byClass[class] += int64(pages)
 	return done
+}
+
+// SetSlowdown sets a service-time multiplier modelling a gray failure
+// (a degraded disk serving every request k times slower — remapped
+// sectors, background scrubbing, a dying controller). Values ≤ 1 restore
+// healthy service times. The backlog already queued keeps its original
+// service times; only requests submitted afterwards are inflated.
+func (d *Disk) SetSlowdown(k float64) {
+	if k < 1 {
+		k = 1
+	}
+	d.slowdown = k
+}
+
+// Slowdown reports the current gray-failure service-time multiplier
+// (1 when healthy).
+func (d *Disk) Slowdown() float64 {
+	if d.slowdown < 1 {
+		return 1
+	}
+	return d.slowdown
 }
 
 // QueueDelay reports how long a request submitted at now would wait before

@@ -53,6 +53,28 @@ func TestIdleDiskStartsImmediately(t *testing.T) {
 	}
 }
 
+func TestSlowdownInflatesServiceTime(t *testing.T) {
+	d := MustNewDisk(Params{Seek: 0.005, PerPage: 0.001})
+	d.SetSlowdown(4)
+	if d.Slowdown() != 4 {
+		t.Fatalf("Slowdown() = %v, want 4", d.Slowdown())
+	}
+	done := d.Read(0, "a", 5)
+	want := 4 * (0.005 + 5*0.001)
+	if done != want {
+		t.Fatalf("gray read done = %v, want %v", done, want)
+	}
+	// Restoring health restores the original service time.
+	d.SetSlowdown(0) // sub-unity clamps to healthy
+	if d.Slowdown() != 1 {
+		t.Fatalf("Slowdown() after clear = %v, want 1", d.Slowdown())
+	}
+	done2 := d.Read(done, "a", 5)
+	if got, want := done2-done, 0.005+5*0.001; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("healthy read service = %v, want %v", got, want)
+	}
+}
+
 func TestMinimumOnePage(t *testing.T) {
 	d := MustNewDisk(Params{Seek: 0, PerPage: 0.001})
 	done := d.Read(0, "a", 0)
