@@ -1,12 +1,27 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before merging:
-# vet, full build, and the test suite under the race detector
-# (the obs package is read concurrently by the HTTP endpoints
-# while the simulation writes, so -race is load-bearing).
+# formatting, vet, doc coverage, full build, and the test suite under
+# the race detector (the obs package is read concurrently by the HTTP
+# endpoints while the simulation writes, and the engine's statistics
+# pipeline fans out across goroutines, so -race is load-bearing).
 set -eux
 
+# Formatting gate: gofmt prints offending files; any output fails.
+test -z "$(gofmt -l .)"
+
 go vet ./...
+
+# Doc-coverage gate: every internal package must carry a package
+# comment documenting its role and concurrency/ownership rules.
+test -z "$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/...)"
+
 go build ./...
+
+# Fast race pass over the concurrency-critical packages (short mode):
+# sharded collectors, the background MRC worker, and the engine's
+# statistics pipeline with 8+ producer goroutines racing a snapshotter.
+go test -race -short -count=1 ./internal/metrics/ ./internal/mrc/ ./internal/engine/
+
 go test -race ./...
 
 # Seed-pinned chaos smoke run: gray-failure + flapping under seed 1,

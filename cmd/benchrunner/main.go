@@ -26,7 +26,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit figures as CSV series instead of aligned text")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
 	verbose := flag.Bool("v", false, "print each controller decision to stderr as it happens")
+	statWorkers := flag.Int("stat.workers", 0,
+		"concurrent statistics executors per engine (0 = synchronous, deterministic)")
 	flag.Parse()
+
+	experiments.SetStatWorkers(*statWorkers)
 
 	session, err := obscli.Start(*obsAddr, *verbose)
 	if err != nil {

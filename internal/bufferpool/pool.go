@@ -9,6 +9,12 @@
 // starts fully shared; enforcing a quota for a query class (the selective
 // retuning action of §3.3.2) carves a dedicated partition out of the pool
 // and shrinks the shared remainder accordingly.
+//
+// Concurrency: a Pool belongs to its engine's query path
+// (internal/engine) and is single-owner; its OnMiss/OnFlush hooks run
+// synchronously on that owner. Per-class statistics derived from pool
+// activity flow through the engine's logging buffers (internal/metrics),
+// which is where concurrency, if enabled, begins.
 package bufferpool
 
 import (

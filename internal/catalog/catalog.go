@@ -4,6 +4,10 @@
 // catalog into page-access patterns and CPU costs, so a schema change —
 // such as §5.3's dropped O_DATE index — changes execution plans the way
 // it does in a real engine, instead of by hand-editing access patterns.
+//
+// Concurrency: a Schema is immutable once built (schema changes produce
+// a new Schema), so it may be shared freely; the planner
+// (internal/planner) compiles against it without synchronization.
 package catalog
 
 import (

@@ -369,12 +369,15 @@ func (c *Controller) Tick() {
 				})
 			}
 			pool := eng.Pool()
+			mrcStats := eng.MRCStats()
 			engObs = append(engObs, obs.EngineObs{
-				Engine:    eng.Name(),
-				HitRatio:  pool.TotalStats().HitRatio(),
-				Resident:  pool.Resident(),
-				Capacity:  pool.Capacity(),
-				QuotaKeys: len(pool.Quotas()),
+				Engine:     eng.Name(),
+				HitRatio:   pool.TotalStats().HitRatio(),
+				Resident:   pool.Resident(),
+				Capacity:   pool.Capacity(),
+				QuotaKeys:  len(pool.Quotas()),
+				MRCFed:     mrcStats.Fed,
+				MRCDropped: mrcStats.Dropped,
 			})
 		}
 		if c.observing {

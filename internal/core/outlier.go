@@ -3,6 +3,14 @@
 // interference diagnosis, a buffer-pool quota solver, and the selective
 // retuning controller that ties them to the cluster's schedulers and
 // resource manager.
+//
+// Concurrency: the Controller ticks on the simulation goroutine
+// (internal/sim) and owns everything it touches. When engines run the
+// concurrent statistics pipeline (internal/engine's StatWorkers), the
+// engine snapshot taken at each tick barriers that pipeline first, so
+// the controller always reasons over a complete interval; the only
+// state it reads that other goroutines write is surfaced through
+// internal/obs, whose Recorder is concurrent-safe.
 package core
 
 import (

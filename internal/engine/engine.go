@@ -4,14 +4,38 @@
 // and every event is logged per query class through a private logging
 // buffer into a metrics collector, together with a window of recent page
 // accesses for MRC recomputation.
+//
+// # Concurrency and ownership
+//
+// An Engine's query path (Execute, Register, Snapshot, Window, ...) is
+// single-owner: it belongs to the simulation goroutine and is not safe
+// for concurrent use. Statistics processing, however, has two modes:
+//
+//   - Config.StatWorkers == 0 (default): fully synchronous. Every event
+//     is logged inline through one private metrics.LogBuffer into one
+//     metrics.Collector, and access windows are updated during Execute.
+//     Results are deterministic and bit-identical run to run.
+//   - Config.StatWorkers = N > 0: the concurrent statistics pipeline of
+//     statexec.go. Execute only appends records to per-executor pending
+//     batches; N executor goroutines own the collector shards
+//     (metrics.ShardedCollector), the per-class access windows, and feed
+//     a background mrc.Worker. Records are class-routed, so per-class
+//     event order — and hence window contents — matches the synchronous
+//     mode; only float summation order in snapshots differs. Engines
+//     with executors must be Close()d to stop their goroutines.
+//
+// Snapshot, Window, WindowTotal and MRCCurve barrier the pipeline first,
+// so either mode observes every record emitted before the call.
 package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"outlierlb/internal/bufferpool"
 	"outlierlb/internal/lockmgr"
 	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
 	"outlierlb/internal/trace"
 )
 
@@ -82,9 +106,16 @@ type Config struct {
 	// LogBufferSize is the per-thread private logging buffer capacity.
 	// Defaults to 4096.
 	LogBufferSize int
+	// StatWorkers, when positive, enables the concurrent statistics
+	// pipeline: N executor goroutines own the collector shards, access
+	// windows and background MRC tracking (see statexec.go). 0 keeps
+	// statistics synchronous and deterministic.
+	StatWorkers int
 }
 
-// Engine is one simulated database engine. Not safe for concurrent use.
+// Engine is one simulated database engine. The query path is not safe
+// for concurrent use; see the package comment for the two statistics
+// modes.
 type Engine struct {
 	cfg       Config
 	host      Host
@@ -92,8 +123,21 @@ type Engine struct {
 	locks     *lockmgr.Manager
 	collector *metrics.Collector
 	logbuf    *metrics.LogBuffer
-	windows   map[metrics.ClassID]*metrics.AccessWindow
 	classes   map[metrics.ClassID]*ClassSpec
+
+	// windows is written by Register (query thread) and read by the
+	// statistics executors; winMu guards the map itself. Each window's
+	// contents are single-owner: the query thread in synchronous mode,
+	// the class's executor in concurrent mode.
+	winMu   sync.RWMutex
+	windows map[metrics.ClassID]*metrics.AccessWindow
+
+	// Concurrent statistics pipeline (nil/empty when StatWorkers == 0).
+	sharded *metrics.ShardedCollector
+	execs   []*statExecutor
+	pending [][]metrics.Record
+	mrcw    *mrc.Worker
+	closed  bool
 
 	// Per-execution scratch used by the pool's miss hook.
 	curNow    float64
@@ -126,12 +170,15 @@ func New(cfg Config, host Host) (*Engine, error) {
 		classes:   make(map[metrics.ClassID]*ClassSpec),
 	}
 	e.logbuf = metrics.NewLogBuffer(cfg.LogBufferSize, metrics.Drain(e.collector))
+	if cfg.StatWorkers > 0 {
+		e.startStatPipeline(cfg.StatWorkers)
+	}
 	pool.OnMiss(func(class string, pages int) {
 		done := e.host.ReadPages(e.curNow, class, pages)
 		if done > e.curIODone {
 			e.curIODone = done
 		}
-		e.logbuf.Append(metrics.Record{Kind: metrics.RecIO, Class: e.curClass, Value: float64(pages)})
+		e.emit(metrics.Record{Kind: metrics.RecIO, Class: e.curClass, Value: float64(pages)})
 	})
 	pool.OnFlush(func(class string, pages int) {
 		// Dirty-page write-back is asynchronous: it occupies the disk
@@ -140,7 +187,7 @@ func New(cfg Config, host Host) (*Engine, error) {
 		// dirtied the page.
 		e.host.ReadPages(e.curNow, class, pages)
 		if id, ok := parseClassKey(class); ok {
-			e.logbuf.Append(metrics.Record{Kind: metrics.RecIO, Class: id, Value: float64(pages)})
+			e.emit(metrics.Record{Kind: metrics.RecIO, Class: id, Value: float64(pages)})
 		}
 	})
 	return e, nil
@@ -181,9 +228,11 @@ func (e *Engine) Register(spec ClassSpec) error {
 		return err
 	}
 	e.classes[spec.ID] = &spec
+	e.winMu.Lock()
 	if _, ok := e.windows[spec.ID]; !ok {
 		e.windows[spec.ID] = metrics.NewAccessWindow(e.cfg.WindowSize)
 	}
+	e.winMu.Unlock()
 	return nil
 }
 
@@ -219,7 +268,12 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		return now, fmt.Errorf("engine %q: query class %v not registered", e.cfg.Name, id)
 	}
 	key := id.String()
-	win := e.windows[id]
+	// In concurrent mode the class's executor owns its window and applies
+	// the RecAccess stream itself; only the synchronous path updates here.
+	var win *metrics.AccessWindow
+	if e.sharded == nil {
+		win = e.windows[id]
+	}
 
 	// Lock acquisition precedes execution: writers take the table's
 	// exclusive lock, readers wait out any current holder. Lock waits
@@ -235,7 +289,7 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 			start = e.locks.WaitShared(now, key, spec.LockTable)
 		}
 		if wait := start - now; wait > 0 {
-			e.logbuf.Append(metrics.Record{Kind: metrics.RecLockWait, Class: id, Value: wait})
+			e.emit(metrics.Record{Kind: metrics.RecLockWait, Class: id, Value: wait})
 		}
 	}
 
@@ -249,12 +303,14 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		} else {
 			res = e.pool.Access(key, pg)
 		}
-		win.Add(pg)
-		e.logbuf.Append(metrics.Record{Kind: metrics.RecAccess, Class: id, Value: float64(pg), Miss: !res.Hit})
+		if win != nil {
+			win.Add(pg)
+		}
+		e.emit(metrics.Record{Kind: metrics.RecAccess, Class: id, Value: float64(pg), Miss: !res.Hit})
 		prefetched += res.Prefetched
 	}
 	if prefetched > 0 {
-		e.logbuf.Append(metrics.Record{Kind: metrics.RecReadAhead, Class: id, Value: float64(prefetched)})
+		e.emit(metrics.Record{Kind: metrics.RecReadAhead, Class: id, Value: float64(prefetched)})
 	}
 
 	cpuWork := spec.CPUPerQuery + float64(spec.PagesPerQuery)*spec.CPUPerPage
@@ -267,18 +323,22 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		// The transaction is not finished until its lock hold elapses.
 		done = lockRelease
 	}
-	e.logbuf.Append(metrics.Record{Kind: metrics.RecQuery, Class: id, Value: done - now})
+	e.emit(metrics.Record{Kind: metrics.RecQuery, Class: id, Value: done - now})
 	return done, nil
 }
 
 // Locks exposes the engine's lock manager (for contention diagnosis).
 func (e *Engine) Locks() *lockmgr.Manager { return e.locks }
 
-// Snapshot flushes the logging buffer and returns per-class metric
-// vectors for a measurement interval of the given length in seconds,
-// resetting the interval counters.
+// Snapshot makes every record emitted so far visible (flushing the
+// logging buffer, or barriering the statistics executors) and returns
+// per-class metric vectors for a measurement interval of the given
+// length in seconds, resetting the interval counters.
 func (e *Engine) Snapshot(interval float64) map[metrics.ClassID]metrics.Vector {
-	e.logbuf.Flush()
+	e.barrier()
+	if e.sharded != nil {
+		return e.sharded.Snapshot(interval)
+	}
 	return e.collector.Snapshot(interval)
 }
 
@@ -286,14 +346,24 @@ func (e *Engine) Snapshot(interval float64) map[metrics.ClassID]metrics.Vector {
 // attached. Like Snapshot it resets the interval counters; call one or
 // the other per interval, not both.
 func (e *Engine) SnapshotStats(interval float64) map[metrics.ClassID]metrics.ClassStats {
-	e.logbuf.Flush()
+	e.barrier()
+	if e.sharded != nil {
+		return e.sharded.SnapshotStats(interval)
+	}
 	return e.collector.SnapshotStats(interval)
 }
 
 // Window returns the recent page accesses of class id (oldest first), the
-// input to MRC recomputation.
+// input to MRC recomputation. In concurrent mode it barriers the
+// executors first, so the window reflects every access emitted so far.
 func (e *Engine) Window(id metrics.ClassID) []uint64 {
-	if w := e.windows[id]; w != nil {
+	if e.sharded != nil {
+		e.barrier()
+	}
+	e.winMu.RLock()
+	w := e.windows[id]
+	e.winMu.RUnlock()
+	if w != nil {
 		return w.Snapshot()
 	}
 	return nil
@@ -302,7 +372,13 @@ func (e *Engine) Window(id metrics.ClassID) []uint64 {
 // WindowTotal reports how many page accesses class id has issued over
 // its lifetime (the recent-access window retains only the tail).
 func (e *Engine) WindowTotal(id metrics.ClassID) int64 {
-	if w := e.windows[id]; w != nil {
+	if e.sharded != nil {
+		e.barrier()
+	}
+	e.winMu.RLock()
+	w := e.windows[id]
+	e.winMu.RUnlock()
+	if w != nil {
 		return w.Total()
 	}
 	return 0

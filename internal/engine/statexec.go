@@ -1,0 +1,237 @@
+package engine
+
+// This file implements the engine's concurrent statistics pipeline. The
+// discrete-event simulation that produces queries is single-threaded and
+// deterministic; what this mode moves off that thread is everything the
+// paper's §4 instrumentation does per event — collector accumulation,
+// per-class access-window updates and MRC stack-distance tracking.
+//
+// Topology (Config.StatWorkers = N > 0):
+//
+//	query thread ──emit──▶ pending[i] ──batch──▶ executor i ──▶ shard i
+//	                                                 │
+//	                                                 ├─▶ class access windows
+//	                                                 └─▶ mrc.Worker (bounded, may drop)
+//
+// Every record is routed by ShardedCollector.ShardIndex(class), so all
+// events of one class flow through one executor in emission order: the
+// class's access window and MRC stream see exactly the sequence the
+// query thread produced, which keeps window contents identical to the
+// synchronous mode. Only floating-point summation order in merged
+// snapshots differs.
+//
+// Ownership rules:
+//
+//   - pending batches belong to the query thread until handed off, then
+//     to the executor; a fresh slice is allocated per hand-off.
+//   - executor i exclusively owns shard i and the windows of the classes
+//     routed to it; the windows map itself is guarded by winMu because
+//     Register (query thread) inserts while executors look up.
+//   - metric batches are delivered over a bounded channel with BLOCKING
+//     sends: metric records are conservation-critical (tests assert no
+//     query is lost), so the query thread waits rather than sheds.
+//   - MRC page batches go to the mrc.Worker with NON-blocking sends:
+//     histograms are statistics, shedding under pressure is accounted in
+//     Worker.Stats().Dropped and surfaced through internal/obs.
+
+import (
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+)
+
+const (
+	// statBatch is how many records the query thread accumulates per
+	// executor before handing the batch off.
+	statBatch = 256
+	// statQueueDepth bounds each executor's in-flight batches.
+	statQueueDepth = 64
+	// mrcBatch is how many page accesses an executor accumulates per
+	// class before feeding the MRC worker.
+	mrcBatch = 512
+	// mrcQueueDepth bounds the MRC worker's feed channel.
+	mrcQueueDepth = 256
+)
+
+// statJob is either a record batch or a barrier request.
+type statJob struct {
+	batch []metrics.Record
+	bar   chan<- struct{}
+}
+
+type statExecutor struct {
+	ch   chan statJob
+	done chan struct{}
+}
+
+// startStatPipeline spawns the executors. Called once from New when
+// cfg.StatWorkers > 0.
+func (e *Engine) startStatPipeline(n int) {
+	e.sharded = metrics.NewShardedCollector(n)
+	e.mrcw = mrc.NewWorker(mrcQueueDepth)
+	e.pending = make([][]metrics.Record, n)
+	e.execs = make([]*statExecutor, n)
+	for i := 0; i < n; i++ {
+		x := &statExecutor{
+			ch:   make(chan statJob, statQueueDepth),
+			done: make(chan struct{}),
+		}
+		e.execs[i] = x
+		go e.runExecutor(i, x)
+	}
+}
+
+// runExecutor is one statistics executor: it folds record batches into
+// its own collector shard, applies page accesses to the windows of the
+// classes routed to it, and feeds the MRC worker.
+func (e *Engine) runExecutor(i int, x *statExecutor) {
+	defer close(x.done)
+	mrcPending := make(map[metrics.ClassID][]uint64)
+	flushMRC := func(id metrics.ClassID) {
+		if pages := mrcPending[id]; len(pages) > 0 {
+			e.mrcw.Feed(id.String(), pages) // non-blocking; drops are counted
+			delete(mrcPending, id)
+		}
+	}
+	for j := range x.ch {
+		if j.bar != nil {
+			for id := range mrcPending {
+				flushMRC(id)
+			}
+			close(j.bar)
+			continue
+		}
+		e.sharded.ApplyTo(i, j.batch)
+		for _, r := range j.batch {
+			if r.Kind != metrics.RecAccess {
+				continue
+			}
+			pg := uint64(r.Value)
+			e.windowFor(r.Class).Add(pg)
+			mrcPending[r.Class] = append(mrcPending[r.Class], pg)
+			if len(mrcPending[r.Class]) >= mrcBatch {
+				flushMRC(r.Class)
+			}
+		}
+	}
+	for id := range mrcPending {
+		flushMRC(id)
+	}
+}
+
+// windowFor returns the access window for id, creating it if a record
+// arrives for a class Register has not seen (defensive; executors of
+// different classes never race on the same entry).
+func (e *Engine) windowFor(id metrics.ClassID) *metrics.AccessWindow {
+	e.winMu.RLock()
+	w := e.windows[id]
+	e.winMu.RUnlock()
+	if w == nil {
+		e.winMu.Lock()
+		if w = e.windows[id]; w == nil {
+			w = metrics.NewAccessWindow(e.cfg.WindowSize)
+			e.windows[id] = w
+		}
+		e.winMu.Unlock()
+	}
+	return w
+}
+
+// emit routes one record to its class's executor, or straight into the
+// synchronous logging buffer when the pipeline is off. Query-thread only.
+func (e *Engine) emit(r metrics.Record) {
+	if e.sharded == nil {
+		e.logbuf.Append(r)
+		return
+	}
+	i := e.sharded.ShardIndex(r.Class)
+	e.pending[i] = append(e.pending[i], r)
+	if len(e.pending[i]) >= statBatch {
+		e.handOff(i)
+	}
+}
+
+// handOff delivers executor i's pending batch (blocking if its queue is
+// full) and starts a fresh one.
+func (e *Engine) handOff(i int) {
+	if len(e.pending[i]) == 0 {
+		return
+	}
+	e.execs[i].ch <- statJob{batch: e.pending[i]}
+	e.pending[i] = make([]metrics.Record, 0, statBatch)
+}
+
+// barrier makes every record emitted so far visible: synchronous mode
+// just flushes the logging buffer; concurrent mode hands off all pending
+// batches and waits for each executor to drain its queue (which also
+// pushes buffered page batches into the MRC worker). Query-thread only.
+func (e *Engine) barrier() {
+	if e.sharded == nil {
+		e.logbuf.Flush()
+		return
+	}
+	if e.closed {
+		// Close already drained everything; the shards remain readable
+		// for post-mortem snapshots.
+		return
+	}
+	bars := make([]chan struct{}, len(e.execs))
+	for i, x := range e.execs {
+		e.handOff(i)
+		ch := make(chan struct{})
+		bars[i] = ch
+		x.ch <- statJob{bar: ch}
+	}
+	for _, ch := range bars {
+		<-ch
+	}
+}
+
+// StatWorkers reports how many statistics executors the engine runs (0 =
+// synchronous pipeline).
+func (e *Engine) StatWorkers() int { return len(e.execs) }
+
+// MRCStats reports the background MRC worker's queue accounting; all
+// zeros in synchronous mode. Dropped > 0 means page batches were shed
+// under pressure and the affected curves are sampled, not exact.
+func (e *Engine) MRCStats() mrc.WorkerStats {
+	if e.mrcw == nil {
+		return mrc.WorkerStats{}
+	}
+	return e.mrcw.Stats()
+}
+
+// MRCCurve returns the miss-ratio curve the background worker has
+// accumulated for class id since the engine started (nil in synchronous
+// mode or for an unseen class). Unlike analyzer-side recomputation from
+// Window, this reflects the class's full access history at zero
+// query-path cost.
+func (e *Engine) MRCCurve(id metrics.ClassID) *mrc.Curve {
+	if e.mrcw == nil {
+		return nil
+	}
+	e.barrier()
+	return e.mrcw.Curve(id.String())
+}
+
+// Close stops the statistics executors and the MRC worker, draining
+// every pending record first. Idempotent; a no-op in synchronous mode.
+// Snapshot and Window remain usable after Close only in synchronous
+// mode, so close an engine when its simulation is over, not between
+// intervals.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.sharded == nil {
+		return
+	}
+	for i, x := range e.execs {
+		e.handOff(i)
+		close(x.ch)
+	}
+	for _, x := range e.execs {
+		<-x.done
+	}
+	e.mrcw.Close()
+}

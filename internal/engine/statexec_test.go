@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"testing"
+
+	"outlierlb/internal/bufferpool"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/trace"
+)
+
+// runWorkload executes a deterministic mixed read/write workload against
+// e and returns the sum of completion times (a cheap fingerprint of the
+// virtual-time results).
+func runWorkload(t *testing.T, e *Engine, queries int) float64 {
+	t.Helper()
+	rng := sim.NewRNG(7)
+	specs := []ClassSpec{
+		{ID: best, CPUPerQuery: 0.002, PagesPerQuery: 40,
+			Pattern: trace.NewZipfSet(rng, 0, 4000, 1.1)},
+		{ID: home, CPUPerQuery: 0.001, PagesPerQuery: 10,
+			Pattern: &trace.SequentialScan{Span: 2000}},
+		{ID: metrics.ClassID{App: "tpcw", Class: "Order"}, CPUPerQuery: 0.001,
+			PagesPerQuery: 8, Pattern: trace.NewZipfSet(rng, 4000, 1000, 1.2),
+			Write: true, LockTable: "orders", LockHold: 0.002},
+	}
+	ids := make([]metrics.ClassID, len(specs))
+	for i, s := range specs {
+		if err := e.Register(s); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = s.ID
+	}
+	var sum float64
+	now := 0.0
+	for i := 0; i < queries; i++ {
+		done, err := e.Execute(now, ids[i%len(ids)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += done
+		now += 0.001
+	}
+	return sum
+}
+
+// TestConcurrentMatchesSynchronous is the determinism contract behind
+// the StatWorkers gate: the same workload run through the concurrent
+// pipeline must produce the same virtual-time results, the same window
+// contents and the same metric counts as the synchronous path (floats
+// compared with summation-order slack).
+func TestConcurrentMatchesSynchronous(t *testing.T) {
+	const queries = 900
+	mk := func(workers int) *Engine {
+		e, err := New(Config{
+			Name:        "mysql-1",
+			Pool:        bufferpool.Config{Capacity: 2000},
+			StatWorkers: workers,
+		}, testHost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	syncEng, concEng := mk(0), mk(4)
+	defer syncEng.Close()
+	defer concEng.Close()
+
+	syncSum := runWorkload(t, syncEng, queries)
+	concSum := runWorkload(t, concEng, queries)
+	if syncSum != concSum {
+		t.Errorf("virtual-time results diverge: sync %v concurrent %v", syncSum, concSum)
+	}
+
+	for _, id := range syncEng.Classes() {
+		sw, cw := syncEng.Window(id), concEng.Window(id)
+		if len(sw) != len(cw) {
+			t.Fatalf("%v window length: sync %d concurrent %d", id, len(sw), len(cw))
+		}
+		for i := range sw {
+			if sw[i] != cw[i] {
+				t.Fatalf("%v window diverges at %d: sync %d concurrent %d", id, i, sw[i], cw[i])
+			}
+		}
+		if st, ct := syncEng.WindowTotal(id), concEng.WindowTotal(id); st != ct {
+			t.Errorf("%v window total: sync %d concurrent %d", id, st, ct)
+		}
+	}
+
+	ss, cs := syncEng.SnapshotStats(10), concEng.SnapshotStats(10)
+	if len(ss) != len(cs) {
+		t.Fatalf("snapshot class count: sync %d concurrent %d", len(ss), len(cs))
+	}
+	approx := func(a, b float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1e-9*(1+b)
+	}
+	for id, want := range ss {
+		got, ok := cs[id]
+		if !ok {
+			t.Fatalf("concurrent snapshot missing %v", id)
+		}
+		if got.Latency.Count != want.Latency.Count {
+			t.Errorf("%v query count: sync %d concurrent %d", id, want.Latency.Count, got.Latency.Count)
+		}
+		for m := 0; m < metrics.NumMetrics; m++ {
+			if !approx(got.Vector[m], want.Vector[m]) {
+				t.Errorf("%v %v: sync %v concurrent %v", id, metrics.Metric(m), want.Vector[m], got.Vector[m])
+			}
+		}
+	}
+}
+
+// TestStatPipelineMRC checks the background worker accumulated the full
+// access history: fed batches, zero unexplained loss after barrier, and
+// a curve whose access total matches the window total.
+func TestStatPipelineMRC(t *testing.T) {
+	e, err := New(Config{
+		Name:        "mysql-1",
+		Pool:        bufferpool.Config{Capacity: 2000},
+		StatWorkers: 2,
+	}, testHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	runWorkload(t, e, 600)
+
+	var total int64
+	for _, id := range e.Classes() {
+		total += e.WindowTotal(id)
+		curve := e.MRCCurve(id)
+		if curve == nil {
+			t.Fatalf("no background curve for %v", id)
+		}
+		if curve.Total() != e.WindowTotal(id) {
+			t.Errorf("%v: curve sees %d accesses, window total %d",
+				id, curve.Total(), e.WindowTotal(id))
+		}
+	}
+	if total == 0 {
+		t.Fatal("workload produced no page accesses")
+	}
+	s := e.MRCStats()
+	if s.Dropped != 0 {
+		// Queue depth 256 with barriered feeding should never shed here.
+		t.Errorf("MRC worker dropped %d batches", s.Dropped)
+	}
+	if s.Fed != s.Processed {
+		t.Errorf("MRC worker fed %d processed %d after barrier", s.Fed, s.Processed)
+	}
+}
+
+// TestEngineCloseIdempotent checks Close can be called repeatedly and
+// that the synchronous mode needs no Close at all.
+func TestEngineCloseIdempotent(t *testing.T) {
+	e, err := New(Config{
+		Name:        "mysql-1",
+		Pool:        bufferpool.Config{Capacity: 500},
+		StatWorkers: 3,
+	}, testHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, e, 60)
+	e.Close()
+	e.Close()
+
+	s := newTestEngine(t, 500)
+	s.Close()
+	if s.MRCCurve(best) != nil {
+		t.Error("synchronous engine reported a background curve")
+	}
+}

@@ -78,6 +78,7 @@ func consolidationWithPolicy(seed uint64, policy string, cfg core.Config) Policy
 	)
 	cfg.Interval = interval
 	tb := newTestbed(seed, 3, PoolPages, cfg)
+	defer tb.close()
 	tpcwApp := tpcw.New(tb.sim.RNG().Fork(), tpcw.Options{})
 	tsched := tb.startApp(tpcwApp)
 	tem := tb.emulate(tsched, tpcw.Mix(), think, workload.Constant(clients))
@@ -144,6 +145,7 @@ func AblationQuotaVsMigrate(seed uint64) (quota, migrate PolicyOutcome) {
 			think   = 2.0
 		)
 		tb := newTestbed(seed, 2, PoolPages, core.Config{Interval: 10})
+		defer tb.close()
 		rng := tb.sim.RNG().Fork()
 		app := tpcw.New(rng, tpcw.Options{})
 		sched := tb.startApp(app)
@@ -322,6 +324,7 @@ func indexDropSnapshots(seed uint64) (current, stable map[metrics.ClassID]metric
 		think   = 2.0
 	)
 	tb := newTestbed(seed, 2, PoolPages, core.Config{Interval: 10})
+	defer tb.close()
 	rng := tb.sim.RNG().Fork()
 	app := tpcw.New(rng, tpcw.Options{})
 	sched := tb.startApp(app)
@@ -368,6 +371,7 @@ func AblationFences(seed uint64) []FenceSweepPoint {
 		think    = 2.0
 	)
 	tb := newTestbed(seed, 2, PoolPages, core.Config{Interval: interval})
+	defer tb.close()
 	rng := tb.sim.RNG().Fork()
 	app := tpcw.New(rng, tpcw.Options{})
 	sched := tb.startApp(app)

@@ -84,6 +84,7 @@ func runChaos(seed uint64, faultAt, clearAt, endAt float64,
 		// as a bogus baseline.
 		SignatureMaxAge: 6 * chaosInterval,
 	})
+	defer tb.close()
 	rec := obs.NewRecorder(1 << 14)
 	observer := obs.Tee(rec, obsHooks.observer)
 	tb.ctl.SetObserver(observer)

@@ -3,6 +3,13 @@
 // benchmark harness (bench_test.go), the benchrunner tool and the example
 // programs all call into this package, so the numbers they report come
 // from one implementation of each scenario.
+//
+// Concurrency: scenario functions are sequential and must not run
+// concurrently with each other — the SetObsHooks and SetStatWorkers
+// hooks are process-global precisely because scenarios take only a
+// seed. Engines inside a scenario may run statistics goroutines when
+// SetStatWorkers is non-zero; every scenario defers a testbed close that
+// stops them.
 package experiments
 
 import (
@@ -68,10 +75,24 @@ func SetObsHooks(o obs.Observer, onTestbed func(ctl *core.Controller, mgr *clust
 	obsHooks.onTestbed = onTestbed
 }
 
+// statWorkers is the engine statistics parallelism applied to testbeds
+// built after SetStatWorkers. Like the observability hooks it is
+// process-global because the scenario functions take only a seed.
+var statWorkers int
+
+// SetStatWorkers makes every subsequently built testbed provision its
+// engines with n concurrent statistics executors (see
+// engine.Config.StatWorkers). The default 0 keeps the synchronous,
+// bit-deterministic pipeline the golden tests assert against; non-zero
+// values preserve per-class event order but may perturb float summation
+// order in snapshots.
+func SetStatWorkers(n int) { statWorkers = n }
+
 func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	s := sim.NewEngine(seed)
 	mgr := cluster.NewManager()
 	mgr.PoolConfig = poolConfig(poolPages)
+	mgr.StatWorkers = statWorkers
 	for i := 0; i < servers; i++ {
 		mgr.AddServer(newServer(fmt.Sprintf("db%d", i+1), poolPages*2))
 	}
@@ -89,6 +110,11 @@ func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	}
 	return &testbed{sim: s, mgr: mgr, ctl: ctl}
 }
+
+// close stops the engines' statistics goroutines at the end of a
+// scenario. A no-op with synchronous engines, but every scenario defers
+// it so SetStatWorkers cannot leak goroutines across runs.
+func (tb *testbed) close() { tb.mgr.Close() }
 
 // startApp registers app with the manager and provisions its first
 // replica on a free server, returning the scheduler.

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"outlierlb/internal/workload/tpcw"
+)
+
+// TestScenarioWithStatWorkers runs a full scenario with the concurrent
+// statistics pipeline switched on and checks the headline result matches
+// the synchronous run: the MRC is computed from per-class access
+// windows, and class-routed executors reproduce window contents exactly,
+// so the diagnosed memory requirement must be identical, not just close.
+func TestScenarioWithStatWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	want := Figure5(1)
+
+	SetStatWorkers(4)
+	defer SetStatWorkers(0)
+	got := Figure5(1)
+
+	if got.Class != tpcw.BestSellerClass {
+		t.Fatalf("class = %q", got.Class)
+	}
+	if got.Params.AcceptableMemory != want.Params.AcceptableMemory {
+		t.Errorf("acceptable memory diverges under concurrent stats: %d vs %d",
+			got.Params.AcceptableMemory, want.Params.AcceptableMemory)
+	}
+	if len(got.Miss) != len(want.Miss) {
+		t.Fatalf("curve lengths diverge: %d vs %d", len(got.Miss), len(want.Miss))
+	}
+	for i := range got.Miss {
+		if got.Miss[i] != want.Miss[i] {
+			t.Fatalf("miss ratio diverges at %d pages: %v vs %v",
+				want.Memory[i], got.Miss[i], want.Miss[i])
+		}
+	}
+}

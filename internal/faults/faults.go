@@ -9,6 +9,11 @@
 // each injection and clearance is narrated to the obs decision trace,
 // giving a chaos experiment a ground-truth timeline to compare the
 // failure detector's inferences against.
+//
+// Concurrency: injections are events on the simulation loop
+// (internal/sim), so the package is single-owner like everything else in
+// virtual time; determinism of the fault schedule is what makes chaos
+// runs replayable.
 package faults
 
 import (

@@ -11,6 +11,10 @@
 // every query locks at most one table, deadlock is structurally
 // impossible here; wait-time accounting is the observable the detector
 // consumes.
+//
+// Concurrency: a Manager belongs to one engine's query path
+// (internal/engine) and inherits its single-owner rule; lock waits it
+// reports are logged through the engine's statistics pipeline.
 package lockmgr
 
 import "sort"

@@ -29,6 +29,12 @@ type Record struct {
 // LogBuffer is a fixed-capacity private logging buffer. Appends never
 // block and never allocate once the buffer is constructed; when the buffer
 // fills, the flush callback receives the batch and the buffer resets.
+//
+// A LogBuffer is single-owner by design — it is the paper's per-thread
+// private buffer, so exactly one goroutine may Append/Flush, and the
+// flush callback runs synchronously on that goroutine. Concurrency comes
+// from giving each producer its own buffer (see ShardedCollector.Worker),
+// never from sharing one.
 type LogBuffer struct {
 	buf     []Record
 	flushFn func([]Record)
@@ -74,22 +80,8 @@ func (b *LogBuffer) Len() int { return len(b.buf) }
 func (b *LogBuffer) Flushes() int { return b.flushes }
 
 // Drain applies a batch of records to a collector. It is the standard
-// flush target wiring a per-thread buffer to the engine's collector.
+// flush target wiring a per-thread buffer to the engine's collector; the
+// whole batch is folded in under a single lock acquisition.
 func Drain(c *Collector) func([]Record) {
-	return func(batch []Record) {
-		for _, r := range batch {
-			switch r.Kind {
-			case RecQuery:
-				c.RecordQuery(r.Class, r.Value)
-			case RecAccess:
-				c.RecordAccess(r.Class, r.Miss)
-			case RecIO:
-				c.RecordIO(r.Class, int(r.Value))
-			case RecReadAhead:
-				c.RecordReadAhead(r.Class, int(r.Value))
-			case RecLockWait:
-				c.RecordLockWait(r.Class, r.Value)
-			}
-		}
-	}
+	return c.Apply
 }

@@ -7,9 +7,40 @@
 // Collection is tied to query class contexts: every sample carries the
 // query class it belongs to, and Snapshot produces one metric vector per
 // class for each measurement interval.
+//
+// # Concurrency and ownership
+//
+// The package mirrors the paper's §4 design — "to avoid locking overhead,
+// we create a private logging buffer per thread" — with three layers:
+//
+//   - LogBuffer is strictly single-owner: one goroutine appends, and the
+//     flush callback runs on that same goroutine. It is the lock-free
+//     per-thread buffer of the paper.
+//   - Collector is safe for concurrent use. Writers should batch through
+//     a LogBuffer whose flush target is Collector.Apply, which takes the
+//     internal lock once per batch rather than once per record. Snapshot
+//     and SnapshotStats swap double-buffered accumulator maps under the
+//     lock in O(classes) pointer operations and do all rate computation
+//     outside it, so readers never stall writers for the duration of a
+//     snapshot.
+//   - ShardedCollector removes even the per-batch lock contention: each
+//     worker goroutine owns a private LogBuffer draining into its own
+//     shard (a Collector nobody else appends to), and the merge-on-read
+//     snapshot combines shards. The append path shares no mutable state
+//     between workers, which is what lets it scale with GOMAXPROCS (see
+//     BenchmarkCollectorParallel at the repository root).
+//
+// AccessWindow and Histogram are plain single-owner data structures; the
+// concurrent pipeline in internal/engine routes each query class to one
+// stat-executor goroutine so every window keeps exactly one writer.
+// internal/core reads snapshots on the simulation goroutine after the
+// engine has flushed (or, in concurrent mode, barriered) its producers.
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Metric identifies one of the per-query-class performance metrics the
 // system monitors.
@@ -96,12 +127,20 @@ func (a *classAccum) reset() {
 }
 
 // Collector accumulates per-query-class samples and produces per-interval
-// metric vectors. It is not safe for concurrent use; in this codebase each
-// simulated database engine owns one collector and the simulation is
-// single-threaded (the paper's per-thread private logging buffers are
-// modelled by LogBuffer).
+// metric vectors. It is safe for concurrent use: record methods take an
+// internal mutex (Apply amortizes it over a whole batch), and snapshots
+// swap double-buffered accumulator maps under the lock — an O(classes)
+// pointer exchange — then compute all rates outside it, so a reader
+// closing an interval never stalls writers behind per-class histogram
+// work.
 type Collector struct {
+	mu    sync.Mutex
 	accum map[ClassID]*classAccum
+	// spare is the detached buffer of the previous snapshot, kept with
+	// zeroed counters (and every known class's entry) so the next swap
+	// reuses it instead of reallocating — the "double" of the double
+	// buffer.
+	spare map[ClassID]*classAccum
 }
 
 // NewCollector returns an empty collector.
@@ -109,6 +148,7 @@ func NewCollector() *Collector {
 	return &Collector{accum: make(map[ClassID]*classAccum)}
 }
 
+// get returns the accumulator for id; callers must hold c.mu.
 func (c *Collector) get(id ClassID) *classAccum {
 	a := c.accum[id]
 	if a == nil {
@@ -118,48 +158,87 @@ func (c *Collector) get(id ClassID) *classAccum {
 	return a
 }
 
+// apply folds one record into the accumulators; callers must hold c.mu.
+func (c *Collector) apply(r Record) {
+	a := c.get(r.Class)
+	switch r.Kind {
+	case RecQuery:
+		a.queries++
+		a.latencySum += r.Value
+		if a.latencies == nil {
+			a.latencies = NewHistogram()
+		}
+		a.latencies.Observe(r.Value)
+	case RecAccess:
+		a.accesses++
+		if r.Miss {
+			a.misses++
+		}
+	case RecIO:
+		a.ioReqs += int64(r.Value)
+	case RecReadAhead:
+		a.readAhead += int64(r.Value)
+	case RecLockWait:
+		a.lockWaitSum += r.Value
+	}
+}
+
+// Apply folds a batch of records into the collector under one lock
+// acquisition. It is the flush target wiring a private LogBuffer to a
+// collector (see Drain) and the reason batched producers see the mutex
+// once per buffer fill rather than once per event.
+func (c *Collector) Apply(batch []Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range batch {
+		c.apply(r)
+	}
+}
+
 // RecordQuery records a completed query of class id with the given latency
 // in seconds.
 func (c *Collector) RecordQuery(id ClassID, latency float64) {
-	a := c.get(id)
-	a.queries++
-	a.latencySum += latency
-	if a.latencies == nil {
-		a.latencies = NewHistogram()
-	}
-	a.latencies.Observe(latency)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apply(Record{Kind: RecQuery, Class: id, Value: latency})
 }
 
 // RecordAccess records a logical page access; miss reports whether it
 // missed in the buffer pool.
 func (c *Collector) RecordAccess(id ClassID, miss bool) {
-	a := c.get(id)
-	a.accesses++
-	if miss {
-		a.misses++
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apply(Record{Kind: RecAccess, Class: id, Miss: miss})
 }
 
 // RecordLockWait records seconds spent waiting for a lock on behalf of
 // id.
 func (c *Collector) RecordLockWait(id ClassID, seconds float64) {
-	c.get(id).lockWaitSum += seconds
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apply(Record{Kind: RecLockWait, Class: id, Value: seconds})
 }
 
 // RecordIO records n I/O block requests issued on behalf of id.
 func (c *Collector) RecordIO(id ClassID, n int) {
-	c.get(id).ioReqs += int64(n)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apply(Record{Kind: RecIO, Class: id, Value: float64(n)})
 }
 
 // RecordReadAhead records n read-ahead (prefetch) requests issued on
 // behalf of id.
 func (c *Collector) RecordReadAhead(id ClassID, n int) {
-	c.get(id).readAhead += int64(n)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apply(Record{Kind: RecReadAhead, Class: id, Value: float64(n)})
 }
 
 // Queries reports the number of completed queries recorded for id in the
 // current interval.
 func (c *Collector) Queries(id ClassID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if a := c.accum[id]; a != nil {
 		return a.queries
 	}
@@ -224,11 +303,57 @@ func (c *Collector) SnapshotStats(interval float64) map[ClassID]ClassStats {
 
 // snapshotStats implements both snapshot flavours; withHist controls
 // whether per-class histogram copies are made (an allocation the plain
-// vector path should not pay).
+// vector path should not pay). The lock is held only for the buffer
+// swap; the per-class computation runs on the detached buffer.
 func (c *Collector) snapshotStats(interval float64, withHist bool) map[ClassID]ClassStats {
 	checkInterval(interval)
-	out := make(map[ClassID]ClassStats, len(c.accum))
-	for id, a := range c.accum {
+	taken := c.takeAccums()
+	out := computeStats(taken, interval, withHist)
+	c.releaseAccums(taken)
+	return out
+}
+
+// takeAccums detaches the current accumulator map and installs the spare
+// in its place. Every class known to the outgoing buffer gets an entry in
+// the incoming one, so idle classes keep appearing in snapshots (Snapshot
+// promises a zero vector for them) even though the maps alternate.
+func (c *Collector) takeAccums() map[ClassID]*classAccum {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	front := c.accum
+	back := c.spare
+	if back == nil {
+		back = make(map[ClassID]*classAccum, len(front))
+	}
+	for id := range front {
+		if _, ok := back[id]; !ok {
+			back[id] = &classAccum{}
+		}
+	}
+	c.accum = back
+	c.spare = nil
+	return front
+}
+
+// releaseAccums zeroes a detached buffer and stores it as the spare for
+// the next swap. Resetting happens outside the lock: histograms clear in
+// O(buckets) per class, which writers should not wait behind.
+func (c *Collector) releaseAccums(m map[ClassID]*classAccum) {
+	for _, a := range m {
+		a.reset()
+	}
+	c.mu.Lock()
+	if c.spare == nil {
+		c.spare = m
+	}
+	c.mu.Unlock()
+}
+
+// computeStats turns detached accumulators into per-class stats. It does
+// not reset the accumulators.
+func computeStats(accums map[ClassID]*classAccum, interval float64, withHist bool) map[ClassID]ClassStats {
+	out := make(map[ClassID]ClassStats, len(accums))
+	for id, a := range accums {
 		var s ClassStats
 		v := &s.Vector
 		if a.queries > 0 {
@@ -253,13 +378,14 @@ func (c *Collector) snapshotStats(interval float64, withHist bool) map[ClassID]C
 		v[ReadAhead] = float64(a.readAhead) / interval
 		v[LockWait] = a.lockWaitSum / interval
 		out[id] = s
-		a.reset()
 	}
 	return out
 }
 
 // Classes returns the identifiers currently tracked, in unspecified order.
 func (c *Collector) Classes() []ClassID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]ClassID, 0, len(c.accum))
 	for id := range c.accum {
 		out = append(out, id)

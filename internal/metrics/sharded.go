@@ -1,0 +1,162 @@
+package metrics
+
+// This file implements the concurrent half of the paper's §4 logging
+// design. The paper's database threads each own a private logging buffer;
+// here every producer goroutine owns a LogBuffer that drains into its own
+// shard, so the append path touches no mutable state shared between
+// producers. Snapshots merge the shards on read.
+
+import (
+	"hash/maphash"
+	"sync/atomic"
+)
+
+// ShardedCollector fans per-class statistics across independent shards so
+// concurrent producers never contend on the append path.
+//
+// Ownership rules:
+//
+//   - Each worker goroutine calls Worker (or WorkerFor) once to obtain a
+//     private LogBuffer; only that goroutine may append to it. The buffer
+//     drains into one shard, and because no two workers returned by
+//     Worker share a shard until workers outnumber shards, appends are
+//     uncontended.
+//   - Snapshot and SnapshotStats may be called from any goroutine, at any
+//     time, concurrently with appends. They swap each shard's
+//     double-buffered accumulators (an O(classes) critical section per
+//     shard), merge outside the locks, and reset the shards for the next
+//     interval. Records sitting in a worker's private LogBuffer at
+//     snapshot time are not lost — they surface in the next interval —
+//     but callers that need a complete interval must have each worker
+//     Flush first (internal/engine barriers its stat executors for
+//     exactly this reason).
+type ShardedCollector struct {
+	shards []*Collector
+	next   atomic.Uint32
+	seed   maphash.Seed
+}
+
+// NewShardedCollector returns a collector with n shards (minimum 1).
+func NewShardedCollector(n int) *ShardedCollector {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedCollector{shards: make([]*Collector, n), seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i] = NewCollector()
+	}
+	return s
+}
+
+// Shards reports the shard count.
+func (s *ShardedCollector) Shards() int { return len(s.shards) }
+
+// Worker returns a private logging buffer of the given capacity for one
+// producer goroutine, assigned to the next shard round-robin. Safe to
+// call from any goroutine; the returned buffer is not.
+func (s *ShardedCollector) Worker(capacity int) *LogBuffer {
+	return s.WorkerFor(int(s.next.Add(1)-1), capacity)
+}
+
+// WorkerFor returns a private logging buffer draining into shard
+// i % Shards(). Use it when the caller manages its own worker-to-shard
+// assignment (internal/engine pins class-routed executors this way).
+func (s *ShardedCollector) WorkerFor(i, capacity int) *LogBuffer {
+	shard := s.shards[i%len(s.shards)]
+	return NewLogBuffer(capacity, shard.Apply)
+}
+
+// ApplyTo folds a whole batch into shard i % Shards() under one lock
+// acquisition — the batch analogue of WorkerFor, for callers that manage
+// their own record batching. The same single-owner rule applies: give
+// each concurrent caller its own shard index.
+func (s *ShardedCollector) ApplyTo(i int, batch []Record) {
+	s.shards[i%len(s.shards)].Apply(batch)
+}
+
+// ShardIndex maps a class to a stable shard (and hence worker) index.
+// Routing every record of a class through one worker preserves the
+// class's event order, which per-class access windows depend on.
+func (s *ShardedCollector) ShardIndex(id ClassID) int {
+	var h maphash.Hash
+	h.SetSeed(s.seed)
+	h.WriteString(id.App)
+	h.WriteByte(0)
+	h.WriteString(id.Class)
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+// Snapshot merges every shard's counters accumulated over an interval of
+// the given length (seconds) into one metric vector per query class,
+// resetting the shards for the next interval. Semantics match
+// Collector.Snapshot: idle classes yield zero vectors, a non-positive
+// interval panics.
+func (s *ShardedCollector) Snapshot(interval float64) map[ClassID]Vector {
+	stats := s.snapshotStats(interval, false)
+	out := make(map[ClassID]Vector, len(stats))
+	for id, st := range stats {
+		out[id] = st.Vector
+	}
+	return out
+}
+
+// SnapshotStats is Snapshot with per-class latency distributions
+// attached. Like Snapshot it resets the shards; call one or the other per
+// interval, not both.
+func (s *ShardedCollector) SnapshotStats(interval float64) map[ClassID]ClassStats {
+	return s.snapshotStats(interval, true)
+}
+
+func (s *ShardedCollector) snapshotStats(interval float64, withHist bool) map[ClassID]ClassStats {
+	checkInterval(interval)
+	// Detach every shard's front buffer first, then merge outside all
+	// locks: the swap is the only moment a producer can be stalled.
+	taken := make([]map[ClassID]*classAccum, len(s.shards))
+	for i, sh := range s.shards {
+		taken[i] = sh.takeAccums()
+	}
+	merged := make(map[ClassID]*classAccum)
+	for _, m := range taken {
+		for id, a := range m {
+			d := merged[id]
+			if d == nil {
+				d = &classAccum{}
+				merged[id] = d
+			}
+			d.queries += a.queries
+			d.latencySum += a.latencySum
+			d.misses += a.misses
+			d.accesses += a.accesses
+			d.ioReqs += a.ioReqs
+			d.readAhead += a.readAhead
+			d.lockWaitSum += a.lockWaitSum
+			if a.latencies != nil && a.latencies.Count() > 0 {
+				if d.latencies == nil {
+					d.latencies = NewHistogram()
+				}
+				d.latencies.Merge(a.latencies)
+			}
+		}
+	}
+	out := computeStats(merged, interval, withHist)
+	for i, sh := range s.shards {
+		sh.releaseAccums(taken[i])
+	}
+	return out
+}
+
+// Classes returns the identifiers tracked across all shards, in
+// unspecified order.
+func (s *ShardedCollector) Classes() []ClassID {
+	seen := make(map[ClassID]bool)
+	var out []ClassID
+	for _, sh := range s.shards {
+		for _, id := range sh.Classes() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

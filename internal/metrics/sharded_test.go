@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardedCollectorConcurrent drives many producer goroutines, each
+// owning a private LogBuffer, while a reader snapshots concurrently. Run
+// under -race this is the proof of the paper's "no locking overhead"
+// property: no data races, and no record lost or duplicated across the
+// interval boundaries the reader keeps cutting.
+func TestShardedCollectorConcurrent(t *testing.T) {
+	const (
+		producers  = 8
+		perClass   = 2000
+		sharedName = "Shared"
+	)
+	sc := NewShardedCollector(producers)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapMu sync.Mutex
+	totals := make(map[ClassID]int64) // queries observed across snapshots
+
+	absorb := func(snap map[ClassID]Vector) {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		for id, v := range snap {
+			// interval 1.0 makes Throughput the raw query count.
+			totals[id] += int64(v.Get(Throughput) + 0.5)
+		}
+	}
+
+	// Reader: cut intervals as fast as it can while producers run.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				absorb(sc.Snapshot(1.0))
+			}
+		}
+	}()
+
+	buffers := make([]*LogBuffer, producers)
+	for p := 0; p < producers; p++ {
+		buffers[p] = sc.Worker(64)
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buf := buffers[p]
+			own := ClassID{App: "app", Class: fmt.Sprintf("C%d", p)}
+			shared := ClassID{App: "app", Class: sharedName}
+			for i := 0; i < perClass; i++ {
+				buf.Append(Record{Kind: RecQuery, Class: own, Value: 0.01})
+				buf.Append(Record{Kind: RecQuery, Class: shared, Value: 0.02})
+				buf.Append(Record{Kind: RecAccess, Class: own, Value: float64(i), Miss: i%3 == 0})
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	// Producers are done: flush the private buffers (single-owner, so the
+	// test goroutine may do it now) and take the closing snapshot.
+	for _, buf := range buffers {
+		buf.Flush()
+	}
+	absorb(sc.Snapshot(1.0))
+
+	for p := 0; p < producers; p++ {
+		own := ClassID{App: "app", Class: fmt.Sprintf("C%d", p)}
+		if got := totals[own]; got != perClass {
+			t.Errorf("class %v: %d queries across snapshots, want %d", own, got, perClass)
+		}
+	}
+	shared := ClassID{App: "app", Class: sharedName}
+	if got := totals[shared]; got != producers*perClass {
+		t.Errorf("shared class: %d queries across snapshots, want %d", got, producers*perClass)
+	}
+}
+
+// TestShardedMatchesFlat checks merge-on-read: the same record stream
+// split across shards must snapshot identically to one flat collector.
+func TestShardedMatchesFlat(t *testing.T) {
+	flat := NewCollector()
+	sc := NewShardedCollector(4)
+	workers := make([]*LogBuffer, 4)
+	for i := range workers {
+		workers[i] = sc.WorkerFor(i, 8)
+	}
+	classes := []ClassID{
+		{App: "tpcw", Class: "BestSeller"},
+		{App: "tpcw", Class: "Home"},
+		{App: "rubis", Class: "SearchItemsByRegion"},
+	}
+	for i := 0; i < 1000; i++ {
+		id := classes[i%len(classes)]
+		w := workers[i%len(workers)]
+		lat := 0.001 * float64(i%50+1)
+		w.Append(Record{Kind: RecQuery, Class: id, Value: lat})
+		flat.RecordQuery(id, lat)
+		w.Append(Record{Kind: RecAccess, Class: id, Value: float64(i), Miss: i%4 == 0})
+		flat.RecordAccess(id, i%4 == 0)
+		if i%10 == 0 {
+			w.Append(Record{Kind: RecIO, Class: id, Value: 3})
+			flat.RecordIO(id, 3)
+			w.Append(Record{Kind: RecLockWait, Class: id, Value: 0.004})
+			flat.RecordLockWait(id, 0.004)
+		}
+	}
+	for _, w := range workers {
+		w.Flush()
+	}
+	want := flat.SnapshotStats(10)
+	got := sc.SnapshotStats(10)
+	if len(got) != len(want) {
+		t.Fatalf("class count: got %d want %d", len(got), len(want))
+	}
+	// Shard merging sums floats in a different order than the flat
+	// collector, so compare within floating-point slack.
+	approx := func(a, b float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1e-9*(1+b)
+	}
+	for id, ws := range want {
+		gs, ok := got[id]
+		if !ok {
+			t.Fatalf("missing class %v", id)
+		}
+		for m := 0; m < NumMetrics; m++ {
+			if !approx(gs.Vector[m], ws.Vector[m]) {
+				t.Errorf("%v %v: got %v want %v", id, Metric(m), gs.Vector[m], ws.Vector[m])
+			}
+		}
+		if gs.Latency.Count != ws.Latency.Count || !approx(gs.Latency.Mean, ws.Latency.Mean) ||
+			gs.Latency.P50 != ws.Latency.P50 || gs.Latency.P95 != ws.Latency.P95 ||
+			gs.Latency.P99 != ws.Latency.P99 || gs.Latency.Max != ws.Latency.Max {
+			t.Errorf("%v latency summary: got %+v want %+v", id, gs.Latency, ws.Latency)
+		}
+	}
+}
+
+// TestCollectorDoubleBuffer verifies the swap preserves Snapshot's
+// contract: idle classes keep reporting zero vectors in later intervals,
+// and counters never leak across the swap.
+func TestCollectorDoubleBuffer(t *testing.T) {
+	c := NewCollector()
+	id := ClassID{App: "a", Class: "Q"}
+	c.RecordQuery(id, 0.5)
+	s1 := c.Snapshot(1)
+	if got := s1[id].Get(Throughput); got != 1 {
+		t.Fatalf("first interval throughput: got %v want 1", got)
+	}
+	// Two idle intervals: the class must still be reported, at zero, from
+	// both halves of the double buffer.
+	for i := 0; i < 2; i++ {
+		s := c.Snapshot(1)
+		v, ok := s[id]
+		if !ok {
+			t.Fatalf("interval %d: idle class vanished from snapshot", i+2)
+		}
+		if v != (Vector{}) {
+			t.Fatalf("interval %d: idle class has non-zero vector %v", i+2, v)
+		}
+	}
+	// Steady state: snapshots must not allocate fresh accumulator maps.
+	allocs := testing.AllocsPerRun(100, func() {
+		c.RecordQuery(id, 0.1)
+		c.Snapshot(1)
+	})
+	// The result map and the percentile scratch are expected; the
+	// accumulator maps and histograms themselves must be recycled, so a
+	// rebuild (fresh map + accum + histogram per class) would exceed this.
+	if allocs > 10 {
+		t.Errorf("steady-state snapshot allocates %.1f objects per run", allocs)
+	}
+}
+
+// TestApplyMatchesRecords checks the batch path and the per-record path
+// accumulate identically.
+func TestApplyMatchesRecords(t *testing.T) {
+	id := ClassID{App: "a", Class: "Q"}
+	batch := []Record{
+		{Kind: RecQuery, Class: id, Value: 0.2},
+		{Kind: RecAccess, Class: id, Miss: true},
+		{Kind: RecAccess, Class: id},
+		{Kind: RecIO, Class: id, Value: 7},
+		{Kind: RecReadAhead, Class: id, Value: 4},
+		{Kind: RecLockWait, Class: id, Value: 0.05},
+	}
+	a := NewCollector()
+	a.Apply(batch)
+	b := NewCollector()
+	b.RecordQuery(id, 0.2)
+	b.RecordAccess(id, true)
+	b.RecordAccess(id, false)
+	b.RecordIO(id, 7)
+	b.RecordReadAhead(id, 4)
+	b.RecordLockWait(id, 0.05)
+	av, bv := a.Snapshot(2)[id], b.Snapshot(2)[id]
+	if av != bv {
+		t.Fatalf("Apply %v != record methods %v", av, bv)
+	}
+}

@@ -13,6 +13,15 @@
 // implementation uses the standard Fenwick-tree formulation, costing
 // O(log n) per access, so MRC tracking stays lightweight enough to run
 // inside the engine as the paper requires.
+//
+// Concurrency: StackSimulator and SampledSimulator are single-owner —
+// one goroutine accesses, resets and reads a simulator. To track curves
+// off the query path, wrap simulators in a Worker: a background
+// goroutine that owns the per-class simulators exclusively and is fed
+// page-access batches through a bounded channel, shedding (and
+// counting) batches under backpressure rather than ever blocking the
+// producer. internal/engine's concurrent statistics mode feeds one
+// Worker per engine and surfaces its drop counters via internal/obs.
 package mrc
 
 // ColdMiss is the stack distance reported for a first-ever reference to a
@@ -163,12 +172,14 @@ func (s *StackSimulator) Curve() *Curve {
 	return newCurve(s.Histogram(), s.total)
 }
 
-// Reset clears all state, keeping allocated capacity where convenient.
+// Reset clears all state in place, keeping the maps' and the tree's
+// allocated capacity so a simulator reset every interval reaches a
+// steady state with no per-interval allocations.
 func (s *StackSimulator) Reset() {
-	s.lastSeen = make(map[uint64]int)
+	clear(s.lastSeen)
 	for i := range s.tree {
 		s.tree[i] = 0
 	}
 	s.clock, s.live, s.cold, s.total, s.maxDist = 0, 0, 0, 0, 0
-	s.hist = make(map[int]int64)
+	clear(s.hist)
 }

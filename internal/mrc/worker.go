@@ -1,0 +1,208 @@
+package mrc
+
+// This file moves Mattson stack-distance updates off the query path. The
+// paper runs MRC tracking "inside the engine" cheaply; with concurrent
+// statistics executors (internal/engine) even an O(log n) Access per page
+// reference is weight the query path does not need to carry. A Worker
+// owns the per-class stack simulators on its own goroutine and is fed
+// batches of page accesses through a bounded channel: the producer's cost
+// per batch is one non-blocking channel send.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerJob is either a page-access batch or a control request executed
+// on the worker goroutine. Requests and batches travel through the same
+// channel, so a request observes exactly the batches enqueued before it.
+type workerJob struct {
+	class string
+	pages []uint64
+	req   func(*Worker)
+}
+
+// Worker maintains per-class MRC stack simulators on a dedicated
+// background goroutine, fed through a bounded channel of page-access
+// batches.
+//
+// Ownership rules:
+//
+//   - The simulators (and everything else below jobs) are owned
+//     exclusively by the worker goroutine; no other goroutine touches
+//     them. Control operations (Barrier, Curve, Flush) run as jobs on
+//     that goroutine and block the caller until done.
+//   - Feed never blocks: when the channel is full the batch is counted
+//     in Stats().Dropped and discarded. MRC histograms are statistics,
+//     so shedding load under pressure only widens confidence intervals —
+//     it never stalls query execution. internal/obs surfaces the drop
+//     counter so operators can see when the queue is undersized.
+//   - Feed takes ownership of the pages slice; callers must hand over a
+//     slice they will not reuse (internal/engine allocates a fresh batch
+//     per hand-off for exactly this reason).
+//   - Close is idempotent and waits for the queue to drain, so every
+//     batch accepted by Feed is reflected in a final Curve/Stats.
+type Worker struct {
+	jobs chan workerJob
+	done chan struct{}
+
+	fed       atomic.Int64
+	dropped   atomic.Int64
+	processed atomic.Int64
+
+	mu     sync.RWMutex // excludes sends vs. closing the channel
+	closed bool
+
+	// Owned by the worker goroutine after construction.
+	sims map[string]*StackSimulator
+}
+
+// WorkerStats is a point-in-time view of a Worker's queue accounting.
+type WorkerStats struct {
+	Fed       int64 // batches accepted by Feed
+	Dropped   int64 // batches discarded because the queue was full
+	Processed int64 // batches folded into simulators so far
+}
+
+// NewWorker starts a background MRC worker whose feed channel holds up
+// to queueDepth batches (minimum 1).
+func NewWorker(queueDepth int) *Worker {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	w := &Worker{
+		jobs: make(chan workerJob, queueDepth),
+		done: make(chan struct{}),
+		sims: make(map[string]*StackSimulator),
+	}
+	go w.run()
+	return w
+}
+
+func (w *Worker) run() {
+	defer close(w.done)
+	for j := range w.jobs {
+		if j.req != nil {
+			j.req(w)
+			continue
+		}
+		s := w.sims[j.class]
+		if s == nil {
+			s = NewStackSimulator()
+			w.sims[j.class] = s
+		}
+		for _, p := range j.pages {
+			s.Access(p)
+		}
+		w.processed.Add(1)
+	}
+}
+
+// Feed enqueues a batch of page accesses for the class, taking ownership
+// of pages. It never blocks: if the queue is full (or the worker is
+// closed) the batch is dropped, the drop counter bumped, and false
+// returned.
+func (w *Worker) Feed(class string, pages []uint64) bool {
+	if len(pages) == 0 {
+		return true
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.closed {
+		w.dropped.Add(1)
+		return false
+	}
+	select {
+	case w.jobs <- workerJob{class: class, pages: pages}:
+		w.fed.Add(1)
+		return true
+	default:
+		w.dropped.Add(1)
+		return false
+	}
+}
+
+// do runs fn on the worker goroutine after all previously enqueued
+// batches, blocking until it returns. Reports false if the worker is
+// closed.
+func (w *Worker) do(fn func(*Worker)) bool {
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		return false
+	}
+	ch := make(chan struct{})
+	w.jobs <- workerJob{req: func(w *Worker) {
+		fn(w)
+		close(ch)
+	}}
+	w.mu.RUnlock()
+	<-ch
+	return true
+}
+
+// Barrier blocks until every batch accepted by Feed before the call has
+// been folded into its simulator. Tests and interval cuts use it to get
+// a consistent read.
+func (w *Worker) Barrier() { w.do(func(*Worker) {}) }
+
+// Curve returns the miss-ratio curve accumulated for the class, after a
+// barrier, without disturbing the simulator. Returns nil for a class the
+// worker has never seen (or when closed).
+func (w *Worker) Curve(class string) *Curve {
+	var c *Curve
+	w.do(func(w *Worker) {
+		if s := w.sims[class]; s != nil {
+			c = s.Curve()
+		}
+	})
+	return c
+}
+
+// Flush cuts the class's MRC window: it returns the curve accumulated so
+// far and resets the simulator in place (keeping its allocations) so the
+// next window starts empty. Returns nil for an unknown class.
+func (w *Worker) Flush(class string) *Curve {
+	var c *Curve
+	w.do(func(w *Worker) {
+		if s := w.sims[class]; s != nil {
+			c = s.Curve()
+			s.Reset()
+		}
+	})
+	return c
+}
+
+// Classes returns the class keys the worker has simulators for, in
+// unspecified order.
+func (w *Worker) Classes() []string {
+	var out []string
+	w.do(func(w *Worker) {
+		for k := range w.sims {
+			out = append(out, k)
+		}
+	})
+	return out
+}
+
+// Stats reports queue accounting. Safe from any goroutine; Dropped > 0
+// means the queue depth is too small for the offered load.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Fed:       w.fed.Load(),
+		Dropped:   w.dropped.Load(),
+		Processed: w.processed.Load(),
+	}
+}
+
+// Close drains the queue, stops the worker goroutine and waits for it to
+// exit. Idempotent; Feed after Close drops and returns false.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.jobs)
+	}
+	w.mu.Unlock()
+	<-w.done
+}

@@ -1,0 +1,190 @@
+package mrc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// mustFeed retries a dropped batch until the worker accepts it. Stress
+// tests use it where the point is conservation, not shedding: a dropped
+// batch leaves the slice untouched, so retrying is safe.
+func mustFeed(w *Worker, class string, pages []uint64) {
+	for !w.Feed(class, pages) {
+		runtime.Gosched()
+	}
+}
+
+// TestWorkerMatchesInline checks the background worker accumulates the
+// same histogram as running the stack simulator inline on the same
+// stream, once a barrier has drained the queue.
+func TestWorkerMatchesInline(t *testing.T) {
+	w := NewWorker(64)
+	defer w.Close()
+	inline := NewStackSimulator()
+
+	const batchLen = 32
+	var batch []uint64
+	for i := 0; i < 4096; i++ {
+		p := uint64(i % 257)
+		inline.Access(p)
+		batch = append(batch, p)
+		if len(batch) == batchLen {
+			mustFeed(w, "c", batch)
+			batch = nil // worker owns the old slice now
+		}
+	}
+	mustFeed(w, "c", batch)
+	w.Barrier()
+
+	got, want := w.Curve("c"), inline.Curve()
+	if got == nil {
+		t.Fatal("no curve for fed class")
+	}
+	for _, size := range []int{1, 16, 128, 257, 1024} {
+		if g, x := got.MissRatio(size), want.MissRatio(size); g != x {
+			t.Errorf("miss ratio at %d pages: worker %v inline %v", size, g, x)
+		}
+	}
+	if s := w.Stats(); s.Fed != s.Processed {
+		t.Errorf("stats %+v: want fed == processed after barrier", s)
+	}
+}
+
+// TestWorkerBackpressureDrops wedges the worker goroutine with a blocking
+// request, fills the bounded queue, and checks overflow batches are
+// dropped and counted rather than blocking the producer.
+func TestWorkerBackpressureDrops(t *testing.T) {
+	const depth = 4
+	w := NewWorker(depth)
+	defer w.Close()
+
+	gate := make(chan struct{})
+	wedged := make(chan struct{})
+	go w.do(func(*Worker) {
+		close(wedged)
+		<-gate
+	})
+	<-wedged // worker is now stalled inside the request
+
+	accepted, dropped := 0, 0
+	for i := 0; i < depth+3; i++ {
+		if w.Feed("c", []uint64{uint64(i)}) {
+			accepted++
+		} else {
+			dropped++
+		}
+	}
+	if accepted != depth || dropped != 3 {
+		t.Errorf("accepted %d dropped %d, want %d and 3", accepted, dropped, depth)
+	}
+	if s := w.Stats(); s.Dropped != 3 {
+		t.Errorf("Stats().Dropped = %d, want 3", s.Dropped)
+	}
+
+	close(gate)
+	w.Barrier()
+	if s := w.Stats(); s.Processed != int64(depth) {
+		t.Errorf("processed %d batches, want the %d accepted ones", s.Processed, depth)
+	}
+}
+
+// TestWorkerConcurrent hammers one worker from 8 producers while a
+// reader keeps taking barriers, curves and stats; run under -race this
+// verifies the ownership story.
+func TestWorkerConcurrent(t *testing.T) {
+	w := NewWorker(256)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			class := fmt.Sprintf("c%d", p%4)
+			for i := 0; i < 300; i++ {
+				batch := make([]uint64, 16)
+				for j := range batch {
+					batch[j] = uint64((i*16 + j) % 101)
+				}
+				mustFeed(w, class, batch)
+			}
+		}(p)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 50; i++ {
+			w.Stats()
+			w.Curve("c0")
+			w.Barrier()
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	w.Barrier()
+	s := w.Stats()
+	if s.Fed != s.Processed {
+		t.Errorf("after barrier fed=%d processed=%d", s.Fed, s.Processed)
+	}
+	if got := len(w.Classes()); got != 4 {
+		t.Errorf("%d classes tracked, want 4", got)
+	}
+	// Conservation: every retried-until-accepted access must be in the
+	// curves — 2 producers × 300 batches × 16 pages per class.
+	for c := 0; c < 4; c++ {
+		cv := w.Curve(fmt.Sprintf("c%d", c))
+		if cv == nil {
+			t.Errorf("class c%d has no curve", c)
+		} else if cv.Total() != 2*300*16 {
+			t.Errorf("class c%d curve total = %d, want %d", c, cv.Total(), 2*300*16)
+		}
+	}
+	w.Close()
+	if w.Feed("c0", []uint64{1}) {
+		t.Error("Feed after Close must report a drop")
+	}
+	w.Close() // idempotent
+}
+
+// TestWorkerFlushCutsWindow checks Flush returns the old window's curve
+// and starts a fresh one.
+func TestWorkerFlushCutsWindow(t *testing.T) {
+	w := NewWorker(8)
+	defer w.Close()
+	w.Feed("c", []uint64{1, 2, 3, 1, 2, 3})
+	first := w.Flush("c")
+	if first == nil || first.Total() != 6 {
+		t.Fatalf("flushed curve = %+v, want Total()==6", first)
+	}
+	w.Feed("c", []uint64{9, 9})
+	second := w.Flush("c")
+	if second == nil || second.Total() != 2 {
+		t.Fatalf("post-flush curve sees %v total, want 2 (window not reset?)", second)
+	}
+	if w.Flush("nope") != nil {
+		t.Error("Flush of unknown class must return nil")
+	}
+}
+
+// TestResetReusesAllocations pins the Reset fix: resetting and refilling
+// a warmed simulator must not allocate (maps cleared in place, tree
+// zeroed in place).
+func TestResetReusesAllocations(t *testing.T) {
+	s := NewStackSimulator()
+	fill := func() {
+		// 500 accesses keeps the clock below the 1024-slot tree, so no
+		// compact (which legitimately allocates) triggers mid-run.
+		for i := 0; i < 500; i++ {
+			s.Access(uint64(i % 97))
+		}
+	}
+	fill()
+	s.Reset()
+	allocs := testing.AllocsPerRun(20, func() {
+		fill()
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+refill allocates %.1f objects per cycle, want 0", allocs)
+	}
+}

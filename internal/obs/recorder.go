@@ -10,22 +10,24 @@ import (
 // Metric names exposed by the Recorder. Kept as constants so tests, docs
 // and scrape configs reference one spelling.
 const (
-	MetricEvents           = "outlierlb_events_total"
-	MetricOutliers         = "outlierlb_outliers_total"
-	MetricViolations       = "outlierlb_sla_violations_total"
-	MetricIntervals        = "outlierlb_intervals_total"
-	MetricAppLatencyAvg    = "outlierlb_app_latency_avg_seconds"
-	MetricAppLatencyQ      = "outlierlb_app_latency_quantile_seconds"
-	MetricAppThroughput    = "outlierlb_app_throughput_qps"
-	MetricAppReplicas      = "outlierlb_app_replicas"
-	MetricServerCPU        = "outlierlb_server_cpu_utilization"
-	MetricServerDisk       = "outlierlb_server_disk_utilization"
-	MetricPoolHitRatio     = "outlierlb_pool_hit_ratio"
-	MetricPoolResident     = "outlierlb_pool_resident_pages"
-	MetricPoolQuotas       = "outlierlb_pool_quotas"
-	MetricClassLatency     = "outlierlb_class_latency_seconds"
-	MetricClassLatencyQ    = "outlierlb_class_latency_quantile_seconds"
-	MetricVirtualTime      = "outlierlb_virtual_time_seconds"
+	MetricEvents        = "outlierlb_events_total"
+	MetricOutliers      = "outlierlb_outliers_total"
+	MetricViolations    = "outlierlb_sla_violations_total"
+	MetricIntervals     = "outlierlb_intervals_total"
+	MetricAppLatencyAvg = "outlierlb_app_latency_avg_seconds"
+	MetricAppLatencyQ   = "outlierlb_app_latency_quantile_seconds"
+	MetricAppThroughput = "outlierlb_app_throughput_qps"
+	MetricAppReplicas   = "outlierlb_app_replicas"
+	MetricServerCPU     = "outlierlb_server_cpu_utilization"
+	MetricServerDisk    = "outlierlb_server_disk_utilization"
+	MetricPoolHitRatio  = "outlierlb_pool_hit_ratio"
+	MetricPoolResident  = "outlierlb_pool_resident_pages"
+	MetricPoolQuotas    = "outlierlb_pool_quotas"
+	MetricClassLatency  = "outlierlb_class_latency_seconds"
+	MetricClassLatencyQ = "outlierlb_class_latency_quantile_seconds"
+	MetricVirtualTime   = "outlierlb_virtual_time_seconds"
+	MetricMRCFed        = "outlierlb_mrc_fed_batches"
+	MetricMRCDropped    = "outlierlb_mrc_dropped_batches"
 )
 
 // Recorder is the standard Observer: it appends every decision-trace
@@ -60,6 +62,8 @@ func NewRecorder(capacity int) *Recorder {
 	r.reg.Help(MetricClassLatency, "Per-query-class latency distribution across all intervals.")
 	r.reg.Help(MetricClassLatencyQ, "Per-query-class latency quantiles of the last closed interval.")
 	r.reg.Help(MetricVirtualTime, "Current virtual time of the simulation.")
+	r.reg.Help(MetricMRCFed, "Page-access batches accepted by the background MRC worker, per engine.")
+	r.reg.Help(MetricMRCDropped, "Page-access batches shed by the background MRC worker under backpressure, per engine.")
 	return r
 }
 
@@ -124,6 +128,10 @@ func (r *Recorder) ServerSampled(s ServerObs) {
 		r.reg.Set(MetricPoolHitRatio, eng, e.HitRatio)
 		r.reg.Set(MetricPoolResident, eng, float64(e.Resident))
 		r.reg.Set(MetricPoolQuotas, eng, float64(e.QuotaKeys))
+		if e.MRCFed > 0 || e.MRCDropped > 0 {
+			r.reg.Set(MetricMRCFed, eng, float64(e.MRCFed))
+			r.reg.Set(MetricMRCDropped, eng, float64(e.MRCDropped))
+		}
 	}
 }
 

@@ -3,6 +3,11 @@
 // builds, optionally serves the debug endpoints, and gates live
 // diagnosis so the (single-threaded) controller is only read once the
 // simulation has finished.
+//
+// Concurrency: the HTTP server runs concurrently with the simulation,
+// but it only touches the concurrent-safe surfaces of internal/obs; the
+// controller and cluster objects are single-owner, which is why live
+// diagnosis is gated until the run completes.
 package obscli
 
 import (

@@ -5,6 +5,11 @@
 // dropping an index (§5.3) changes the compiled plan — and with it the
 // class's page-access pattern, read-ahead behaviour and miss-ratio curve
 // — without any hand-authored pattern edits.
+//
+// Concurrency: compilation is pure over an immutable catalog.Schema,
+// but the page-access generators a compiled plan carries (see
+// internal/trace) are stateful and single-owner — they belong to the
+// engine executing the class.
 package planner
 
 import (

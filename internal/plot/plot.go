@@ -1,6 +1,9 @@
 // Package plot renders small ASCII charts for the command-line tools:
 // time series (Figure 3's load/allocation/latency panels) and bar-style
 // curves, with no dependencies beyond the standard library.
+//
+// Concurrency: rendering functions are pure (inputs to string), so the
+// package is trivially safe from any goroutine.
 package plot
 
 import (

@@ -8,6 +8,10 @@
 // (dom-0), so two I/O-intensive VMs on one box contend even though each
 // has its own virtual disk. The model reproduces that by giving each
 // physical server a single storage.Disk that all hosted VMs share.
+//
+// Concurrency: servers, their cores and their disks advance in virtual
+// time on the simulation goroutine (internal/sim) and are single-owner;
+// nothing here is safe for concurrent use.
 package server
 
 import (

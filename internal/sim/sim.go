@@ -5,6 +5,15 @@
 // and executes its callback. Callbacks may schedule further events. Given
 // the same seed, a simulation is fully deterministic, which makes the
 // reproduction of the paper's measurements repeatable and testable.
+//
+// Concurrency: the event loop is strictly single-threaded, and every
+// object scheduled on it (servers, engines' query paths, emulators, the
+// controller) is owned by the goroutine calling Run/RunUntil. That
+// single ownership is what makes virtual time deterministic — real
+// concurrency lives downstream of the query path, in the statistics
+// pipeline (see internal/engine's StatWorkers mode and
+// internal/metrics.ShardedCollector), where it cannot perturb event
+// order.
 package sim
 
 import (

@@ -3,6 +3,10 @@
 // application is an upper bound on its average query latency; an interval
 // in which the bound is met is a *stable* interval, and stable intervals
 // are when per-query-class metric signatures are recorded.
+//
+// Concurrency: trackers are owned by their scheduler on the simulation
+// goroutine (internal/cluster); nothing here is concurrent-safe or
+// needs to be.
 package sla
 
 import (

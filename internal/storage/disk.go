@@ -9,6 +9,10 @@
 // makes the model deterministic and fast while still producing realistic
 // queueing delay under contention — the effect behind the paper's §5.5
 // I/O-interference experiment.
+//
+// Concurrency: a Disk is owned by the simulation goroutine (see
+// internal/sim) and is not safe for concurrent use; internal/server
+// routes every engine and VM on a machine through that single owner.
 package storage
 
 import "fmt"

@@ -3,6 +3,12 @@
 // computation. The paper collects such traces from an instrumented
 // MySQL/InnoDB; here they come from the engine simulator or from the
 // synthetic generators in this package.
+//
+// Concurrency: generators are stateful (scans keep their position) and
+// single-owner — each belongs to the query class executing it on the
+// engine's query path. The engine's concurrent statistics mode never
+// calls generators off that path; it only ships the produced page
+// numbers to executor goroutines (see internal/engine).
 package trace
 
 import (

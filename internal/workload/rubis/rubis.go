@@ -9,6 +9,10 @@
 // TPC-W in a shared pool; in §5.5 it contributes the large majority
 // (87% in the paper) of RUBiS's I/O, so removing it from a domain
 // resolves dom-0 I/O contention.
+//
+// Concurrency: New builds per-application class specs whose page-access
+// generators are stateful and single-owner (see internal/trace); build
+// one application value per testbed, never share one across engines.
 package rubis
 
 import (

@@ -16,6 +16,10 @@
 //   - working-set sizes positioned relative to the paper's 8192-page
 //     (128 MB) buffer pool so that TPC-W alone meets its SLA but a
 //     co-located second application causes memory interference.
+//
+// Concurrency: like internal/workload/rubis, an application value's
+// class specs carry stateful single-owner page generators (see
+// internal/trace); build one per testbed.
 package tpcw
 
 import (

@@ -2,6 +2,11 @@
 // closed-loop client emulator (sessions with think times), configurable
 // interaction mixes, and time-varying load functions such as the sinusoid
 // with random noise used in the paper's §5.2 experiment.
+//
+// Concurrency: emulators schedule their sessions on the simulation loop
+// (internal/sim) and are single-owner like everything in virtual time;
+// the "clients" are concurrent only in simulated time, not in real
+// threads.
 package workload
 
 import (
