@@ -29,3 +29,25 @@ go test -race ./...
 # proves the scenarios stay deterministic and clean when invoked the
 # way an operator would rerun them.
 go test -short -run TestChaosSmoke -count=1 ./internal/experiments/
+
+# Overload smoke run: the 2x load pulse must shed lowest-impact classes
+# first, keep the protected class inside its latency bound, and readmit
+# everything once the pulse passes — rerun seed-pinned like the chaos
+# smoke above.
+go test -short -run 'TestOverloadProtection|TestOverloadDeterminism' -count=1 ./internal/experiments/
+
+# Static-analysis gate: staticcheck at a pinned version so CI and
+# developer machines agree on the rule set. The tool is not vendored and
+# CI never installs anything, so the gate is skipped with a notice when
+# the binary is absent; install locally with
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1
+STATICCHECK_VERSION="2025.1"
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck -version 2>/dev/null | grep -q "$STATICCHECK_VERSION" || {
+		echo "ci.sh: staticcheck is not the pinned $STATICCHECK_VERSION" >&2
+		exit 1
+	}
+	staticcheck ./...
+else
+	echo "ci.sh: staticcheck $STATICCHECK_VERSION not installed; skipping static-analysis gate" >&2
+fi

@@ -6,7 +6,7 @@
 //	benchrunner -exp fig5 -csv    # machine-readable series
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, ablations,
-// chaos.
+// chaos, overload.
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig3|fig4|fig5|fig6|table1|table2|table3|ablations|chaos|all")
+	exp := flag.String("exp", "all", "experiment to run: fig3|fig4|fig5|fig6|table1|table2|table3|ablations|chaos|overload|all")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit figures as CSV series instead of aligned text")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
@@ -32,7 +32,7 @@ func main() {
 
 	experiments.SetStatWorkers(*statWorkers)
 
-	session, err := obscli.Start(*obsAddr, *verbose)
+	session, err := obscli.Start(*obsAddr, *verbose, "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
@@ -52,8 +52,9 @@ func main() {
 		"table3":    runTable3,
 		"ablations": runAblations,
 		"chaos":     runChaosSuite,
+		"overload":  runOverload,
 	}
-	names := []string{"fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "ablations", "chaos"}
+	names := []string{"fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "ablations", "chaos", "overload"}
 
 	want := strings.ToLower(*exp)
 	if want == "all" {
@@ -232,6 +233,30 @@ func runChaosSuite(seed uint64, csv bool) {
 		fmt.Println("invariants: zero client errors, fault-window latency under the query deadline,")
 		fmt.Println("breaker trips probed back to healthy, at most one provision/shrink pair per fault")
 	}
+}
+
+func runOverload(seed uint64, csv bool) {
+	fmt.Println("=== Overload: admission control and impact-ranked load shedding ===")
+	r, err := experiments.Overload(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner: overload:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Println("nominal,peak,protected,final,errors,shed_interactions,resheds,readmits,shed_order")
+		fmt.Printf("%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%s\n",
+			r.NominalLatency, r.PeakLatency, r.ProtectedLatency, r.FinalLatency,
+			r.ClientErrors, r.ShedInteractions, r.Resheds, r.Readmits,
+			strings.Join(r.ShedOrder, "+"))
+		return
+	}
+	fmt.Printf("latency: nominal %.3fs → peak %.3fs → protected %.3fs → final %.3fs\n",
+		r.NominalLatency, r.PeakLatency, r.ProtectedLatency, r.FinalLatency)
+	fmt.Printf("shed order: %v (resheds %d, readmits %d, %d interactions turned away)\n",
+		r.ShedOrder, r.Resheds, r.Readmits, r.ShedInteractions)
+	fmt.Printf("client errors: %d, still shed at end: %v\n", r.ClientErrors, r.FinalShedClasses)
+	fmt.Println("invariants: lowest-impact classes shed first, protected class keeps its SLA,")
+	fmt.Println("everything readmitted and zero rejections once load returns to nominal")
 }
 
 func runAblations(seed uint64, _ bool) {

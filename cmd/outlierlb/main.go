@@ -9,7 +9,11 @@
 //	outlierlb -scenario grayfailure    # chaos: one replica's disk degrades 8x
 //	outlierlb -scenario flapping       # chaos: one replica cycles down/up
 //	outlierlb -scenario blackout       # chaos: one server's metrics go dark
+//	outlierlb -scenario overload       # chaos: 2x load pulse, impact-ranked shedding
 //	outlierlb -record tpcw.trace       # dump a TPC-W page-access trace for mrctool
+//
+// With -sig.store FILE the controller warm-starts from signatures saved
+// by a previous run and saves its own back on completion.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 	recordN := flag.Int("record-n", 500000, "accesses to record")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
 	verbose := flag.Bool("v", false, "print each controller decision to stderr as it happens")
+	sigStore := flag.String("sig.store", "",
+		"persist stable-state signatures to FILE: warm-start on launch, save on completion")
 	flag.Parse()
 
 	if *record != "" {
@@ -44,7 +50,7 @@ func main() {
 		return
 	}
 
-	session, err := obscli.Start(*obsAddr, *verbose)
+	session, err := obscli.Start(*obsAddr, *verbose, *sigStore)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "outlierlb:", err)
 		os.Exit(1)
@@ -72,8 +78,10 @@ func main() {
 	case "blackout":
 		runChaos(*seed, "one server's monitoring goes dark for 150s while it keeps serving",
 			experiments.ChaosMetricBlackout)
+	case "overload":
+		runOverload(*seed)
 	default:
-		fmt.Fprintln(os.Stderr, "outlierlb: need -scenario cpu|indexdrop|consolidation|iocontention|lockcontention|failure|grayfailure|flapping|blackout or -record FILE")
+		fmt.Fprintln(os.Stderr, "outlierlb: need -scenario cpu|indexdrop|consolidation|iocontention|lockcontention|failure|grayfailure|flapping|blackout|overload or -record FILE")
 		os.Exit(2)
 	}
 
@@ -117,6 +125,29 @@ func runChaos(seed uint64, desc string, fn func(uint64) (*experiments.ChaosResul
 	fmt.Printf("degraded analyses:  %d\n", r.DegradedEvents)
 	fmt.Printf("capacity actions:   %d provision(s), %d shrink(s)\n", r.Provisions, r.Shrinks)
 	fmt.Printf("target ended run:   healthy=%v\n", r.TargetHealthy)
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
+}
+
+func runOverload(seed uint64) {
+	fmt.Println("scenario: a 2x load pulse on a fully allocated cluster; admission control")
+	fmt.Println("sheds the lowest-impact query classes until the SLA recovers, then readmits them")
+	fmt.Println()
+	r, err := experiments.Overload(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("nominal latency:    %.3fs\n", r.NominalLatency)
+	fmt.Printf("peak latency:       %.3fs (before shedding bites)\n", r.PeakLatency)
+	fmt.Printf("protected latency:  %.3fs (Checkout, during overload)\n", r.ProtectedLatency)
+	fmt.Printf("final latency:      %.3fs\n", r.FinalLatency)
+	fmt.Printf("client errors:      %d\n", r.ClientErrors)
+	fmt.Printf("shed interactions:  %d\n", r.ShedInteractions)
+	fmt.Printf("shed order:         %v (resheds %d, readmits %d)\n", r.ShedOrder, r.Resheds, r.Readmits)
+	fmt.Printf("still shed at end:  %v\n", r.FinalShedClasses)
 	fmt.Println()
 	for _, a := range r.Actions {
 		fmt.Println("action:", a)

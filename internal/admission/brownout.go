@@ -1,0 +1,65 @@
+package admission
+
+import "outlierlb/internal/metrics"
+
+// brownout is the shed-list state machine. The controller sheds the
+// lowest-impact class first, so the shed order is ascending impact;
+// re-admission is LIFO — the last (highest-impact, most valuable) class
+// shed is the first to return — and gated on a streak of consecutive
+// stable intervals so one quiet interval mid-overload cannot re-admit a
+// class the next interval will have to shed again.
+//
+// Callers hold the owning Controller's lock; brownout itself is not
+// concurrent-safe.
+type brownout struct {
+	shedSet map[metrics.ClassID]bool
+	// order is the shed sequence, oldest first. Re-admission pops from
+	// the back.
+	order  []metrics.ClassID
+	streak int // consecutive stable intervals since the last violation
+}
+
+func (b *brownout) isShed(id metrics.ClassID) bool { return b.shedSet[id] }
+
+// shed appends id to the shed list and returns its 1-based position in
+// the shed order; a duplicate is refused.
+func (b *brownout) shed(id metrics.ClassID) (int, bool) {
+	if b.shedSet[id] {
+		return 0, false
+	}
+	if b.shedSet == nil {
+		b.shedSet = make(map[metrics.ClassID]bool)
+	}
+	b.shedSet[id] = true
+	b.order = append(b.order, id)
+	// A fresh shed proves the system was not stable; the re-admission
+	// streak restarts.
+	b.streak = 0
+	return len(b.order), true
+}
+
+// stableTick advances the hysteresis by one stable interval and
+// re-admits the most recently shed class once the streak reaches
+// readmitAfter. The streak restarts after each re-admission so classes
+// return one at a time, each earning its own stable streak.
+func (b *brownout) stableTick(readmitAfter int) (metrics.ClassID, bool) {
+	if len(b.order) == 0 {
+		b.streak = 0
+		return metrics.ClassID{}, false
+	}
+	b.streak++
+	if b.streak < readmitAfter {
+		return metrics.ClassID{}, false
+	}
+	b.streak = 0
+	id := b.order[len(b.order)-1]
+	b.order = b.order[:len(b.order)-1]
+	delete(b.shedSet, id)
+	return id, true
+}
+
+func (b *brownout) violationTick() { b.streak = 0 }
+
+func (b *brownout) shedClasses() []metrics.ClassID {
+	return append([]metrics.ClassID(nil), b.order...)
+}

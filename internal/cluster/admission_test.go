@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+
+	"outlierlb/internal/admission"
+)
+
+func TestAdmissionShedClassRejected(t *testing.T) {
+	s := newSched(t, newReplica(t, "s1"))
+	adm := admission.NewController(admission.Config{})
+	s.SetAdmission(adm)
+	if s.Admission() != adm {
+		t.Fatal("admission accessor")
+	}
+	adm.ShedClass(readID)
+	_, err := s.Submit(0, readID)
+	rej, ok := admission.IsRejection(err)
+	if !ok || rej.Reason != admission.ReasonShed {
+		t.Fatalf("shed class: err = %v", err)
+	}
+	// Writes pass the same entry gate.
+	adm.ShedClass(writeID)
+	if _, err := s.Submit(0, writeID); err == nil {
+		t.Fatal("shed write class accepted")
+	}
+	// Untouched classes flow normally.
+	if _, err := s.Submit(0, read2ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionTokenGateAtScheduler(t *testing.T) {
+	s := newSched(t, newReplica(t, "s1"))
+	s.SetAdmission(admission.NewController(admission.Config{Rate: 1, Burst: 1}))
+	if _, err := s.Submit(0, readID); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(0, readID)
+	rej, ok := admission.IsRejection(err)
+	if !ok || rej.Reason != admission.ReasonThrottled {
+		t.Fatalf("throttle: err = %v", err)
+	}
+	// Tokens refill with virtual time.
+	if _, err := s.Submit(2, readID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionQueueFullOnReplica fills the sole replica's one-slot
+// queue and checks the scheduler surfaces the typed rejection without
+// executing the query — and that the slot frees once virtual time
+// passes the first query's completion, so nothing is lost for good.
+func TestAdmissionQueueFullOnReplica(t *testing.T) {
+	r1 := newReplica(t, "s1")
+	s := newSched(t, r1)
+	adm := admission.NewController(admission.Config{QueueCap: 1})
+	s.SetAdmission(adm)
+
+	done, err := s.Submit(0, readID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatalf("done = %v", done)
+	}
+	base := r1.Engine().Pool().Stats(readID.String()).Accesses
+
+	// The first query is still in flight: its committed slot occupies
+	// the whole queue, so the next submission is turned away typed.
+	_, err = s.Submit(0, readID)
+	rej, ok := admission.IsRejection(err)
+	if !ok || rej.Reason != admission.ReasonQueueFull {
+		t.Fatalf("full queue: err = %v", err)
+	}
+	if got := r1.Engine().Pool().Stats(readID.String()).Accesses; got != base {
+		t.Fatalf("rejected query still executed: %d accesses, want %d", got, base)
+	}
+
+	// After the in-flight query completes the slot frees lazily.
+	if _, err := s.Submit(done+0.001, readID); err != nil {
+		t.Fatal(err)
+	}
+	c := adm.CountsFor(readID)
+	if c.Admitted != 3 || c.QueueRejected != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// TestAdmissionDeadlineReject backs up the only server's CPU so far past
+// the configured deadline that the backlog estimate alone dooms any new
+// query, and checks it is shed at enqueue with the deadline reason.
+func TestAdmissionDeadlineReject(t *testing.T) {
+	r1 := newReplica(t, "s1")
+	s := newSched(t, r1)
+	s.SetAdmission(admission.NewController(admission.Config{Deadline: 0.5}))
+	// 8 × 10s of work on 4 cores leaves a ~10s run-queue delay.
+	for i := 0; i < 8; i++ {
+		r1.Server().RunCPU(0, 10)
+	}
+	_, err := s.Submit(0, readID)
+	rej, ok := admission.IsRejection(err)
+	if !ok || rej.Reason != admission.ReasonDeadline {
+		t.Fatalf("doomed query: err = %v", err)
+	}
+}

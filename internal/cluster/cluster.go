@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"outlierlb/internal/admission"
 	"outlierlb/internal/engine"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/obs"
@@ -123,6 +124,12 @@ type Scheduler struct {
 	observer  obs.Observer
 	observing bool
 	clock     func() float64
+
+	// admission, when non-nil, is the application's overload-protection
+	// layer: every Submit passes its entry gate (shed list + token
+	// bucket) and every read holds a slot in the target replica's
+	// bounded in-flight queue for the duration of its execution.
+	admission *admission.Controller
 }
 
 // Balancer selects how reads spread over a class's placement.
@@ -175,6 +182,14 @@ func (s *Scheduler) SetAsyncReplication(lag float64) {
 	}
 	s.asyncLag = lag
 }
+
+// SetAdmission attaches (or, with nil, detaches) the application's
+// overload-protection controller. With none attached the scheduler
+// admits everything, exactly as before the layer existed.
+func (s *Scheduler) SetAdmission(a *admission.Controller) { s.admission = a }
+
+// Admission returns the attached overload-protection controller, or nil.
+func (s *Scheduler) Admission() *admission.Controller { return s.admission }
 
 // App returns the scheduled application.
 func (s *Scheduler) App() *Application { return s.app }
@@ -362,6 +377,15 @@ func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err e
 	if len(s.replicas) == 0 {
 		return now, fmt.Errorf("cluster: application %q has no replicas", s.app.Name)
 	}
+	// Entry gate: shed classes and token exhaustion reject here, before
+	// any replica is touched. A rejected query never reaches the SLA
+	// tracker — shed load must not count against the latency agreement
+	// it exists to protect.
+	if s.admission != nil {
+		if err := s.admission.Admit(now, id); err != nil {
+			return now, err
+		}
+	}
 	if spec.Write {
 		s.writeSeq++
 		if s.asyncLag > 0 {
@@ -394,37 +418,84 @@ func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err e
 // tried; the read fails only when every candidate is exhausted. With
 // health management each attempt also carries a deadline, failures feed
 // the failure detector, and retries back off exponentially.
+//
+// With admission control attached, each candidate must also grant a
+// slot in its bounded in-flight queue before executing: a replica at
+// capacity — or whose backlog predicts the query would blow its
+// deadline — is skipped like a refusing one, and only when every
+// candidate rejects does the read surface a typed RejectionError.
+// Writes deliberately bypass the per-replica queues: read-one-write-all
+// must reach every replica or none, so writes are governed by the entry
+// gate alone.
 func (s *Scheduler) submitRead(now float64, id metrics.ClassID, reps []*Replica) (float64, error) {
 	if s.hcfg.Enabled() {
 		return s.submitReadHealth(now, id, reps)
 	}
 	var excluded map[*Replica]bool
 	var lastErr error
+	var rejections int
+	var rejReason admission.Reason
+	exclude := func(r *Replica) {
+		if excluded == nil {
+			excluded = make(map[*Replica]bool, len(reps))
+		}
+		excluded[r] = true
+	}
 	for {
 		r, start := s.pickFreshReplica(now, reps, id, excluded)
 		if r == nil {
+			if rejections > 0 {
+				return now, s.admission.Reject(id, rejReason,
+					fmt.Sprintf("%d candidate replica(s) refused admission", rejections))
+			}
 			if lastErr != nil {
 				return now, lastErr
 			}
 			return now, fmt.Errorf("cluster: no consistent replica for read of %v", id)
 		}
+		var q *admission.Queue
+		if s.admission != nil {
+			// Completion estimate from arrival: freshness wait, the
+			// server's instantaneous CPU + disk backlog, and the class's
+			// recent latency on this engine.
+			est := (start - now) + r.srv.CPUQueueDelay(start) +
+				r.srv.Disk().QueueDelay(start) + r.eng.LatencyEstimate(id)
+			if reason := s.admission.TryEnqueue(r.srv.Name(), start, est); reason != "" {
+				rejections++
+				// Deadline rejection is the more specific diagnosis; it
+				// wins when candidates reject for mixed reasons.
+				if rejReason == "" || reason == admission.ReasonDeadline {
+					rejReason = reason
+				}
+				exclude(r)
+				continue
+			}
+			q = s.admission.QueueFor(r.srv.Name())
+		}
 		done, execErr := r.eng.Execute(start, id)
 		if execErr == nil {
+			if q != nil {
+				q.Commit(done)
+			}
 			return done, nil
+		}
+		if q != nil {
+			q.Cancel()
 		}
 		// One replica's refusal is not the cluster's: fall through.
 		lastErr = execErr
-		if excluded == nil {
-			excluded = make(map[*Replica]bool, len(reps))
-		}
-		excluded[r] = true
+		exclude(r)
 	}
 }
 
 // submitReadHealth is the detector-driven read path: each attempt has a
 // deadline, a timed-out or refused attempt is retried on another replica
 // after a capped exponential backoff, and every outcome feeds the
-// per-replica circuit breaker. A timed-out attempt still consumes work
+// per-replica circuit breaker. Admission's entry gate still applies
+// (Submit runs it first), but the per-replica bounded queues do not:
+// this path already abandons slow replicas at its own per-query
+// deadline, and layering a second early-rejection mechanism under the
+// retry loop would double-count the same backlog. A timed-out attempt still consumes work
 // on the slow replica — the client abandoned the query, the replica
 // didn't. Once every alternative is exhausted the read makes one final
 // patient attempt: abandoning at the deadline only buys the client

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -136,15 +137,17 @@ type ActionKind string
 
 // The retuning actions the controller can take.
 const (
-	ActionProvision  ActionKind = "provision-replica"   // CPU saturation → new replica
-	ActionQuota      ActionKind = "enforce-quota"       // feasible quota plan applied
-	ActionReschedule ActionKind = "reschedule-class"    // class moved to another replica
-	ActionIOMove     ActionKind = "io-move-class"       // I/O heuristic moved a class
-	ActionFallback   ActionKind = "coarse-isolate"      // coarse-grained isolation
-	ActionShrink     ActionKind = "release-replica"     // scale-down on low load
-	ActionLockReport ActionKind = "lock-contention"     // advisory: lock waits dominate
-	ActionMaintain   ActionKind = "maintain-quota"      // periodic quota adjustment/removal
-	ActionExhausted  ActionKind = "resources-exhausted" // wanted to act, no servers left
+	ActionProvision    ActionKind = "provision-replica"   // CPU saturation → new replica
+	ActionQuota        ActionKind = "enforce-quota"       // feasible quota plan applied
+	ActionReschedule   ActionKind = "reschedule-class"    // class moved to another replica
+	ActionIOMove       ActionKind = "io-move-class"       // I/O heuristic moved a class
+	ActionFallback     ActionKind = "coarse-isolate"      // coarse-grained isolation
+	ActionShrink       ActionKind = "release-replica"     // scale-down on low load
+	ActionLockReport   ActionKind = "lock-contention"     // advisory: lock waits dominate
+	ActionMaintain     ActionKind = "maintain-quota"      // periodic quota adjustment/removal
+	ActionExhausted    ActionKind = "resources-exhausted" // wanted to act, no servers left
+	ActionShedClass    ActionKind = "shed-class"          // brownout: lowest-impact class shed
+	ActionReadmitClass ActionKind = "readmit-class"       // brownout: shed class re-admitted
 )
 
 // Action is one recorded retuning decision.
@@ -402,6 +405,9 @@ func (c *Controller) Tick() {
 				Throughput: iv.Throughput, Queries: iv.Queries, Met: iv.Met,
 				Replicas: len(sched.Replicas()),
 			})
+			if adm := sched.Admission(); adm != nil {
+				c.observer.AdmissionSampled(adm.Snapshot(now, app))
+			}
 		}
 		if iv.Queries == 0 {
 			continue
@@ -409,6 +415,13 @@ func (c *Controller) Tick() {
 		if iv.Met {
 			c.violStreak[app] = 0
 			c.stableStreak[app]++
+			if adm := sched.Admission(); adm != nil && !c.suspended {
+				if id, ok := adm.StableTick(); ok {
+					c.record(Action{Time: now, Kind: ActionReadmitClass, App: app, Class: id.Class,
+						Detail: fmt.Sprintf("SLA met for %d consecutive interval(s); class re-admitted",
+							adm.Config().ReadmitAfter)})
+				}
+			}
 			c.recordStable(now, sched, snaps)
 			c.maybeShrink(now, sched, iv.AvgLatency, cpu, blackout)
 			if c.cfg.MaintainEvery > 0 && c.stableStreak[app]%c.cfg.MaintainEvery == 0 {
@@ -417,6 +430,9 @@ func (c *Controller) Tick() {
 		} else {
 			c.stableStreak[app] = 0
 			c.violStreak[app]++
+			if adm := sched.Admission(); adm != nil {
+				adm.ViolationTick()
+			}
 			if c.observing {
 				c.observer.Event(obs.Event{
 					Time: now, Kind: obs.EventViolation, App: app,
@@ -627,7 +643,14 @@ func (c *Controller) diagnose(now float64, sched *cluster.Scheduler,
 		backlogged := srv.CPUQueueDelay(now) >= 0.5*sched.App().SLA.MaxAvgLatency &&
 			cpu[srv] >= 0.5
 		if cpu[srv] >= c.cfg.CPUSaturation || backlogged {
-			c.provisionForCPU(now, sched, srv)
+			if c.provisionForCPU(now, sched, srv) {
+				return true
+			}
+			// The pool is exhausted: rebalancing cannot add capacity, so
+			// brownout shedding is the remaining lever. Without an
+			// admission controller this is a no-op and the exhausted
+			// action recorded above stands alone, as before.
+			c.brownoutShed(now, sched, snaps)
 			return true
 		}
 	}
@@ -669,7 +692,16 @@ func (c *Controller) diagnose(now float64, sched *cluster.Scheduler,
 		}
 	}
 
-	// 5. Coarse-grained fallback after persistent failure.
+	// 5. Brownout load shedding: every fine-grained path above looked for
+	// a rebalancing move and found none. With an admission controller
+	// attached, shed the lowest-impact class instead of escalating — the
+	// coarse fallback needs a fresh server, which a cluster this loaded
+	// rarely has.
+	if c.brownoutShed(now, sched, snaps) {
+		return true
+	}
+
+	// 6. Coarse-grained fallback after persistent failure.
 	if c.violStreak[app] >= c.cfg.FallbackAfter {
 		c.coarseFallback(now, sched)
 		return true
@@ -677,17 +709,96 @@ func (c *Controller) diagnose(now float64, sched *cluster.Scheduler,
 	return false
 }
 
-func (c *Controller) provisionForCPU(now float64, sched *cluster.Scheduler, hot *server.Server) {
+// provisionForCPU adds a replica for a CPU-saturated application and
+// reports whether one was actually provisioned (false: pool exhausted,
+// recorded as ActionExhausted).
+func (c *Controller) provisionForCPU(now float64, sched *cluster.Scheduler, hot *server.Server) bool {
 	app := sched.App().Name
 	rep, err := c.mgr.ProvisionOnFreeServer(app)
 	if err != nil {
 		c.record(Action{Time: now, Kind: ActionExhausted, App: app,
 			Server: hot.Name(), Detail: "CPU saturated, " + err.Error()})
-		return
+		return false
 	}
 	c.record(Action{Time: now, Kind: ActionProvision, App: app,
 		Server: rep.Server().Name(),
 		Detail: fmt.Sprintf("CPU saturation on %s, replicas now %d", hot.Name(), len(sched.Replicas()))})
+	return true
+}
+
+// brownoutShed is the load-shedding step of the diagnosis: when the
+// cluster offers no rebalancing move, pick the application's query class
+// with the LOWEST metric impact (the same current/stable × heaviness
+// ranking outlier detection uses, §3.3.1, aggregated across the app's
+// replicas) and put it on the admission shed list. Shedding low-impact
+// classes first turns away the traffic that contributes least to the
+// overload; the hysteresis in admission.Controller readmits them once
+// the SLA holds again. It reports whether a class was shed (always false
+// without an admission controller attached).
+func (c *Controller) brownoutShed(now float64, sched *cluster.Scheduler,
+	snaps map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector) bool {
+	adm := sched.Admission()
+	if adm == nil {
+		return false
+	}
+	app := sched.App().Name
+	current := make(map[metrics.ClassID]metrics.Vector)
+	stable := make(map[metrics.ClassID]metrics.Vector)
+	for _, r := range sched.Replicas() {
+		for id, v := range snaps[r.Engine()][app] {
+			cur := current[id]
+			for m := 0; m < metrics.NumMetrics; m++ {
+				cur[m] += v[m]
+			}
+			current[id] = cur
+		}
+		for id, v := range c.sigs.Get(app, r.Server().Name()).Metrics {
+			st := stable[id]
+			for m := 0; m < metrics.NumMetrics; m++ {
+				st[m] += v[m]
+			}
+			stable[id] = st
+		}
+	}
+	if len(current) == 0 {
+		return false
+	}
+	reports := Detect(current, stable, c.cfg.Fences)
+	ids := make([]metrics.ClassID, 0, len(reports))
+	for id := range reports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	protected := adm.Config().Protected
+	var victim metrics.ClassID
+	best := math.Inf(1)
+	found := false
+	for _, id := range ids {
+		if protected[id] || adm.IsShed(id) {
+			continue
+		}
+		// Total impact across metrics. Summing lets the volume-
+		// proportional heaviness weights dominate; a single metric whose
+		// impact is near-uniform across classes (latency under
+		// saturation: everyone queues alike) cannot scramble the order.
+		score := 0.0
+		for m := 0; m < metrics.NumMetrics; m++ {
+			score += reports[id].Impact[m]
+		}
+		if score < best {
+			best, victim, found = score, id, true
+		}
+	}
+	if !found {
+		return false
+	}
+	ord, ok := adm.ShedClass(victim)
+	if !ok {
+		return false
+	}
+	c.record(Action{Time: now, Kind: ActionShedClass, App: app, Class: victim.Class,
+		Detail: fmt.Sprintf("no rebalancing move; lowest impact %.3g, shed #%d", best, ord)})
+	return true
 }
 
 // problem is one diagnosed problem query class.

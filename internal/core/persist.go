@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
@@ -35,10 +38,23 @@ type storeDTO struct {
 	Signatures []signatureDTO `json:"signatures"`
 }
 
-// Save serializes the store as JSON.
+// Save serializes the store as JSON. Output is deterministic: signatures
+// are ordered by (app, server) and classes by name, so saving the same
+// store twice produces identical bytes.
 func (st *SignatureStore) Save(w io.Writer) error {
+	keys := make([]sigKey, 0, len(st.sigs))
+	for key := range st.sigs {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		return keys[i].server < keys[j].server
+	})
 	dto := storeDTO{Version: 1}
-	for key, sig := range st.sigs {
+	for _, key := range keys {
+		sig := st.sigs[key]
 		sd := signatureDTO{App: key.app, Server: key.server, RecordedAt: sig.RecordedAt}
 		seen := make(map[metrics.ClassID]bool)
 		add := func(id metrics.ClassID) *classEntryDTO {
@@ -64,6 +80,12 @@ func (st *SignatureStore) Save(w io.Writer) error {
 			e.MRC = &pc
 			e.Samples = sig.MRCSampleCount[id]
 		}
+		sort.Slice(sd.Classes, func(i, j int) bool {
+			if sd.Classes[i].App != sd.Classes[j].App {
+				return sd.Classes[i].App < sd.Classes[j].App
+			}
+			return sd.Classes[i].Class < sd.Classes[j].Class
+		})
 		dto.Signatures = append(dto.Signatures, sd)
 	}
 	enc := json.NewEncoder(w)
@@ -71,25 +93,56 @@ func (st *SignatureStore) Save(w io.Writer) error {
 	return enc.Encode(dto)
 }
 
-// Load replaces the store's contents with signatures saved by Save.
+// LoadError is the typed error Load returns for any malformed input:
+// invalid or truncated JSON, an unsupported version, trailing data, or
+// signatures that fail validation. When Load fails the store is left
+// exactly as it was — never with a partially applied snapshot.
+type LoadError struct {
+	Cause string // what was wrong with the input
+	Err   error  // underlying decode error, if any
+}
+
+func (e *LoadError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("core: loading signatures: %s: %v", e.Cause, e.Err)
+	}
+	return "core: loading signatures: " + e.Cause
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
+
+// Load replaces the store's contents with signatures saved by Save. The
+// whole document is decoded and validated into a fresh map first and
+// swapped in only on success, so a truncated or corrupt file can never
+// leave the store holding half a snapshot.
 func (st *SignatureStore) Load(r io.Reader) error {
+	dec := json.NewDecoder(r)
 	var dto storeDTO
-	if err := json.NewDecoder(r).Decode(&dto); err != nil {
-		return fmt.Errorf("core: loading signatures: %w", err)
+	if err := dec.Decode(&dto); err != nil {
+		return &LoadError{Cause: "decoding JSON", Err: err}
 	}
 	if dto.Version != 1 {
-		return fmt.Errorf("core: unsupported signature version %d", dto.Version)
+		return &LoadError{Cause: fmt.Sprintf("unsupported signature version %d", dto.Version)}
 	}
-	st.sigs = make(map[sigKey]*Signature, len(dto.Signatures))
+	// Save writes exactly one document; anything after it means the file
+	// was corrupted (e.g. two saves interleaved without the atomic rename).
+	if _, err := dec.Token(); err != io.EOF {
+		return &LoadError{Cause: "trailing data after signature document"}
+	}
+	fresh := make(map[sigKey]*Signature, len(dto.Signatures))
 	for _, sd := range dto.Signatures {
+		key := sigKey{app: sd.App, server: sd.Server}
+		if _, dup := fresh[key]; dup {
+			return &LoadError{Cause: fmt.Sprintf("duplicate signature for app %q on server %q", sd.App, sd.Server)}
+		}
 		sig := NewSignature()
 		sig.RecordedAt = sd.RecordedAt
 		for _, e := range sd.Classes {
 			id := metrics.ClassID{App: e.App, Class: e.Class}
 			if e.Metrics != nil {
 				if len(e.Metrics) != metrics.NumMetrics {
-					return fmt.Errorf("core: signature for %v has %d metrics, want %d",
-						id, len(e.Metrics), metrics.NumMetrics)
+					return &LoadError{Cause: fmt.Sprintf("signature for %v has %d metrics, want %d",
+						id, len(e.Metrics), metrics.NumMetrics)}
 				}
 				var v metrics.Vector
 				copy(v[:], e.Metrics)
@@ -100,7 +153,52 @@ func (st *SignatureStore) Load(r io.Reader) error {
 				sig.MRCSampleCount[id] = e.Samples
 			}
 		}
-		st.sigs[sigKey{app: sd.App, server: sd.Server}] = sig
+		fresh[key] = sig
+	}
+	st.sigs = fresh
+	return nil
+}
+
+// SaveFile atomically persists the store to path: the JSON is written to
+// a temporary file in the same directory, fsynced, and renamed over
+// path. A crash at any point leaves either the previous file or the new
+// one, never a truncated mix.
+func (st *SignatureStore) SaveFile(path string) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: saving signatures: %w", err)
+	}
+	name := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(name)
+		}
+	}()
+	if err = st.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("core: saving signatures: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("core: saving signatures: %w", err)
+	}
+	if err = os.Rename(name, path); err != nil {
+		return fmt.Errorf("core: saving signatures: %w", err)
 	}
 	return nil
+}
+
+// LoadFile loads signatures from path, replacing the store's contents
+// on success and leaving them untouched on any error. Callers that
+// treat a missing file as a cold start should test the returned error
+// with errors.Is(err, os.ErrNotExist).
+func (st *SignatureStore) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: loading signatures: %w", err)
+	}
+	defer f.Close()
+	return st.Load(f)
 }

@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -75,5 +78,144 @@ func TestSignatureStoreLoadRejectsGarbage(t *testing.T) {
 		"classes":[{"app":"a","class":"c","metrics":[1,2]}]}]}`
 	if err := st.Load(strings.NewReader(bad)); err == nil {
 		t.Fatal("wrong metric arity accepted")
+	}
+}
+
+// validStoreJSON returns a serialized one-signature store for the
+// corruption tests to mangle.
+func validStoreJSON(t *testing.T) string {
+	t.Helper()
+	st := NewSignatureStore()
+	var v metrics.Vector
+	v.Set(metrics.Latency, 0.25)
+	st.Get("tpcw", "db1").UpdateMetrics(10, map[metrics.ClassID]metrics.Vector{cid("Search"): v})
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSignatureStoreLoadMangled(t *testing.T) {
+	valid := validStoreJSON(t)
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"truncated", valid[:len(valid)/2]},
+		{"trailing garbage", valid + "ill-gotten bytes"},
+		{"second document", valid + valid},
+		{"wrong version", strings.Replace(valid, `"version": 1`, `"version": 2`, 1)},
+		{"version zero", `{"signatures":[]}`},
+		{"metric arity short", `{"version":1,"signatures":[{"app":"a","server":"s","classes":[{"app":"a","class":"c","metrics":[1]}]}]}`},
+		{"metric arity long", `{"version":1,"signatures":[{"app":"a","server":"s","classes":[{"app":"a","class":"c","metrics":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}]}]}`},
+		{"duplicate signature", `{"version":1,"signatures":[{"app":"a","server":"s"},{"app":"a","server":"s"}]}`},
+		{"type confusion", `{"version":"1","signatures":{}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Pre-populate so a failed load has state to clobber.
+			st := NewSignatureStore()
+			var v metrics.Vector
+			v.Set(metrics.PageAccesses, 99)
+			st.Get("keep", "db9").UpdateMetrics(5, map[metrics.ClassID]metrics.Vector{
+				{App: "keep", Class: "K"}: v,
+			})
+
+			err := st.Load(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("mangled input accepted: %q", tc.input)
+			}
+			var le *LoadError
+			if !errors.As(err, &le) {
+				t.Fatalf("error %v (%T) is not a *LoadError", err, err)
+			}
+			// No partial state: the failed load must leave the previous
+			// contents fully intact and import nothing.
+			sig, ok := st.Lookup("keep", "db9")
+			if !ok {
+				t.Fatal("failed load wiped existing signatures")
+			}
+			if got := sig.Metrics[metrics.ClassID{App: "keep", Class: "K"}]; got.Get(metrics.PageAccesses) != 99 {
+				t.Fatalf("existing signature mutated: %+v", got)
+			}
+			if _, imported := st.Lookup("tpcw", "db1"); imported {
+				t.Fatal("failed load imported signatures from the mangled document")
+			}
+			if _, imported := st.Lookup("a", "s"); imported {
+				t.Fatal("failed load imported signatures from the mangled document")
+			}
+		})
+	}
+}
+
+func TestSignatureStoreSaveDeterministic(t *testing.T) {
+	st := NewSignatureStore()
+	var v metrics.Vector
+	v.Set(metrics.Latency, 1)
+	for _, srv := range []string{"db3", "db1", "db2"} {
+		st.Get("tpcw", srv).UpdateMetrics(1, map[metrics.ClassID]metrics.Vector{
+			cid("B"): v, cid("A"): v, cid("C"): v,
+		})
+	}
+	var a, b bytes.Buffer
+	if err := st.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two saves of the same store differ")
+	}
+}
+
+func TestSignatureStoreSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sigs.json")
+
+	st := NewSignatureStore()
+	var v metrics.Vector
+	v.Set(metrics.Latency, 0.5)
+	st.Get("tpcw", "db1").UpdateMetrics(77, map[metrics.ClassID]metrics.Vector{cid("Home"): v})
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place must also work (rename over an existing file).
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "sigs.json" {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+
+	loaded := NewSignatureStore()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	sig, ok := loaded.Lookup("tpcw", "db1")
+	if !ok || sig.RecordedAt != 77 {
+		t.Fatalf("loaded signature = %+v, ok = %v", sig, ok)
+	}
+
+	if err := loaded.LoadFile(filepath.Join(dir, "missing.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want os.ErrNotExist", err)
+	}
+	// A corrupt file fails with the typed error and leaves state intact.
+	if err := os.WriteFile(path, []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var le *LoadError
+	if err := loaded.LoadFile(path); !errors.As(err, &le) {
+		t.Fatalf("corrupt file: err = %v, want *LoadError", err)
+	}
+	if _, ok := loaded.Lookup("tpcw", "db1"); !ok {
+		t.Fatal("corrupt load wiped the store")
 	}
 }

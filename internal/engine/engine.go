@@ -143,6 +143,12 @@ type Engine struct {
 	curNow    float64
 	curIODone float64
 	curClass  metrics.ClassID
+
+	// latEst is the per-class EWMA of observed query latency, the
+	// service-time estimate behind admission control's deadline-aware
+	// early rejection. Single-owner: updated only by Execute on the
+	// query thread.
+	latEst map[metrics.ClassID]float64
 }
 
 // New returns an engine running on host.
@@ -168,6 +174,7 @@ func New(cfg Config, host Host) (*Engine, error) {
 		collector: metrics.NewCollector(),
 		windows:   make(map[metrics.ClassID]*metrics.AccessWindow),
 		classes:   make(map[metrics.ClassID]*ClassSpec),
+		latEst:    make(map[metrics.ClassID]float64),
 	}
 	e.logbuf = metrics.NewLogBuffer(cfg.LogBufferSize, metrics.Drain(e.collector))
 	if cfg.StatWorkers > 0 {
@@ -324,7 +331,29 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		done = lockRelease
 	}
 	e.emit(metrics.Record{Kind: metrics.RecQuery, Class: id, Value: done - now})
+	e.updateLatencyEstimate(id, done-now)
 	return done, nil
+}
+
+// latencyEWMAAlpha is the smoothing factor of the per-class latency
+// estimate: recent queries dominate (≈5-query memory) so the estimate
+// tracks load swings quickly without flapping on a single slow query.
+const latencyEWMAAlpha = 0.2
+
+func (e *Engine) updateLatencyEstimate(id metrics.ClassID, lat float64) {
+	if prev, ok := e.latEst[id]; ok {
+		e.latEst[id] = prev + latencyEWMAAlpha*(lat-prev)
+	} else {
+		e.latEst[id] = lat
+	}
+}
+
+// LatencyEstimate reports the EWMA of class id's recent query latencies
+// on this engine (0 before the first execution). Admission control uses
+// it, plus the host's instantaneous backlog, to predict whether a new
+// query can finish inside its deadline.
+func (e *Engine) LatencyEstimate(id metrics.ClassID) float64 {
+	return e.latEst[id]
 }
 
 // Locks exposes the engine's lock manager (for contention diagnosis).

@@ -99,6 +99,18 @@ const (
 	EventDegradedAnalysis EventKind = "degraded-analysis"
 )
 
+// Overload-protection events (mirroring core's shed/readmit action
+// kinds string-for-string, like the retuning actions above).
+const (
+	// EventShedClass marks the brownout controller putting a query
+	// class on the shed list: the cluster is saturated, no rebalancing
+	// move exists, and this class ranked lowest by metric impact.
+	EventShedClass EventKind = "shed-class"
+	// EventReadmitClass marks a shed class re-admitted after the
+	// hysteresis streak of stable intervals.
+	EventReadmitClass EventKind = "readmit-class"
+)
+
 // Event is one structured decision-trace record.
 type Event struct {
 	// Seq is assigned by the event log: a monotonically increasing
@@ -212,6 +224,37 @@ type ClassLatencyObs struct {
 	Hist *metrics.Histogram
 }
 
+// AdmissionQueueObs is one replica queue's depth in an admission
+// sample.
+type AdmissionQueueObs struct {
+	Server string `json:"server"`
+	Depth  int    `json:"depth"`
+}
+
+// AdmissionClassObs is one query class's cumulative admission ledger.
+type AdmissionClassObs struct {
+	Class            string `json:"class"`
+	Admitted         int64  `json:"admitted"`
+	Shed             int64  `json:"shed,omitempty"`
+	Throttled        int64  `json:"throttled,omitempty"`
+	QueueRejected    int64  `json:"queue_rejected,omitempty"`
+	DeadlineRejected int64  `json:"deadline_rejected,omitempty"`
+}
+
+// AdmissionObs is one application's overload-protection sample at a
+// controller tick: token-bucket level, currently shed classes (in shed
+// order), per-replica queue depths, and the per-class ledger.
+type AdmissionObs struct {
+	Time float64 `json:"time"`
+	App  string  `json:"app"`
+	// Tokens is the token-bucket level; -1 when the token gate is
+	// disabled.
+	Tokens      float64             `json:"tokens"`
+	ShedClasses []string            `json:"shed_classes,omitempty"`
+	Queues      []AdmissionQueueObs `json:"queues,omitempty"`
+	Classes     []AdmissionClassObs `json:"classes,omitempty"`
+}
+
 // Observer receives the decision trace and periodic samples. All methods
 // are called from the (single-threaded) simulation loop; implementations
 // that expose data to other goroutines must synchronize internally.
@@ -225,6 +268,9 @@ type Observer interface {
 	ServerSampled(s ServerObs)
 	// ClassLatency delivers one class's per-interval latency summary.
 	ClassLatency(cl ClassLatencyObs)
+	// AdmissionSampled delivers an application's overload-protection
+	// sample.
+	AdmissionSampled(a AdmissionObs)
 }
 
 // Nop is the no-op Observer: every method returns immediately. It is the
@@ -243,6 +289,9 @@ func (Nop) ServerSampled(ServerObs) {}
 
 // ClassLatency implements Observer.
 func (Nop) ClassLatency(ClassLatencyObs) {}
+
+// AdmissionSampled implements Observer.
+func (Nop) AdmissionSampled(AdmissionObs) {}
 
 var _ Observer = Nop{}
 
@@ -267,6 +316,11 @@ func (t tee) ServerSampled(s ServerObs) {
 func (t tee) ClassLatency(cl ClassLatencyObs) {
 	for _, o := range t.outs {
 		o.ClassLatency(cl)
+	}
+}
+func (t tee) AdmissionSampled(a AdmissionObs) {
+	for _, o := range t.outs {
+		o.AdmissionSampled(a)
 	}
 }
 

@@ -28,6 +28,13 @@ const (
 	MetricVirtualTime   = "outlierlb_virtual_time_seconds"
 	MetricMRCFed        = "outlierlb_mrc_fed_batches"
 	MetricMRCDropped    = "outlierlb_mrc_dropped_batches"
+
+	// Overload-protection metrics (admission control + brownout).
+	MetricAdmitted   = "outlierlb_admission_admitted_total"
+	MetricRejected   = "outlierlb_admission_rejected_total"
+	MetricQueueDepth = "outlierlb_admission_queue_depth"
+	MetricTokens     = "outlierlb_admission_tokens"
+	MetricShedNow    = "outlierlb_admission_shed_classes"
 )
 
 // Recorder is the standard Observer: it appends every decision-trace
@@ -64,6 +71,11 @@ func NewRecorder(capacity int) *Recorder {
 	r.reg.Help(MetricVirtualTime, "Current virtual time of the simulation.")
 	r.reg.Help(MetricMRCFed, "Page-access batches accepted by the background MRC worker, per engine.")
 	r.reg.Help(MetricMRCDropped, "Page-access batches shed by the background MRC worker under backpressure, per engine.")
+	r.reg.Help(MetricAdmitted, "Queries past the admission gate since startup, per class.")
+	r.reg.Help(MetricRejected, "Queries rejected by admission control since startup, per class and reason.")
+	r.reg.Help(MetricQueueDepth, "Bounded in-flight queue depth, per application and server.")
+	r.reg.Help(MetricTokens, "Admission token-bucket level, per application (-1 when the token gate is off).")
+	r.reg.Help(MetricShedNow, "Query classes currently on the brownout shed list, per application.")
 	return r
 }
 
@@ -148,5 +160,37 @@ func (r *Recorder) ClassLatency(cl ClassLatencyObs) {
 	r.reg.Set(MetricClassLatencyQ, L("app", cl.App, "class", cl.Class, "quantile", "0.95"), cl.P95)
 	r.reg.Set(MetricClassLatencyQ, L("app", cl.App, "class", cl.Class, "quantile", "0.99"), cl.P99)
 }
+
+// AdmissionSampled implements Observer.
+func (r *Recorder) AdmissionSampled(a AdmissionObs) {
+	app := L("app", a.App)
+	r.reg.Set(MetricTokens, app, a.Tokens)
+	r.reg.Set(MetricShedNow, app, float64(len(a.ShedClasses)))
+	for _, q := range a.Queues {
+		r.reg.Set(MetricQueueDepth, L("app", a.App, "server", q.Server), float64(q.Depth))
+	}
+	for _, c := range a.Classes {
+		r.reg.Set(MetricAdmitted, L("app", a.App, "class", c.Class), float64(c.Admitted))
+		set := func(reason string, v int64) {
+			if v > 0 {
+				r.reg.Set(MetricRejected, L("app", a.App, "class", c.Class, "reason", reason), float64(v))
+			}
+		}
+		set(string(ReasonShedLabel), c.Shed)
+		set(string(ReasonThrottledLabel), c.Throttled)
+		set(string(ReasonQueueFullLabel), c.QueueRejected)
+		set(string(ReasonDeadlineLabel), c.DeadlineRejected)
+	}
+}
+
+// Rejection-reason label values, shared with internal/admission's
+// Reason constants (obs cannot import admission — the dependency runs
+// the other way).
+const (
+	ReasonShedLabel      = "class-shed"
+	ReasonThrottledLabel = "throttled"
+	ReasonQueueFullLabel = "queue-full"
+	ReasonDeadlineLabel  = "deadline"
+)
 
 var _ Observer = (*Recorder)(nil)

@@ -11,6 +11,7 @@
 package obscli
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -36,6 +37,10 @@ type Session struct {
 	srv  *http.Server
 	addr string
 
+	// sigPath is the -sig.store file: controllers warm-start from it and
+	// Finish saves the last controller's signatures back. "" disables.
+	sigPath string
+
 	mu      sync.Mutex
 	ctl     *core.Controller
 	running bool
@@ -43,23 +48,33 @@ type Session struct {
 
 // Start configures observability from the tools' flags: addr is the
 // -obs.addr listen address ("" disables the HTTP server), verbose the -v
-// switch mirroring decisions to stderr. With both off it returns a
-// disabled session, leaving the simulation hot path on the no-op
-// observer.
-func Start(addr string, verbose bool) (*Session, error) {
-	s := &Session{}
-	if addr == "" && !verbose {
+// switch mirroring decisions to stderr, and sigPath the -sig.store
+// signature file ("" disables persistence). With everything off it
+// returns a disabled session, leaving the simulation hot path on the
+// no-op observer.
+func Start(addr string, verbose bool, sigPath string) (*Session, error) {
+	s := &Session{sigPath: sigPath}
+	if addr == "" && !verbose && sigPath == "" {
 		return s, nil
 	}
-	s.Recorder = obs.NewRecorder(EventLogCapacity)
+	if addr != "" || verbose {
+		s.Recorder = obs.NewRecorder(EventLogCapacity)
+	}
 	if verbose {
 		s.Recorder.SetVerbose(os.Stderr)
 	}
-	experiments.SetObsHooks(s.Recorder, func(ctl *core.Controller, _ *cluster.Manager, _ *sim.Engine) {
+	// A nil *Recorder must become a nil interface, not a typed nil the
+	// testbeds would try to call.
+	var observer obs.Observer
+	if s.Recorder != nil {
+		observer = s.Recorder
+	}
+	experiments.SetObsHooks(observer, func(ctl *core.Controller, _ *cluster.Manager, _ *sim.Engine) {
 		s.mu.Lock()
 		s.ctl = ctl
 		s.running = true
 		s.mu.Unlock()
+		s.warmStart(ctl)
 	})
 	if addr != "" {
 		srv, bound, err := obs.Serve(addr, obs.MuxConfig{
@@ -94,13 +109,41 @@ func (s *Session) diagnose(server string) (interface{}, error) {
 	return s.ctl.DiagnoseServerLive(server)
 }
 
-// Finish marks the run complete, enabling live diagnosis. Call it after
+// warmStart seeds a freshly built controller's signature store from the
+// -sig.store file. A missing file is a normal cold start; a corrupt one
+// is reported and ignored — the store's all-or-nothing Load guarantees
+// the controller still starts from a clean slate.
+func (s *Session) warmStart(ctl *core.Controller) {
+	if s.sigPath == "" {
+		return
+	}
+	switch err := ctl.Signatures().LoadFile(s.sigPath); {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "signatures: warm-started from %s\n", s.sigPath)
+	case errors.Is(err, os.ErrNotExist):
+		fmt.Fprintf(os.Stderr, "signatures: %s not found; starting cold\n", s.sigPath)
+	default:
+		fmt.Fprintf(os.Stderr, "signatures: ignoring %s: %v (starting cold)\n", s.sigPath, err)
+	}
+}
+
+// Finish marks the run complete, enabling live diagnosis, and persists
+// the last controller's signatures when -sig.store is set. Call it after
 // the scenario function returns (the simulation ran to completion inside
 // it).
 func (s *Session) Finish() {
 	s.mu.Lock()
+	ctl := s.ctl
 	s.running = false
 	s.mu.Unlock()
+	if s.sigPath == "" || ctl == nil {
+		return
+	}
+	if err := ctl.Signatures().SaveFile(s.sigPath); err != nil {
+		fmt.Fprintf(os.Stderr, "signatures: saving %s: %v\n", s.sigPath, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "signatures: saved to %s\n", s.sigPath)
 }
 
 // WaitForInterrupt blocks until SIGINT/SIGTERM so the endpoints stay

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"outlierlb/internal/admission"
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/sim"
@@ -46,6 +47,18 @@ func Step(n0, n1 int, t0 float64) LoadFunction {
 			return n0
 		}
 		return n1
+	}
+}
+
+// Pulse returns a load function that is n0 clients outside [t0, t1) and
+// n1 inside — the overload experiments' shape: nominal load, a burst,
+// then back to nominal.
+func Pulse(n0, n1 int, t0, t1 float64) LoadFunction {
+	return func(t float64) int {
+		if t >= t0 && t < t1 {
+			return n1
+		}
+		return n0
 	}
 }
 
@@ -96,8 +109,10 @@ type Emulator struct {
 	stopped bool
 
 	// Interactions counts completed client interactions (the paper's
-	// WIPS numerator).
+	// WIPS numerator); shed counts interactions turned away by admission
+	// control (the client survives and retries after a think time).
 	interactions int64
+	shed         int64
 	errs         []error
 }
 
@@ -144,7 +159,11 @@ func (e *Emulator) Stop() { e.stopped = true }
 func (e *Emulator) Interactions() int64 { return e.interactions }
 
 // Errors returns scheduler errors encountered by clients (normally empty).
+// Admission rejections are not errors; they count under Shed.
 func (e *Emulator) Errors() []error { return e.errs }
+
+// Shed reports how many interactions admission control turned away.
+func (e *Emulator) Shed() int64 { return e.shed }
 
 // Running reports the current client population.
 func (e *Emulator) Running() int { return e.running }
@@ -234,6 +253,15 @@ func (e *Emulator) clientStep(slot int) {
 	class := e.pick(slot)
 	done, err := e.sched.Submit(now, class)
 	if err != nil {
+		if _, rejected := admission.IsRejection(err); rejected {
+			// Load shedding is the system working as designed, not a
+			// client failure: the session backs off one think time and
+			// tries again, like a user retrying a busy site.
+			e.shed++
+			e.last[slot] = class
+			e.sim.Schedule(e.think(), func() { e.clientStep(slot) })
+			return
+		}
 		e.errs = append(e.errs, err)
 		e.live[slot] = false
 		e.running--
