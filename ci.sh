@@ -36,6 +36,16 @@ go test -short -run TestChaosSmoke -count=1 ./internal/experiments/
 # smoke above.
 go test -short -run 'TestOverloadProtection|TestOverloadDeterminism' -count=1 ./internal/experiments/
 
+# Performance regression gate: run the suite in short mode and compare
+# against the committed seed baseline at ±30% — wide enough to absorb
+# machine-to-machine variance, tight enough to catch a hot path going
+# quadratic. benchrunner itself skips the comparison (exit 0, with a
+# notice) when the host is too noisy to gate, so a loaded CI runner
+# degrades to a warning instead of a flaky failure. See PERFORMANCE.md.
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+go run ./cmd/benchrunner -suite.short -out "$BENCH_TMP/BENCH_ci.json" -baseline BENCH_0.json -tol 0.30
+
 # Static-analysis gate: staticcheck at a pinned version so CI and
 # developer machines agree on the rule set. The tool is not vendored and
 # CI never installs anything, so the gate is skipped with a notice when

@@ -7,6 +7,12 @@
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, ablations,
 // chaos, overload.
+//
+// It also hosts the performance suite (see internal/benchsuite and
+// PERFORMANCE.md):
+//
+//	benchrunner -suite -out BENCH_0.json          # full run, write baseline
+//	benchrunner -suite.short -baseline BENCH_0.json  # CI regression gate
 package main
 
 import (
@@ -28,7 +34,18 @@ func main() {
 	verbose := flag.Bool("v", false, "print each controller decision to stderr as it happens")
 	statWorkers := flag.Int("stat.workers", 0,
 		"concurrent statistics executors per engine (0 = synchronous, deterministic)")
+	suite := flag.Bool("suite", false, "run the performance suite (full settings) instead of an experiment")
+	suiteShort := flag.Bool("suite.short", false, "run the performance suite with reduced CI settings")
+	out := flag.String("out", "", "suite mode: write results to this BENCH_*.json path")
+	force := flag.Bool("force", false, "suite mode: allow -out to overwrite an existing file")
+	baseline := flag.String("baseline", "", "suite mode: compare against this BENCH_*.json and fail on regressions")
+	tol := flag.Float64("tol", 0.30, "suite mode: fractional regression tolerance for -baseline")
 	flag.Parse()
+
+	if *suite || *suiteShort {
+		runSuite(*suiteShort, *out, *baseline, *tol, *force, *seed)
+		return
+	}
 
 	experiments.SetStatWorkers(*statWorkers)
 

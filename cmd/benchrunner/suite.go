@@ -1,0 +1,102 @@
+package main
+
+// Suite mode: run the curated performance suite from internal/benchsuite
+// and emit a machine-readable BENCH_*.json document, optionally comparing
+// it against a committed baseline. This is the producer behind the
+// repository's BENCH_0.json seed baseline and the ci.sh regression gate.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"outlierlb/internal/benchsuite"
+)
+
+// noisyHostRelIQR is the median relative IQR above which a run is judged
+// too noisy to gate on: a throttled or busy host can shift medians by far
+// more than any real code change, so comparing would only flap.
+const noisyHostRelIQR = 0.20
+
+// runSuite executes the benchmark suite and writes/compares results.
+// Exit codes: 0 ok (including a noisy-host skip), 1 regression or error.
+func runSuite(short bool, out, baseline string, tol float64, force bool, seed uint64) {
+	opt := benchsuite.DefaultOptions()
+	if short {
+		opt = benchsuite.ShortOptions()
+	}
+	opt.Seed = seed
+
+	doc, err := benchsuite.Run(benchsuite.Suite(), opt, func(s benchsuite.Scenario) {
+		fmt.Fprintf(os.Stderr, "benchrunner: running %-24s (%s)\n", s.Name, s.Kind)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	doc.Commit = headCommit()
+
+	for _, s := range doc.Scenarios {
+		if s.Kind == "macro" {
+			fmt.Printf("%-24s %12.0f ns/run  p50=%.3fs p95=%.3fs p99=%.3fs  %.0f qps\n",
+				s.Name, s.NsPerOp.Median, s.LatencyP50, s.LatencyP95, s.LatencyP99, s.Throughput)
+		} else {
+			fmt.Printf("%-24s %12.1f ns/op  %8.2f allocs/op  %10.1f B/op\n",
+				s.Name, s.NsPerOp.Median, s.AllocsPerOp, s.BytesPerOp)
+		}
+	}
+
+	if out != "" {
+		if err := benchsuite.WriteFile(out, doc, force); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: wrote %s\n", out)
+	}
+
+	if baseline == "" {
+		return
+	}
+	old, err := benchsuite.Load(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	if rel := doc.MedianRelIQR(); rel > noisyHostRelIQR {
+		fmt.Fprintf(os.Stderr,
+			"benchrunner: NOTICE: host too noisy to gate (median relative IQR %.0f%% > %.0f%%); skipping comparison against %s\n",
+			rel*100, noisyHostRelIQR*100, baseline)
+		return
+	}
+	deltas := benchsuite.Compare(old, doc, tol)
+	for _, d := range deltas {
+		switch d.Verdict {
+		case benchsuite.VerdictAdded, benchsuite.VerdictRemoved:
+			fmt.Printf("%-24s %s\n", d.Name, d.Verdict)
+		default:
+			fmt.Printf("%-24s %-9s %+6.1f%% (tolerance ±%.0f%%)\n",
+				d.Name, d.Verdict, d.Change*100, d.Tolerance*100)
+		}
+	}
+	if regs := benchsuite.Regressions(deltas); len(regs) > 0 {
+		names := make([]string, len(regs))
+		for i, d := range regs {
+			names[i] = fmt.Sprintf("%s (%+.1f%%)", d.Name, d.Change*100)
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: FAIL: %d regression(s) vs %s: %s\n",
+			len(regs), baseline, strings.Join(names, ", "))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchrunner: no regressions vs %s\n", baseline)
+}
+
+// headCommit asks git for HEAD, best-effort: a missing git binary or a
+// non-repo checkout just leaves the commit field empty.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

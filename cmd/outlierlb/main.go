@@ -6,6 +6,7 @@
 //	outlierlb -scenario consolidation  # §5.4 two apps in one DBMS, class reschedule
 //	outlierlb -scenario iocontention   # §5.5 two VMs, dom-0 I/O interference
 //	outlierlb -scenario lockcontention # §7 future work: lock-wait outliers
+//	outlierlb -scenario failure        # §7 future work: replica crash + recovery
 //	outlierlb -scenario grayfailure    # chaos: one replica's disk degrades 8x
 //	outlierlb -scenario flapping       # chaos: one replica cycles down/up
 //	outlierlb -scenario blackout       # chaos: one server's metrics go dark
@@ -30,7 +31,8 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "", "cpu|indexdrop|consolidation|iocontention")
+	scenario := flag.String("scenario", "",
+		"cpu|indexdrop|consolidation|iocontention|lockcontention|failure|grayfailure|flapping|blackout|overload")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	record := flag.String("record", "", "write a synthetic TPC-W page-access trace to FILE and exit")
 	recordApp := flag.String("record-app", "tpcw", "application to record: tpcw|tpcw-noindex|rubis")

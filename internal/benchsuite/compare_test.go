@@ -1,0 +1,95 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// flat returns a Result whose samples are identical, so its IQR is zero
+// and Compare applies the caller's tolerance exactly — the boundary the
+// golden file probes.
+func flat(name string, ns float64) Result {
+	return Result{Name: name, Kind: "micro", N: 1, NsPerOp: Aggregate([]float64{ns, ns, ns})}
+}
+
+// TestCompareGolden pins the verdict table at the tolerance boundary:
+// changes of exactly ±tol are unchanged (strict inequality), one step
+// beyond flips the verdict, and a scenario's own IQR widens its band.
+func TestCompareGolden(t *testing.T) {
+	const tol = 0.10
+	old := &RunDoc{SchemaVersion: SchemaVersion, Scenarios: []Result{
+		flat("flat-unchanged", 100),
+		flat("at-boundary-up", 100),
+		flat("just-regressed", 100),
+		flat("at-boundary-down", 100),
+		flat("just-improved", 100),
+		{Name: "noisy", Kind: "micro", N: 1, NsPerOp: Aggregate([]float64{80, 100, 120})},
+		flat("gone", 100),
+	}}
+	new := &RunDoc{SchemaVersion: SchemaVersion, Scenarios: []Result{
+		flat("flat-unchanged", 105),
+		flat("at-boundary-up", 110),
+		flat("just-regressed", 111),
+		flat("at-boundary-down", 90),
+		flat("just-improved", 89),
+		flat("noisy", 115),
+		flat("fresh", 50),
+	}}
+
+	deltas := Compare(old, new, tol)
+	got, err := json.MarshalIndent(deltas, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "compare_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("Compare deltas diverge from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Spot-check the boundary semantics independently of the golden file,
+	// so a careless -update cannot silently bless a wrong table.
+	byName := make(map[string]Delta)
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	wantVerdicts := map[string]Verdict{
+		"flat-unchanged":   VerdictUnchanged,
+		"at-boundary-up":   VerdictUnchanged,
+		"just-regressed":   VerdictRegressed,
+		"at-boundary-down": VerdictUnchanged,
+		"just-improved":    VerdictImproved,
+		"noisy":            VerdictUnchanged,
+		"gone":             VerdictRemoved,
+		"fresh":            VerdictAdded,
+	}
+	for name, want := range wantVerdicts {
+		if got := byName[name].Verdict; got != want {
+			t.Errorf("%s: verdict = %s, want %s", name, got, want)
+		}
+	}
+	if d := byName["noisy"]; d.Tolerance <= tol {
+		t.Errorf("noisy: tolerance = %v, want widened above %v by the scenario's IQR", d.Tolerance, tol)
+	}
+	if regs := Regressions(deltas); len(regs) != 1 || regs[0].Name != "just-regressed" {
+		t.Errorf("Regressions = %+v, want exactly just-regressed", regs)
+	}
+}

@@ -1,0 +1,57 @@
+package benchsuite
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunMicroEndToEnd pushes a trivial scenario through the full
+// harness — calibration, warmup, repetitions, aggregation, document
+// assembly — and checks the document is internally consistent.
+func TestRunMicroEndToEnd(t *testing.T) {
+	cleaned := false
+	s := Scenario{
+		Name: "toy",
+		Kind: "micro",
+		Doc:  "sums integers",
+		Micro: func() (func(int), func()) {
+			var sink int
+			return func(n int) {
+				for i := 0; i < n; i++ {
+					sink += i
+				}
+			}, func() { cleaned = true; _ = sink }
+		},
+	}
+	opt := Options{Reps: 3, Warmup: 1, MinRunTime: time.Millisecond, Seed: 1}
+	doc, err := Run([]Scenario{s}, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Error("cleanup was not invoked")
+	}
+	if doc.SchemaVersion != SchemaVersion || doc.GOMAXPROCS < 1 || doc.GoVersion == "" {
+		t.Errorf("environment stamp incomplete: %+v", doc)
+	}
+	res, ok := doc.Scenario("toy")
+	if !ok {
+		t.Fatal("scenario missing from document")
+	}
+	if res.N < 64 {
+		t.Errorf("N = %d, want at least the calibration floor of 64", res.N)
+	}
+	if len(res.NsPerOp.Samples) != 3 {
+		t.Errorf("samples = %d, want 3 reps", len(res.NsPerOp.Samples))
+	}
+	if res.NsPerOp.Median <= 0 || res.NsPerOp.Min > res.NsPerOp.Median || res.NsPerOp.Median > res.NsPerOp.Max {
+		t.Errorf("implausible timing stats: %+v", res.NsPerOp)
+	}
+}
+
+// TestRunScenarioRejectsEmpty checks a scenario with neither body errors.
+func TestRunScenarioRejectsEmpty(t *testing.T) {
+	if _, err := RunScenario(Scenario{Name: "hollow"}, Options{}); err == nil {
+		t.Fatal("want error for scenario with neither Micro nor Macro")
+	}
+}

@@ -1,0 +1,263 @@
+package benchsuite
+
+// This file defines the curated suite: the hot paths the paper's §4
+// "minimal intrusiveness" claim rests on, plus the repo's four flagship
+// experiments as macro scenarios. Keep scenario names stable — they are
+// the join key Compare uses across BENCH_*.json generations.
+
+import (
+	"runtime"
+
+	"outlierlb/internal/admission"
+	"outlierlb/internal/experiments"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/mrc"
+	"outlierlb/internal/sla"
+)
+
+// benchClasses registers n query classes with c and returns their ids
+// and accumulation slots.
+func benchClasses(c *metrics.Collector, n int) ([]metrics.ClassID, []metrics.Slot) {
+	ids := make([]metrics.ClassID, n)
+	slots := make([]metrics.Slot, n)
+	for i := range ids {
+		ids[i] = metrics.ClassID{App: "bench", Class: string(rune('A'+i%26)) + string(rune('a'+i/26))}
+		slots[i] = c.SlotFor(ids[i])
+	}
+	return ids, slots
+}
+
+// benchRecords builds a deterministic mixed-kind record batch shaped
+// like the engine's emission stream: mostly page accesses, one query
+// completion per 16 records, occasional I/O batches.
+func benchRecords(ids []metrics.ClassID, slots []metrics.Slot, n int) []metrics.Record {
+	recs := make([]metrics.Record, n)
+	for i := range recs {
+		k := i % len(ids)
+		switch {
+		case i%16 == 15:
+			recs[i] = metrics.Record{Kind: metrics.RecQuery, Class: ids[k], Slot: slotAt(slots, k), Value: 0.01 * float64(1+i%7)}
+		case i%16 == 7:
+			recs[i] = metrics.Record{Kind: metrics.RecIO, Class: ids[k], Slot: slotAt(slots, k), Value: 4}
+		default:
+			recs[i] = metrics.Record{Kind: metrics.RecAccess, Class: ids[k], Slot: slotAt(slots, k), Value: float64(i % 4096), Miss: i%3 == 0}
+		}
+	}
+	return recs
+}
+
+// slotAt tolerates a nil slot slice so the same record builder serves
+// the slotted and the map-fallback scenarios.
+func slotAt(slots []metrics.Slot, k int) metrics.Slot {
+	if slots == nil {
+		return 0
+	}
+	return slots[k]
+}
+
+// intervalMetrics condenses a run's per-interval SLA series into one
+// MacroMetrics: the median across intervals of each latency percentile
+// (robust to fault-window spikes) and the mean throughput. Intervals
+// that completed no queries are skipped.
+func intervalMetrics(ivs []sla.Interval) MacroMetrics {
+	var p50s, p95s, p99s []float64
+	var tput float64
+	n := 0
+	for _, iv := range ivs {
+		if iv.Queries == 0 {
+			continue
+		}
+		p50s = append(p50s, iv.P50Latency)
+		p95s = append(p95s, iv.P95Latency)
+		p99s = append(p99s, iv.P99Latency)
+		tput += iv.Throughput
+		n++
+	}
+	if n == 0 {
+		return MacroMetrics{}
+	}
+	return MacroMetrics{
+		LatencyP50: percentile(p50s, 0.5),
+		LatencyP95: percentile(p95s, 0.5),
+		LatencyP99: percentile(p99s, 0.5),
+		Throughput: tput / float64(n),
+	}
+}
+
+// Suite returns the curated scenarios, micro first. The list is the
+// contract behind every committed BENCH_*.json: append new scenarios
+// freely, but renaming or removing one breaks the Compare trajectory.
+func Suite() []Scenario {
+	return []Scenario{
+		{
+			Name: "logbuffer-record",
+			Kind: "micro",
+			Doc:  "append one record to a private §4 logging buffer draining into a collector",
+			Micro: func() (func(int), func()) {
+				c := metrics.NewCollector()
+				ids, slots := benchClasses(c, 16)
+				recs := benchRecords(ids, slots, 512)
+				buf := metrics.NewLogBuffer(4096, metrics.Drain(c))
+				i := 0
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						buf.Append(recs[i%len(recs)])
+						i++
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "collector-apply-slotted",
+			Kind: "micro",
+			Doc:  "fold a 512-record slotted batch into a collector (one op = one batch)",
+			Micro: func() (func(int), func()) {
+				c := metrics.NewCollector()
+				ids, slots := benchClasses(c, 16)
+				batch := benchRecords(ids, slots, 512)
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						c.Apply(batch)
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "collector-apply-map",
+			Kind: "micro",
+			Doc:  "the same 512-record batch without slots: every record pays the class-map lookup",
+			Micro: func() (func(int), func()) {
+				c := metrics.NewCollector()
+				ids, _ := benchClasses(c, 16)
+				batch := benchRecords(ids, nil, 512)
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						c.Apply(batch)
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "collector-snapshot",
+			Kind: "micro",
+			Doc:  "apply a 32-class batch and close a measurement interval (double-buffered swap + rate computation)",
+			Micro: func() (func(int), func()) {
+				c := metrics.NewCollector()
+				ids, slots := benchClasses(c, 32)
+				batch := benchRecords(ids, slots, 32)
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						c.Apply(batch)
+						c.Snapshot(10.0)
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "admission-tryacquire",
+			Kind: "micro",
+			Doc:  "admission entry gate: Admit + TryEnqueue slot reservation + Commit, per query",
+			Micro: func() (func(int), func()) {
+				a := admission.NewController(admission.Config{Rate: 1e12, Burst: 1e12, QueueCap: 1024, Deadline: 10})
+				id := metrics.ClassID{App: "bench", Class: "browse"}
+				q := a.QueueFor("db1")
+				now := 0.0
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						now++
+						if err := a.Admit(now, id); err != nil {
+							panic(err)
+						}
+						if r := a.TryEnqueue("db1", now, 0.5); r != "" {
+							panic(r)
+						}
+						q.Commit(now + 0.1)
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "mattson-access",
+			Kind: "micro",
+			Doc:  "one Mattson stack-distance update (Fenwick tree) over a cyclic 1021-page stream",
+			Micro: func() (func(int), func()) {
+				s := mrc.NewStackSimulator()
+				p := uint64(0)
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						s.Access(p % 1021)
+						p++
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "mrc-feed",
+			Kind: "micro",
+			Doc:  "hand one pooled 512-page batch to the background MRC worker, paced so the worker keeps up",
+			Micro: func() (func(int), func()) {
+				w := mrc.NewWorker(256)
+				i := 0
+				run := func(n int) {
+					for k := 0; k < n; k++ {
+						batch := mrc.GetBatch(512)
+						base := uint64(i * 512)
+						for p := uint64(0); p < 512; p++ {
+							batch = append(batch, (base+p)%1021)
+						}
+						for !w.Feed("bench", batch) {
+							runtime.Gosched()
+						}
+						i++
+						if i%8 == 0 {
+							w.Barrier()
+						}
+					}
+					w.Barrier()
+				}
+				return run, w.Close
+			},
+		},
+		{
+			Name: "fig3-provisioning",
+			Kind: "macro",
+			Doc:  "Figure 3: sinusoid load, reactive provisioning, 1400 s simulated",
+			Macro: func(seed uint64) (MacroMetrics, error) {
+				return intervalMetrics(experiments.Figure3(seed).Intervals), nil
+			},
+		},
+		{
+			Name: "fig4-diagnosis",
+			Kind: "macro",
+			Doc:  "Figure 4: index-drop diagnosis, stable signature vs degraded plan, 520 s simulated",
+			Macro: func(seed uint64) (MacroMetrics, error) {
+				r := experiments.Figure4(seed)
+				return intervalMetrics([]sla.Interval{r.Measured}), nil
+			},
+		},
+		{
+			Name: "chaos-grayfailure",
+			Kind: "macro",
+			Doc:  "gray-failure chaos drill: 8× disk degradation, breaker trip and recovery, 600 s simulated",
+			Macro: func(seed uint64) (MacroMetrics, error) {
+				r, err := experiments.ChaosGrayFailure(seed)
+				if err != nil {
+					return MacroMetrics{}, err
+				}
+				return intervalMetrics(r.Intervals), nil
+			},
+		},
+		{
+			Name: "overload-brownout",
+			Kind: "macro",
+			Doc:  "overload protection: 2× load pulse, impact-ranked shedding and readmission, 650 s simulated",
+			Macro: func(seed uint64) (MacroMetrics, error) {
+				r, err := experiments.Overload(seed)
+				if err != nil {
+					return MacroMetrics{}, err
+				}
+				return intervalMetrics(r.Intervals), nil
+			},
+		},
+	}
+}

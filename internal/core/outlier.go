@@ -173,6 +173,15 @@ func quartiles(vals []float64) (q1, q3 float64) {
 	return at(0.25), at(0.75)
 }
 
+// Quartiles returns Q1 and Q3 of vals using the same type-7 linear
+// interpolation the §3.3.1 box-plot detector uses internally, so other
+// subsystems (internal/benchsuite aggregates benchmark samples with it)
+// share one quartile definition. vals must be non-empty; it is sorted in
+// place.
+func Quartiles(vals []float64) (q1, q3 float64) {
+	return quartiles(vals)
+}
+
 // Fences are the IQR multipliers separating mild and extreme outliers.
 // The paper uses the classic 1.5 (inner) and 3.0 (outer).
 type Fences struct {

@@ -74,6 +74,12 @@ type ClassSpec struct {
 	// LockHold is how long a write class holds its exclusive lock, in
 	// seconds. Ignored for read classes.
 	LockHold float64
+
+	// slot is the class's dense accumulation index in the engine's
+	// collector, resolved once at Register time so the per-record hot
+	// path (Execute emits one Record per page access) indexes a slice
+	// instead of hashing the ClassID. Engine-owned; zero until Register.
+	slot metrics.Slot
 }
 
 func (s *ClassSpec) validate() error {
@@ -143,6 +149,7 @@ type Engine struct {
 	curNow    float64
 	curIODone float64
 	curClass  metrics.ClassID
+	curSlot   metrics.Slot
 
 	// latEst is the per-class EWMA of observed query latency, the
 	// service-time estimate behind admission control's deadline-aware
@@ -185,7 +192,7 @@ func New(cfg Config, host Host) (*Engine, error) {
 		if done > e.curIODone {
 			e.curIODone = done
 		}
-		e.emit(metrics.Record{Kind: metrics.RecIO, Class: e.curClass, Value: float64(pages)})
+		e.emit(metrics.Record{Kind: metrics.RecIO, Class: e.curClass, Slot: e.curSlot, Value: float64(pages)})
 	})
 	pool.OnFlush(func(class string, pages int) {
 		// Dirty-page write-back is asynchronous: it occupies the disk
@@ -234,6 +241,7 @@ func (e *Engine) Register(spec ClassSpec) error {
 	if err := spec.validate(); err != nil {
 		return err
 	}
+	spec.slot = e.slotOf(spec.ID)
 	e.classes[spec.ID] = &spec
 	e.winMu.Lock()
 	if _, ok := e.windows[spec.ID]; !ok {
@@ -241,6 +249,17 @@ func (e *Engine) Register(spec ClassSpec) error {
 	}
 	e.winMu.Unlock()
 	return nil
+}
+
+// slotOf resolves id's dense accumulation slot in whichever collector
+// the engine's records land in (the class's ShardIndex shard in
+// concurrent mode). Slot assignments are permanent, so re-registering a
+// class returns the same slot.
+func (e *Engine) slotOf(id metrics.ClassID) metrics.Slot {
+	if e.sharded != nil {
+		return e.sharded.SlotFor(id)
+	}
+	return e.collector.SlotFor(id)
 }
 
 // Deregister removes a query class (e.g. when the scheduler moves it to a
@@ -296,11 +315,11 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 			start = e.locks.WaitShared(now, key, spec.LockTable)
 		}
 		if wait := start - now; wait > 0 {
-			e.emit(metrics.Record{Kind: metrics.RecLockWait, Class: id, Value: wait})
+			e.emit(metrics.Record{Kind: metrics.RecLockWait, Class: id, Slot: spec.slot, Value: wait})
 		}
 	}
 
-	e.curNow, e.curIODone, e.curClass = start, start, id
+	e.curNow, e.curIODone, e.curClass, e.curSlot = start, start, id, spec.slot
 	prefetched := 0
 	for i := 0; i < spec.PagesPerQuery; i++ {
 		pg := spec.Pattern.Next()
@@ -313,11 +332,11 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		if win != nil {
 			win.Add(pg)
 		}
-		e.emit(metrics.Record{Kind: metrics.RecAccess, Class: id, Value: float64(pg), Miss: !res.Hit})
+		e.emit(metrics.Record{Kind: metrics.RecAccess, Class: id, Slot: spec.slot, Value: float64(pg), Miss: !res.Hit})
 		prefetched += res.Prefetched
 	}
 	if prefetched > 0 {
-		e.emit(metrics.Record{Kind: metrics.RecReadAhead, Class: id, Value: float64(prefetched)})
+		e.emit(metrics.Record{Kind: metrics.RecReadAhead, Class: id, Slot: spec.slot, Value: float64(prefetched)})
 	}
 
 	cpuWork := spec.CPUPerQuery + float64(spec.PagesPerQuery)*spec.CPUPerPage
@@ -330,7 +349,7 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		// The transaction is not finished until its lock hold elapses.
 		done = lockRelease
 	}
-	e.emit(metrics.Record{Kind: metrics.RecQuery, Class: id, Value: done - now})
+	e.emit(metrics.Record{Kind: metrics.RecQuery, Class: id, Slot: spec.slot, Value: done - now})
 	e.updateLatencyEstimate(id, done-now)
 	return done, nil
 }

@@ -23,7 +23,8 @@ package engine
 // Ownership rules:
 //
 //   - pending batches belong to the query thread until handed off, then
-//     to the executor; a fresh slice is allocated per hand-off.
+//     to the executor, which recycles the backing array into a pool once
+//     the batch is folded; the steady-state hand-off allocates nothing.
 //   - executor i exclusively owns shard i and the windows of the classes
 //     routed to it; the windows map itself is guarded by winMu because
 //     Register (query thread) inserts while executors look up.
@@ -35,6 +36,8 @@ package engine
 //     Worker.Stats().Dropped and surfaced through internal/obs.
 
 import (
+	"sync"
+
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
 )
@@ -51,6 +54,27 @@ const (
 	// mrcQueueDepth bounds the MRC worker's feed channel.
 	mrcQueueDepth = 256
 )
+
+// recordBatchPool recycles metric-record batches across the query-thread →
+// executor hand-off, mirroring mrc.GetBatch for page batches: an executor
+// returns each batch's backing array here after folding it, and handOff
+// draws the replacement from the same pool.
+var recordBatchPool sync.Pool
+
+func getRecordBatch() []metrics.Record {
+	if v := recordBatchPool.Get(); v != nil {
+		return (*v.(*[]metrics.Record))[:0]
+	}
+	return make([]metrics.Record, 0, statBatch)
+}
+
+func putRecordBatch(b []metrics.Record) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	recordBatchPool.Put(&b)
+}
 
 // statJob is either a record batch or a barrier request.
 type statJob struct {
@@ -87,9 +111,16 @@ func (e *Engine) runExecutor(i int, x *statExecutor) {
 	defer close(x.done)
 	mrcPending := make(map[metrics.ClassID][]uint64)
 	flushMRC := func(id metrics.ClassID) {
-		if pages := mrcPending[id]; len(pages) > 0 {
-			e.mrcw.Feed(id.String(), pages) // non-blocking; drops are counted
+		pages := mrcPending[id]
+		if len(pages) == 0 {
+			return
+		}
+		if e.mrcw.Feed(id.String(), pages) { // non-blocking; drops are counted
+			// The worker owns the batch now and recycles it after folding.
 			delete(mrcPending, id)
+		} else {
+			// Dropped: the batch is still ours; refill it in place.
+			mrcPending[id] = pages[:0]
 		}
 	}
 	for j := range x.ch {
@@ -107,11 +138,17 @@ func (e *Engine) runExecutor(i int, x *statExecutor) {
 			}
 			pg := uint64(r.Value)
 			e.windowFor(r.Class).Add(pg)
-			mrcPending[r.Class] = append(mrcPending[r.Class], pg)
-			if len(mrcPending[r.Class]) >= mrcBatch {
+			b := mrcPending[r.Class]
+			if b == nil {
+				b = mrc.GetBatch(mrcBatch)
+			}
+			b = append(b, pg)
+			mrcPending[r.Class] = b
+			if len(b) >= mrcBatch {
 				flushMRC(r.Class)
 			}
 		}
+		putRecordBatch(j.batch)
 	}
 	for id := range mrcPending {
 		flushMRC(id)
@@ -157,7 +194,7 @@ func (e *Engine) handOff(i int) {
 		return
 	}
 	e.execs[i].ch <- statJob{batch: e.pending[i]}
-	e.pending[i] = make([]metrics.Record, 0, statBatch)
+	e.pending[i] = getRecordBatch()
 }
 
 // barrier makes every record emitted so far visible: synchronous mode

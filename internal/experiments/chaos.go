@@ -8,6 +8,7 @@ import (
 	"outlierlb/internal/faults"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/sla"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/tpcw"
 )
@@ -48,8 +49,13 @@ type ChaosResult struct {
 	// TargetHealthy reports whether the attacked replica ended the run
 	// back in the healthy state with the fault cleared.
 	TargetHealthy bool
-	Events        []obs.Event
-	Actions       []core.Action
+	// Intervals is the controller-closed per-interval SLA series for the
+	// whole run (latency percentiles and throughput per interval), for
+	// distribution-level analysis such as internal/benchsuite's macro
+	// percentiles.
+	Intervals []sla.Interval
+	Events    []obs.Event
+	Actions   []core.Action
 }
 
 // Chaos scenario geometry, shared so the three scenarios are comparable:
@@ -116,6 +122,7 @@ func runChaos(seed uint64, faultAt, clearAt, endAt float64,
 	res.FaultLatency, _ = windowStats(sched, faultAt, clearAt)
 	res.FinalLatency, _ = windowStats(sched, endAt-100, endAt)
 	res.ClientErrors = len(em.Errors())
+	res.Intervals = append([]sla.Interval(nil), sched.Tracker().History()...)
 	res.Events = rec.Events().Recent(0)
 	for _, e := range res.Events {
 		onTarget := e.Server == res.Target

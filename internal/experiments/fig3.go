@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"outlierlb/internal/core"
+	"outlierlb/internal/sla"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/tpcw"
 )
@@ -10,13 +11,19 @@ import (
 // load (a), the dynamic machine allocation (b), and the average query
 // latency against the SLA (c), all sampled per measurement interval.
 type Figure3Result struct {
-	Interval float64   // sampling interval (seconds)
-	Times    []float64 // sample timestamps
-	Clients  []int     // (a) offered load
-	Machines []int     // (b) replicas allocated to TPC-W
-	Latency  []float64 // (c) average query latency per interval
-	SLA      float64
-	Actions  []core.Action
+	Interval   float64   // sampling interval (seconds)
+	Times      []float64 // sample timestamps
+	Clients    []int     // (a) offered load
+	Machines   []int     // (b) replicas allocated to TPC-W
+	Latency    []float64 // (c) average query latency per interval
+	Throughput []float64 // completed queries per second, per interval
+	SLA        float64
+	Actions    []core.Action
+	// Intervals is the raw controller-closed per-interval SLA series the
+	// panels above are projected from (latency percentiles included), for
+	// distribution-level analysis such as internal/benchsuite's macro
+	// percentiles.
+	Intervals []sla.Interval
 }
 
 // Figure3 reproduces §5.2: a sinusoid client load (plus noise) drives
@@ -72,10 +79,12 @@ func Figure3(seed uint64) *Figure3Result {
 			machines[s.Time] = s.Replicas
 		}
 	}
+	res.Intervals = append([]sla.Interval(nil), sched.Tracker().History()...)
 	for _, iv := range sched.Tracker().History() {
 		res.Times = append(res.Times, iv.End)
 		res.Clients = append(res.Clients, load(iv.End))
 		res.Latency = append(res.Latency, iv.AvgLatency)
+		res.Throughput = append(res.Throughput, iv.Throughput)
 		m := machines[iv.End]
 		if m == 0 {
 			m = 1

@@ -4,6 +4,7 @@ import (
 	"outlierlb/internal/core"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
+	"outlierlb/internal/sla"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/tpcw"
 )
@@ -26,6 +27,11 @@ type Figure4Result struct {
 	// Confirmed is the subset whose recomputed MRC significantly changed
 	// (the paper confirms only BestSeller).
 	Confirmed []string
+	// Measured is the application-level SLA outcome over the post-drop
+	// measurement window (latency percentiles and throughput), for
+	// distribution-level analysis such as internal/benchsuite's macro
+	// percentiles.
+	Measured sla.Interval
 }
 
 // Figure4 reproduces §5.3's diagnosis data: run TPC-W alone until stable,
@@ -50,6 +56,9 @@ func Figure4(seed uint64) *Figure4Result {
 	// Reach a stable state and capture the signature by hand (no
 	// controller: this experiment exposes the raw detector output).
 	tb.sim.RunUntil(warmup)
+	// Close the pending tracker interval so the post-drop measurement
+	// window is clean (no controller owns interval closing here).
+	sched.Tracker().CloseInterval(warmup, warmup)
 	eng := sched.Replicas()[0].Engine()
 	analyzer := core.NewLogAnalyzer(eng)
 	stable := analyzer.Snapshot(warmup)[tpcw.AppName]
@@ -72,9 +81,10 @@ func Figure4(seed uint64) *Figure4Result {
 	}
 	tb.sim.RunUntil(warmup + measure)
 	em.Stop()
+	measured := sched.Tracker().CloseInterval(warmup, warmup+measure)
 	current := analyzer.Snapshot(measure)[tpcw.AppName]
 
-	res := &Figure4Result{}
+	res := &Figure4Result{Measured: measured}
 	ratio := func(cur, st float64) float64 {
 		if st <= 0 {
 			if cur <= 0 {

@@ -61,8 +61,13 @@ type OverloadResult struct {
 	// inside the final 100 s window (want 0: no shedding at nominal
 	// load).
 	FinalWindowRejections int64
-	Events                []obs.Event
-	Actions               []core.Action
+	// Intervals is the controller-closed per-interval SLA series for the
+	// whole run (latency percentiles and throughput per interval), for
+	// distribution-level analysis such as internal/benchsuite's macro
+	// percentiles.
+	Intervals []sla.Interval
+	Events    []obs.Event
+	Actions   []core.Action
 }
 
 // Overload scenario geometry. The numbers are coupled: with ~3 s think
@@ -229,6 +234,7 @@ func Overload(seed uint64) (*OverloadResult, error) {
 	res.ProtectedLatency = lat.mean(overloadProtectedClass, (overloadAt+overloadEnd)/2, overloadEnd)
 	res.FinalLatency, _ = windowStats(sched, finalStart, overloadEndAt)
 	res.ClientErrors = len(em.Errors())
+	res.Intervals = append([]sla.Interval(nil), sched.Tracker().History()...)
 	res.ShedInteractions = em.Shed()
 	res.FinalWindowRejections = adm.TotalRejected() - rejectedBeforeFinal
 	for _, id := range adm.ShedClasses() {

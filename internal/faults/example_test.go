@@ -1,0 +1,57 @@
+package faults_test
+
+import (
+	"fmt"
+
+	"outlierlb/internal/bufferpool"
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/engine"
+	"outlierlb/internal/faults"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/storage"
+)
+
+// Example sets up an injector against a one-replica cluster and
+// schedules a crash window: the replica goes down at t=5 and recovers at
+// t=15, with both transitions reported to the observer as fault events.
+func Example() {
+	eng := sim.NewEngine(1)
+	in := faults.New(eng)
+
+	// Route fault telemetry to an observer; obs.Nop embeds no-op
+	// implementations so only Event needs overriding.
+	in.SetObserver(printObs{})
+
+	srv := server.MustNew(server.Config{
+		Name: "db1", Cores: 4, MemoryPages: 10000,
+		Disk: storage.Params{Seek: 0.001, PerPage: 0.0001},
+	})
+	dbe, err := engine.New(engine.Config{Name: "eng-db1", Pool: bufferpool.Config{Capacity: 5000}}, srv)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	replica := cluster.NewReplica(dbe, srv)
+
+	// A crash window: down at t=5, back at t=15. GrayFailure, Flap,
+	// CorrelatedCrash and MetricBlackout are scheduled the same way.
+	in.Crash(replica, 5, 15)
+
+	eng.RunUntil(10)
+	fmt.Printf("t=10 down=%v\n", replica.Down())
+	eng.RunUntil(20)
+	fmt.Printf("t=20 down=%v\n", replica.Down())
+	// Output:
+	// t=5 fault-injected on db1
+	// t=10 down=true
+	// t=15 fault-cleared on db1
+	// t=20 down=false
+}
+
+type printObs struct{ obs.Nop }
+
+func (printObs) Event(e obs.Event) {
+	fmt.Printf("t=%g %s on %s\n", e.Time, e.Kind, e.Server)
+}

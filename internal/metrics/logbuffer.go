@@ -18,12 +18,17 @@ const (
 	RecLockWait                    // a lock acquisition; Value = wait seconds
 )
 
-// Record is one logged event.
+// Record is one logged event. Producers that accumulate into the same
+// collector for many records of one class can stamp Slot (obtained once
+// per class from Collector.SlotFor or ShardedCollector.SlotFor) to skip
+// the per-record class-map lookup on the accumulation path; a zero Slot
+// always falls back to the map.
 type Record struct {
 	Kind  RecordKind
+	Miss  bool
+	Slot  Slot
 	Class ClassID
 	Value float64
-	Miss  bool
 }
 
 // LogBuffer is a fixed-capacity private logging buffer. Appends never

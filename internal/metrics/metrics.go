@@ -126,41 +126,9 @@ func (a *classAccum) reset() {
 	}
 }
 
-// Collector accumulates per-query-class samples and produces per-interval
-// metric vectors. It is safe for concurrent use: record methods take an
-// internal mutex (Apply amortizes it over a whole batch), and snapshots
-// swap double-buffered accumulator maps under the lock — an O(classes)
-// pointer exchange — then compute all rates outside it, so a reader
-// closing an interval never stalls writers behind per-class histogram
-// work.
-type Collector struct {
-	mu    sync.Mutex
-	accum map[ClassID]*classAccum
-	// spare is the detached buffer of the previous snapshot, kept with
-	// zeroed counters (and every known class's entry) so the next swap
-	// reuses it instead of reallocating — the "double" of the double
-	// buffer.
-	spare map[ClassID]*classAccum
-}
-
-// NewCollector returns an empty collector.
-func NewCollector() *Collector {
-	return &Collector{accum: make(map[ClassID]*classAccum)}
-}
-
-// get returns the accumulator for id; callers must hold c.mu.
-func (c *Collector) get(id ClassID) *classAccum {
-	a := c.accum[id]
-	if a == nil {
-		a = &classAccum{}
-		c.accum[id] = a
-	}
-	return a
-}
-
-// apply folds one record into the accumulators; callers must hold c.mu.
-func (c *Collector) apply(r Record) {
-	a := c.get(r.Class)
+// fold accumulates one record. The caller has already resolved which
+// class accumulator the record belongs to.
+func (a *classAccum) fold(r Record) {
 	switch r.Kind {
 	case RecQuery:
 		a.queries++
@@ -181,6 +149,102 @@ func (c *Collector) apply(r Record) {
 	case RecLockWait:
 		a.lockWaitSum += r.Value
 	}
+}
+
+// Slot is a dense per-collector class index handed out by SlotFor. A
+// slotted Record skips the per-record map lookup on the accumulation hot
+// path in favour of a slice index. The zero Slot means "unassigned" and
+// always falls back to the class map, so producers that never learn
+// their slot keep working unchanged.
+//
+// A Slot is only meaningful to the Collector that issued it: records
+// carrying a slot must be applied to exactly that collector (for a
+// ShardedCollector, the class's ShardIndex shard). Applying a foreign
+// slot silently credits another class.
+type Slot int32
+
+// Collector accumulates per-query-class samples and produces per-interval
+// metric vectors. It is safe for concurrent use: record methods take an
+// internal mutex (Apply amortizes it over a whole batch), and snapshots
+// swap double-buffered accumulator maps under the lock — an O(classes)
+// pointer exchange — then compute all rates outside it, so a reader
+// closing an interval never stalls writers behind per-class histogram
+// work.
+type Collector struct {
+	mu    sync.Mutex
+	accum map[ClassID]*classAccum
+	// spare is the detached buffer of the previous snapshot, kept with
+	// zeroed counters (and every known class's entry) so the next swap
+	// reuses it instead of reallocating — the "double" of the double
+	// buffer.
+	spare map[ClassID]*classAccum
+	// slots maps each class to its dense SlotFor index; assignments are
+	// permanent for the collector's lifetime.
+	slots map[ClassID]Slot
+	// bySlot caches slot→accumulator for the *current* front buffer. It
+	// is invalidated (cleared, not reallocated) on every buffer swap and
+	// refilled lazily by accumFor, bounding the cost of the cache to one
+	// map lookup per class per interval.
+	bySlot []*classAccum
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{accum: make(map[ClassID]*classAccum)}
+}
+
+// get returns the accumulator for id; callers must hold c.mu.
+func (c *Collector) get(id ClassID) *classAccum {
+	a := c.accum[id]
+	if a == nil {
+		a = &classAccum{}
+		c.accum[id] = a
+	}
+	return a
+}
+
+// SlotFor returns the dense accumulation slot for id, assigning one on
+// first use. Producers resolve the slot once per class and stamp it on
+// their Records so the accumulation hot path indexes a slice instead of
+// hashing the ClassID per record. Slots are never reused or invalidated.
+func (c *Collector) SlotFor(id ClassID) Slot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.slots[id]; ok {
+		return s
+	}
+	if c.slots == nil {
+		c.slots = make(map[ClassID]Slot)
+	}
+	s := Slot(len(c.slots) + 1)
+	c.slots[id] = s
+	return s
+}
+
+// accumFor resolves the accumulator for r, preferring the record's
+// pre-resolved slot over the class-map lookup; callers must hold c.mu.
+// The bySlot cache is cleared on every buffer swap, so a slotted class
+// pays the map exactly once per interval and a slice index thereafter.
+func (c *Collector) accumFor(r Record) *classAccum {
+	if s := int(r.Slot); s > 0 {
+		if s <= len(c.bySlot) {
+			if a := c.bySlot[s-1]; a != nil {
+				return a
+			}
+		}
+		a := c.get(r.Class)
+		for len(c.bySlot) < s {
+			c.bySlot = append(c.bySlot, nil)
+		}
+		c.bySlot[s-1] = a
+		return a
+	}
+	return c.get(r.Class)
+}
+
+// apply folds one record into the accumulators; callers must hold c.mu.
+func (c *Collector) apply(r Record) {
+	c.accumFor(r).fold(r)
 }
 
 // Apply folds a batch of records into the collector under one lock
@@ -332,6 +396,9 @@ func (c *Collector) takeAccums() map[ClassID]*classAccum {
 	}
 	c.accum = back
 	c.spare = nil
+	// The slot cache points into the detached buffer; invalidate it so
+	// slotted records re-resolve against the incoming one.
+	clear(c.bySlot)
 	return front
 }
 

@@ -86,6 +86,14 @@ func (s *ShardedCollector) ShardIndex(id ClassID) int {
 	return int(h.Sum64() % uint64(len(s.shards)))
 }
 
+// SlotFor returns the dense accumulation slot for id in its home shard
+// (shard ShardIndex(id)). The slot is only valid for records applied to
+// that shard; internal/engine routes every class's batches by ShardIndex,
+// so slotted records always land on the shard that issued the slot.
+func (s *ShardedCollector) SlotFor(id ClassID) Slot {
+	return s.shards[s.ShardIndex(id)].SlotFor(id)
+}
+
 // Snapshot merges every shard's counters accumulated over an interval of
 // the given length (seconds) into one metric vector per query class,
 // resetting the shards for the next interval. Semantics match

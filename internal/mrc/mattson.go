@@ -40,6 +40,10 @@ type StackSimulator struct {
 	cold     int64          // Hit[∞]
 	total    int64          // all accesses
 	maxDist  int
+	// scratch is compact's reusable sort buffer; with a stable working
+	// set, periodic compaction reaches a steady state that allocates
+	// nothing.
+	scratch []pagetime
 }
 
 // NewStackSimulator returns an empty simulator.
@@ -66,19 +70,27 @@ func (s *StackSimulator) sum(i int) int {
 }
 
 // compact rebuilds the tree when the timestamp space fills up, renumbering
-// live slots densely while preserving order.
+// live slots densely while preserving order. Both the sort scratch and
+// the tree are reused across compactions, so a simulator with a stable
+// working set compacts without allocating.
 func (s *StackSimulator) compact() {
-	pts := make([]pagetime, 0, len(s.lastSeen))
+	pts := s.scratch[:0]
 	for p, t := range s.lastSeen {
 		pts = append(pts, pagetime{p, t})
 	}
 	// Timestamps are unique, so sorting by timestamp recovers LRU order.
 	sortByTime(pts)
+	s.scratch = pts
 	need := 2 * (len(pts) + 1)
 	if need < 1024 {
 		need = 1024
 	}
-	s.tree = make([]int, need)
+	if cap(s.tree) >= need {
+		s.tree = s.tree[:need]
+		clear(s.tree)
+	} else {
+		s.tree = make([]int, need)
+	}
 	for i := range pts {
 		s.lastSeen[pts[i].page] = i + 1
 		s.add(i+1, 1)

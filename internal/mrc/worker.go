@@ -37,9 +37,13 @@ type workerJob struct {
 //     so shedding load under pressure only widens confidence intervals —
 //     it never stalls query execution. internal/obs surfaces the drop
 //     counter so operators can see when the queue is undersized.
-//   - Feed takes ownership of the pages slice; callers must hand over a
-//     slice they will not reuse (internal/engine allocates a fresh batch
-//     per hand-off for exactly this reason).
+//   - Feed transfers ownership of the pages slice on success: once Feed
+//     returns true the caller must not touch the slice again, because
+//     the worker recycles its backing array into the GetBatch pool
+//     after processing. A dropped batch (Feed returns false) stays
+//     untouched and still belongs to the caller, so retrying is safe.
+//     internal/engine builds its batches with GetBatch, making the
+//     steady-state hand-off allocation-free.
 //   - Close is idempotent and waits for the queue to drain, so every
 //     batch accepted by Feed is reflected in a final Curve/Stats.
 type Worker struct {
@@ -62,6 +66,35 @@ type WorkerStats struct {
 	Fed       int64 // batches accepted by Feed
 	Dropped   int64 // batches discarded because the queue was full
 	Processed int64 // batches folded into simulators so far
+}
+
+// batchPool recycles page-access batches across the Feed hand-off so a
+// steady-state producer→worker pipeline reuses a small set of backing
+// arrays instead of allocating one per batch. Entries are *[]uint64 to
+// keep the slice header itself off the heap on Put.
+var batchPool sync.Pool
+
+// GetBatch returns an empty page-access slice with at least the given
+// capacity, recycled from earlier batches when possible. Fill it, hand
+// it to Feed, and never touch it again once Feed accepts it; if Feed
+// drops the batch the caller still owns it and may retry or refill it.
+func GetBatch(capacity int) []uint64 {
+	if v := batchPool.Get(); v != nil {
+		b := *(v.(*[]uint64))
+		if cap(b) >= capacity {
+			return b[:0]
+		}
+	}
+	return make([]uint64, 0, capacity)
+}
+
+// recycleBatch returns a batch's backing array to the pool.
+func recycleBatch(b []uint64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	batchPool.Put(&b)
 }
 
 // NewWorker starts a background MRC worker whose feed channel holds up
@@ -94,6 +127,7 @@ func (w *Worker) run() {
 		for _, p := range j.pages {
 			s.Access(p)
 		}
+		recycleBatch(j.pages)
 		w.processed.Add(1)
 	}
 }

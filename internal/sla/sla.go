@@ -46,6 +46,7 @@ func (s SLA) String() string {
 type Interval struct {
 	Start, End float64 // virtual time bounds
 	AvgLatency float64
+	P50Latency float64 // estimated median latency (0 with no samples)
 	P95Latency float64 // estimated 95th percentile (0 with no samples)
 	P99Latency float64 // estimated 99th percentile (0 with no samples)
 	Throughput float64 // completed interactions per second
@@ -84,9 +85,10 @@ func (t *Tracker) CloseInterval(start, end float64) Interval {
 	iv := Interval{Start: start, End: end, Queries: t.queries}
 	if t.queries > 0 {
 		iv.AvgLatency = t.latencySum / float64(t.queries)
-		qs := t.hist.Percentiles(0.95, 0.99)
-		iv.P95Latency = qs[0]
-		iv.P99Latency = qs[1]
+		qs := t.hist.Percentiles(0.50, 0.95, 0.99)
+		iv.P50Latency = qs[0]
+		iv.P95Latency = qs[1]
+		iv.P99Latency = qs[2]
 	}
 	if d := end - start; d > 0 {
 		iv.Throughput = float64(t.queries) / d
