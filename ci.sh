@@ -46,6 +46,12 @@ BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$BENCH_TMP"' EXIT
 go run ./cmd/benchrunner -suite.short -out "$BENCH_TMP/BENCH_ci.json" -baseline BENCH_0.json -tol 0.30
 
+# Tracetool smoke: record a fully-traced §5.2 run to a flight-recorder
+# file, then make tracetool decode it strictly and render the per-phase
+# breakdown (tracetool exits non-zero on any malformed span tree).
+go run ./cmd/outlierlb -scenario cpu -trace.sample 1.0 -run.out "$BENCH_TMP/RUN_ci.json" >/dev/null
+go run ./cmd/tracetool -run "$BENCH_TMP/RUN_ci.json" -phases >/dev/null
+
 # Static-analysis gate: staticcheck at a pinned version so CI and
 # developer machines agree on the rule set. The tool is not vendored and
 # CI never installs anything, so the gate is skipped with a notice when

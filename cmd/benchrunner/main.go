@@ -40,16 +40,37 @@ func main() {
 	force := flag.Bool("force", false, "suite mode: allow -out to overwrite an existing file")
 	baseline := flag.String("baseline", "", "suite mode: compare against this BENCH_*.json and fail on regressions")
 	tol := flag.Float64("tol", 0.30, "suite mode: fractional regression tolerance for -baseline")
+	traceSample := flag.Float64("trace.sample", 0,
+		"head-sample this fraction of queries into span traces (0 disables, 1.0 traces everything)")
+	runOut := flag.String("run.out", "",
+		"flush a RUN_*.json flight recording (metric time series + sampled traces) to FILE on completion")
+	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
 	flag.Parse()
 
 	if *suite || *suiteShort {
+		// The suite never starts an obs session, so these flags would be
+		// silently ignored; refuse them instead of surprising the user.
+		if *traceSample != 0 || *runOut != "" || *pprof || *obsAddr != "" {
+			fmt.Fprintln(os.Stderr,
+				"benchrunner: -trace.sample, -run.out, -obs.pprof and -obs.addr apply only to experiment runs, not -suite/-suite.short")
+			os.Exit(2)
+		}
 		runSuite(*suiteShort, *out, *baseline, *tol, *force, *seed)
 		return
 	}
 
 	experiments.SetStatWorkers(*statWorkers)
 
-	session, err := obscli.Start(*obsAddr, *verbose, "")
+	session, err := obscli.Start(obscli.Options{
+		Addr:        *obsAddr,
+		Verbose:     *verbose,
+		TraceSample: *traceSample,
+		RunOut:      *runOut,
+		PProf:       *pprof,
+		Tool:        "benchrunner",
+		Scenario:    *exp,
+		Seed:        *seed,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

@@ -41,6 +41,13 @@ func main() {
 	verbose := flag.Bool("v", false, "print each controller decision to stderr as it happens")
 	sigStore := flag.String("sig.store", "",
 		"persist stable-state signatures to FILE: warm-start on launch, save on completion")
+	traceSample := flag.Float64("trace.sample", 0,
+		"head-sample this fraction of queries into span traces (0 disables, 1.0 traces everything)")
+	traceRing := flag.Int("trace.ring", 0,
+		"finished traces retained for /debug/trace (0 = default 512)")
+	runOut := flag.String("run.out", "",
+		"flush a RUN_*.json flight recording (metric time series + sampled traces) to FILE on completion")
+	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
 	flag.Parse()
 
 	if *record != "" {
@@ -52,7 +59,18 @@ func main() {
 		return
 	}
 
-	session, err := obscli.Start(*obsAddr, *verbose, *sigStore)
+	session, err := obscli.Start(obscli.Options{
+		Addr:        *obsAddr,
+		Verbose:     *verbose,
+		SigPath:     *sigStore,
+		TraceSample: *traceSample,
+		TraceRing:   *traceRing,
+		RunOut:      *runOut,
+		PProf:       *pprof,
+		Tool:        "outlierlb",
+		Scenario:    *scenario,
+		Seed:        *seed,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "outlierlb:", err)
 		os.Exit(1)

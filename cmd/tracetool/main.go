@@ -1,0 +1,253 @@
+// Tracetool inspects RUN_*.json flight recordings written by outlierlb
+// and benchrunner (-run.out): it lists the sampled query traces, renders
+// a span-tree timeline for one trace, breaks per-query latency into
+// queue vs service vs retry time, and summarizes critical paths.
+//
+//	tracetool -run RUN_0.json                   # run summary + trace list
+//	tracetool -run RUN_0.json -trace 123456     # ASCII timeline of one trace
+//	tracetool -run RUN_0.json -phases           # queue/service/retry per trace
+//	tracetool -run RUN_0.json -critical         # critical-path chains
+//
+// Every mode validates span-tree well-formedness (obs.Validate) and
+// reports malformed traces instead of rendering them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"outlierlb/internal/obs"
+)
+
+func main() {
+	runPath := flag.String("run", "", "RUN_*.json flight recording to inspect (required)")
+	traceID := flag.String("trace", "", "render the span-tree timeline of this trace ID")
+	phases := flag.Bool("phases", false, "break each trace's latency into queue/service/retry time")
+	critical := flag.Bool("critical", false, "print each trace's critical path")
+	n := flag.Int("n", 20, "traces to list/summarize (0 = all)")
+	flag.Parse()
+
+	if *runPath == "" {
+		fmt.Fprintln(os.Stderr, "tracetool: need -run RUN_*.json (write one with outlierlb -run.out)")
+		os.Exit(2)
+	}
+	rec, err := obs.LoadRun(*runPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+
+	bad := 0
+	for _, root := range rec.Traces {
+		if err := obs.Validate(root); err != nil {
+			fmt.Fprintln(os.Stderr, "tracetool: malformed trace:", err)
+			bad++
+		}
+	}
+
+	switch {
+	case *traceID != "":
+		id, err := strconv.ParseUint(*traceID, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracetool: -trace %q: not a decimal trace ID\n", *traceID)
+			os.Exit(2)
+		}
+		root := findTrace(rec, obs.TraceID(id))
+		if root == nil {
+			fmt.Fprintf(os.Stderr, "tracetool: trace %d not in %s (not sampled, unfinished, or evicted)\n", id, *runPath)
+			os.Exit(1)
+		}
+		printTimeline(root)
+	case *phases:
+		printPhases(rec, *n)
+	case *critical:
+		printCritical(rec, *n)
+	default:
+		printSummary(rec, *runPath, *n)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "tracetool: %d malformed trace(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func findTrace(rec *obs.RunRecording, id obs.TraceID) *obs.Span {
+	for _, root := range rec.Traces {
+		if root.Trace == id {
+			return root
+		}
+	}
+	return nil
+}
+
+// limit applies -n to the trace list, keeping the most recent traces
+// (the ring is oldest-first).
+func limit(traces []*obs.Span, n int) []*obs.Span {
+	if n > 0 && len(traces) > n {
+		return traces[len(traces)-n:]
+	}
+	return traces
+}
+
+func printSummary(rec *obs.RunRecording, path string, n int) {
+	fmt.Printf("%s: tool=%s scenario=%s seed=%d sample_rate=%g\n",
+		path, rec.Tool, rec.Scenario, rec.Seed, rec.SampleRate)
+	fmt.Printf("%d ticks, %d metric series\n", len(rec.Ticks), len(rec.Series))
+	st := rec.TraceStats
+	fmt.Printf("queries: %d started, %d sampled, %d finished, %d evicted from ring\n",
+		st.Started, st.Sampled, st.Finished, st.Evicted)
+	traces := limit(rec.Traces, n)
+	if len(traces) == 0 {
+		fmt.Println("no traces retained (run with -trace.sample > 0)")
+		return
+	}
+	fmt.Println()
+	fmt.Printf("%-20s %-10s %-16s %10s %10s %6s %s\n",
+		"TRACE", "APP", "CLASS", "START", "DURATION", "SPANS", "ERR")
+	for _, root := range traces {
+		fmt.Printf("%-20d %-10s %-16s %10.3f %9.4fs %6d %s\n",
+			root.Trace, root.App, root.Class, root.Start, root.End-root.Start,
+			countSpans(root), root.Err)
+	}
+	if len(traces) < len(rec.Traces) {
+		fmt.Printf("(%d older traces omitted; -n 0 shows all)\n", len(rec.Traces)-len(traces))
+	}
+}
+
+func countSpans(s *obs.Span) int {
+	n := 1
+	for _, c := range s.Children {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// printTimeline renders one trace as an indented gantt: each span on a
+// line with a bar showing its interval relative to the root window.
+func printTimeline(root *obs.Span) {
+	const width = 48
+	total := root.End - root.Start
+	fmt.Printf("trace %d: %s/%s  [%g, %g]  %.4fs\n", root.Trace, root.App, root.Class, root.Start, root.End, total)
+	p := obs.Breakdown(root)
+	fmt.Printf("phases: queue %.4fs, service %.4fs, retry %.4fs\n\n", p.Queue, p.Service, p.Retry)
+	var walk func(s *obs.Span, depth int)
+	walk = func(s *obs.Span, depth int) {
+		label := string(s.Kind)
+		if s.Name != "" {
+			label += " " + s.Name
+		}
+		if s.Server != "" && !strings.Contains(label, s.Server) {
+			label += " @" + s.Server
+		}
+		if s.Err != "" {
+			label += " !" + s.Err
+		}
+		fmt.Printf("%-44s %9.4fs |%s|\n", strings.Repeat("  ", depth)+label, s.End-s.Start, bar(s, root, width))
+		for _, e := range s.Events {
+			fmt.Printf("%s* %s %s\n", strings.Repeat("  ", depth+1), e.Kind, e.Detail)
+		}
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+}
+
+// bar draws a span's interval on a width-column ruler spanning the root
+// window, clipping spans (async write applies) that outlast the root.
+func bar(s, root *obs.Span, width int) string {
+	total := root.End - root.Start
+	if total <= 0 {
+		return strings.Repeat(" ", width)
+	}
+	a := int(float64(width) * (s.Start - root.Start) / total)
+	b := int(float64(width)*(s.End-root.Start)/total + 0.5)
+	if a < 0 {
+		a = 0
+	}
+	if b > width {
+		b = width
+	}
+	if b <= a {
+		b = a + 1 // zero-length spans still get one cell
+		if b > width {
+			a, b = width-1, width
+		}
+	}
+	return strings.Repeat(" ", a) + strings.Repeat("#", b-a) + strings.Repeat(" ", width-b)
+}
+
+func printPhases(rec *obs.RunRecording, n int) {
+	traces := limit(rec.Traces, n)
+	if len(traces) == 0 {
+		fmt.Println("no traces retained (run with -trace.sample > 0)")
+		return
+	}
+	fmt.Printf("%-20s %-16s %10s %10s %10s %10s\n", "TRACE", "CLASS", "TOTAL", "QUEUE", "SERVICE", "RETRY")
+	type agg struct {
+		n                             int
+		total, queue, service, retry_ float64
+	}
+	byClass := map[string]*agg{}
+	for _, root := range traces {
+		p := obs.Breakdown(root)
+		total := root.End - root.Start
+		fmt.Printf("%-20d %-16s %9.4fs %9.4fs %9.4fs %9.4fs\n",
+			root.Trace, root.Class, total, p.Queue, p.Service, p.Retry)
+		key := root.App + "/" + root.Class
+		a := byClass[key]
+		if a == nil {
+			a = &agg{}
+			byClass[key] = a
+		}
+		a.n++
+		a.total += total
+		a.queue += p.Queue
+		a.service += p.Service
+		a.retry_ += p.Retry
+	}
+	keys := make([]string, 0, len(byClass))
+	for k := range byClass {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println()
+	fmt.Printf("%-28s %6s %10s %10s %10s %10s\n", "CLASS MEAN", "N", "TOTAL", "QUEUE", "SERVICE", "RETRY")
+	for _, k := range keys {
+		a := byClass[k]
+		d := float64(a.n)
+		fmt.Printf("%-28s %6d %9.4fs %9.4fs %9.4fs %9.4fs\n",
+			k, a.n, a.total/d, a.queue/d, a.service/d, a.retry_/d)
+	}
+}
+
+func printCritical(rec *obs.RunRecording, n int) {
+	traces := limit(rec.Traces, n)
+	if len(traces) == 0 {
+		fmt.Println("no traces retained (run with -trace.sample > 0)")
+		return
+	}
+	for _, root := range traces {
+		path := obs.CriticalPath(root)
+		fmt.Printf("trace %d (%s/%s, %.4fs):\n", root.Trace, root.App, root.Class, root.End-root.Start)
+		for i, s := range path {
+			label := string(s.Kind)
+			if s.Name != "" {
+				label += " " + s.Name
+			}
+			if i > 0 {
+				// Waiting time between this span's end and its parent's:
+				// the tail the parent spends after its last child.
+				if tail := path[i-1].End - s.End; tail > 1e-12 {
+					fmt.Printf("    %-40s (+%.4fs tail in parent)\n", fmt.Sprintf("%s %.4fs", label, s.End-s.Start), tail)
+					continue
+				}
+			}
+			fmt.Printf("    %s %.4fs\n", label, s.End-s.Start)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/obs"
@@ -135,6 +136,12 @@ type Controller struct {
 
 	brownout brownout
 	counts   map[metrics.ClassID]*Counts
+
+	// tracer, when non-nil, annotates the current query's span with the
+	// gate verdict and slot decisions. Wired once before traffic starts;
+	// atomic (not mu) so TryEnqueue's hot path reads it without a third
+	// lock acquisition, and nil-safe so the default path pays one branch.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // NewController returns a controller with cfg's defaults filled in.
@@ -150,6 +157,12 @@ func NewController(cfg Config) *Controller {
 
 // Config returns the controller's (filled) configuration.
 func (a *Controller) Config() Config { return a.cfg }
+
+// SetTracer attaches the span tracer whose current query span receives
+// gate-verdict and slot events. Nil (the default) disables them.
+func (a *Controller) SetTracer(t *obs.Tracer) {
+	a.tracer.Store(t)
+}
 
 func (a *Controller) count(id metrics.ClassID) *Counts {
 	c := a.counts[id]
@@ -167,8 +180,10 @@ func (a *Controller) count(id metrics.ClassID) *Counts {
 func (a *Controller) Admit(now float64, id metrics.ClassID) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	sp := a.tracer.Load().Current()
 	if a.brownout.isShed(id) {
 		a.count(id).Shed++
+		sp.AddEvent(now, obs.EventAdmissionRejected, string(ReasonShed), nil)
 		return &RejectionError{ID: id, Reason: ReasonShed,
 			Detail: "class on brownout shed list"}
 	}
@@ -176,12 +191,20 @@ func (a *Controller) Admit(now float64, id metrics.ClassID) error {
 		a.refill(now)
 		if a.tokens < 1 {
 			a.count(id).Throttled++
+			sp.AddEvent(now, obs.EventAdmissionRejected, string(ReasonThrottled), nil)
 			return &RejectionError{ID: id, Reason: ReasonThrottled,
 				Detail: fmt.Sprintf("token bucket empty (rate %.3g/s)", a.cfg.Rate)}
 		}
 		a.tokens--
 	}
 	a.count(id).Admitted++
+	if sp != nil {
+		tokens := a.tokens
+		if a.cfg.Rate <= 0 {
+			tokens = -1
+		}
+		sp.AddEvent(now, obs.EventAdmitted, "", map[string]float64{"tokens": tokens})
+	}
 	return nil
 }
 
@@ -217,11 +240,20 @@ func (a *Controller) QueueFor(server string) *Queue {
 // — the early rejection that sheds doomed work at enqueue instead of
 // after it wasted a slot.
 func (a *Controller) TryEnqueue(server string, now, est float64) Reason {
+	sp := a.tracer.Load().Current()
 	if a.cfg.Deadline > 0 && est > a.cfg.Deadline {
+		if sp != nil {
+			sp.AddEvent(now, obs.EventSlotReject, string(ReasonDeadline),
+				map[string]float64{"est": est, "deadline": a.cfg.Deadline})
+		}
 		return ReasonDeadline
 	}
 	if !a.QueueFor(server).TryAcquire(now) {
+		sp.AddEvent(now, obs.EventSlotReject, string(ReasonQueueFull), nil)
 		return ReasonQueueFull
+	}
+	if sp != nil {
+		sp.AddEvent(now, obs.EventSlotAcquire, server, map[string]float64{"est": est})
 	}
 	return ""
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"outlierlb/internal/metrics"
+	"outlierlb/internal/obs"
 )
 
 func cid(class string) metrics.ClassID {
@@ -316,5 +317,89 @@ func BenchmarkAdmission(b *testing.B) {
 			b.Fatal(r)
 		}
 		q.Commit(now + 0.1)
+	}
+}
+
+// TestSpanVerdictEvents drives the gate with a tracer attached and
+// checks each admission decision lands on the current query span:
+// admitted/rejected verdicts from Admit, slot acquire and the deadline
+// early-rejection from TryEnqueue.
+func TestSpanVerdictEvents(t *testing.T) {
+	tr := obs.NewTracer(1, 1.0, 8)
+	a := NewController(Config{Rate: 1, Burst: 1, QueueCap: 1, Deadline: 2})
+	a.SetTracer(tr)
+
+	events := func(run func()) []obs.SpanEvent {
+		sp := tr.StartQuery(0, "shop", "browse")
+		run()
+		sp.Finish(1)
+		return sp.Events
+	}
+
+	// First query: admitted (burst token) and granted a slot.
+	evs := events(func() {
+		if err := a.Admit(0, cid("browse")); err != nil {
+			t.Fatal(err)
+		}
+		if r := a.TryEnqueue("db1", 0, 0.5); r != "" {
+			t.Fatalf("enqueue rejected: %s", r)
+		}
+	})
+	if len(evs) != 2 || evs[0].Kind != obs.EventAdmitted || evs[1].Kind != obs.EventSlotAcquire {
+		t.Fatalf("admitted query events = %+v", evs)
+	}
+	if evs[0].Fields["tokens"] != 0 {
+		t.Errorf("admitted event tokens = %g, want 0 (burst spent)", evs[0].Fields["tokens"])
+	}
+
+	// Second query at the same instant: the bucket is empty.
+	evs = events(func() {
+		err := a.Admit(0, cid("browse"))
+		if rej, ok := IsRejection(err); !ok || rej.Reason != ReasonThrottled {
+			t.Fatalf("err = %v, want throttled", err)
+		}
+	})
+	if len(evs) != 1 || evs[0].Kind != obs.EventAdmissionRejected || evs[0].Detail != string(ReasonThrottled) {
+		t.Fatalf("throttled query events = %+v", evs)
+	}
+
+	// Shed class: the brownout verdict.
+	if _, ok := a.ShedClass(cid("browse")); !ok {
+		t.Fatal("shed refused")
+	}
+	evs = events(func() {
+		err := a.Admit(10, cid("browse"))
+		if rej, ok := IsRejection(err); !ok || rej.Reason != ReasonShed {
+			t.Fatalf("err = %v, want shed", err)
+		}
+	})
+	if len(evs) != 1 || evs[0].Kind != obs.EventAdmissionRejected || evs[0].Detail != string(ReasonShed) {
+		t.Fatalf("shed query events = %+v", evs)
+	}
+
+	// Deadline early rejection at enqueue.
+	evs = events(func() {
+		if r := a.TryEnqueue("db1", 10, 5); r != ReasonDeadline {
+			t.Fatalf("reason = %q, want deadline", r)
+		}
+	})
+	if len(evs) != 1 || evs[0].Kind != obs.EventSlotReject || evs[0].Fields["deadline"] != 2 {
+		t.Fatalf("deadline rejection events = %+v", evs)
+	}
+
+	// Queue full: the single slot is still held by the first query.
+	evs = events(func() {
+		if r := a.TryEnqueue("db1", 10, 0.5); r != ReasonQueueFull {
+			t.Fatalf("reason = %q, want queue-full", r)
+		}
+	})
+	if len(evs) != 1 || evs[0].Kind != obs.EventSlotReject || evs[0].Detail != string(ReasonQueueFull) {
+		t.Fatalf("queue-full rejection events = %+v", evs)
+	}
+
+	// Untraced path: a nil current span must be a clean no-op.
+	tr.SetCurrent(nil)
+	if err := a.Admit(20, cid("other")); err != nil {
+		t.Fatalf("untraced admit: %v", err)
 	}
 }

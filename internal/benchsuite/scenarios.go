@@ -12,6 +12,7 @@ import (
 	"outlierlb/internal/experiments"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
+	"outlierlb/internal/obs"
 	"outlierlb/internal/sla"
 )
 
@@ -216,6 +217,42 @@ func Suite() []Scenario {
 					w.Barrier()
 				}
 				return run, w.Close
+			},
+		},
+		{
+			Name: "tracing-disabled",
+			Kind: "micro",
+			Doc:  "per-query tracing cost with sampling off: the §4 near-zero disabled path (two branches, no work)",
+			Micro: func() (func(int), func()) {
+				tr := obs.NewTracer(1, 0, 64)
+				now := 0.0
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						now++
+						if sp := tr.StartQuery(now, "bench", "browse"); sp != nil {
+							sp.Finish(now)
+						}
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "tracing-sampled",
+			Kind: "micro",
+			Doc:  "per-query tracing cost at sample rate 1.0: root + attempt + exec spans, ring publish",
+			Micro: func() (func(int), func()) {
+				tr := obs.NewTracer(1, 1.0, 64)
+				now := 0.0
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						now++
+						sp := tr.StartQuery(now, "bench", "browse")
+						asp := sp.Child(now, obs.SpanAttempt, "db1")
+						asp.Child(now, obs.SpanExec, "engine-0").Finish(now + 0.1)
+						asp.Finish(now + 0.1)
+						sp.Finish(now + 0.1)
+					}
+				}, nil
 			},
 		},
 		{

@@ -130,6 +130,12 @@ type Scheduler struct {
 	// bucket) and every read holds a slot in the target replica's
 	// bounded in-flight queue for the duration of its execution.
 	admission *admission.Controller
+
+	// tracer, when non-nil, samples queries into span trees: Submit
+	// opens the root span, each replica try becomes an attempt span,
+	// retry backoffs become retry-wait spans, and the engine nests
+	// service phases under the active attempt. Nil-safe throughout.
+	tracer *obs.Tracer
 }
 
 // Balancer selects how reads spread over a class's placement.
@@ -186,10 +192,30 @@ func (s *Scheduler) SetAsyncReplication(lag float64) {
 // SetAdmission attaches (or, with nil, detaches) the application's
 // overload-protection controller. With none attached the scheduler
 // admits everything, exactly as before the layer existed.
-func (s *Scheduler) SetAdmission(a *admission.Controller) { s.admission = a }
+func (s *Scheduler) SetAdmission(a *admission.Controller) {
+	s.admission = a
+	// Attachment order is free (the tools set the tracer at registration,
+	// the scenarios attach admission later), so propagate in both
+	// directions: here and in SetTracer.
+	if a != nil && s.tracer != nil {
+		a.SetTracer(s.tracer)
+	}
+}
 
 // Admission returns the attached overload-protection controller, or nil.
 func (s *Scheduler) Admission() *admission.Controller { return s.admission }
+
+// SetTracer attaches the per-query span tracer and propagates it to the
+// attached admission controller. Nil (the default) disables tracing.
+func (s *Scheduler) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+	if s.admission != nil {
+		s.admission.SetTracer(t)
+	}
+}
+
+// Tracer returns the attached span tracer, or nil.
+func (s *Scheduler) Tracer() *obs.Tracer { return s.tracer }
 
 // App returns the scheduled application.
 func (s *Scheduler) App() *Application { return s.app }
@@ -377,6 +403,19 @@ func (s *Scheduler) Submit(now float64, id metrics.ClassID) (done float64, err e
 	if len(s.replicas) == 0 {
 		return now, fmt.Errorf("cluster: application %q has no replicas", s.app.Name)
 	}
+	// Head-sampling decision for this query. The guarded defer keeps the
+	// unsampled path at one nil-returning call plus a branch — no defer,
+	// no allocation — which is what the tracing_disabled benchsuite
+	// micro holds to a few nanoseconds.
+	if sp := s.tracer.StartQuery(now, s.app.Name, id.Class); sp != nil {
+		defer func() {
+			s.tracer.SetCurrent(nil)
+			if err != nil {
+				sp.Fail(err.Error())
+			}
+			sp.Finish(done)
+		}()
+	}
 	// Entry gate: shed classes and token exhaustion reject here, before
 	// any replica is touched. A rejected query never reaches the SLA
 	// tracker — shed load must not count against the latency agreement
@@ -431,6 +470,10 @@ func (s *Scheduler) submitRead(now float64, id metrics.ClassID, reps []*Replica)
 	if s.hcfg.Enabled() {
 		return s.submitReadHealth(now, id, reps)
 	}
+	root := s.tracer.Current()
+	if root != nil {
+		defer s.tracer.SetCurrent(root)
+	}
 	var excluded map[*Replica]bool
 	var lastErr error
 	var rejections int
@@ -453,6 +496,15 @@ func (s *Scheduler) submitRead(now float64, id metrics.ClassID, reps []*Replica)
 			}
 			return now, fmt.Errorf("cluster: no consistent replica for read of %v", id)
 		}
+		var asp *obs.Span
+		if root != nil {
+			asp = root.Child(now, obs.SpanAttempt, r.srv.Name())
+			asp.Server = r.srv.Name()
+			if start > now {
+				asp.Annotate("freshness_wait", start-now)
+			}
+			s.tracer.SetCurrent(asp)
+		}
 		var q *admission.Queue
 		if s.admission != nil {
 			// Completion estimate from arrival: freshness wait, the
@@ -467,6 +519,10 @@ func (s *Scheduler) submitRead(now float64, id metrics.ClassID, reps []*Replica)
 				if rejReason == "" || reason == admission.ReasonDeadline {
 					rejReason = reason
 				}
+				if asp != nil {
+					asp.Fail(string(reason))
+					asp.Finish(start)
+				}
 				exclude(r)
 				continue
 			}
@@ -476,11 +532,18 @@ func (s *Scheduler) submitRead(now float64, id metrics.ClassID, reps []*Replica)
 		if execErr == nil {
 			if q != nil {
 				q.Commit(done)
+				asp.AddEvent(done, obs.EventSlotCommit, r.srv.Name(), nil)
 			}
+			asp.Finish(done)
 			return done, nil
 		}
 		if q != nil {
 			q.Cancel()
+			asp.AddEvent(start, obs.EventSlotCancel, r.srv.Name(), nil)
+		}
+		if asp != nil {
+			asp.Fail(execErr.Error())
+			asp.Finish(start)
 		}
 		// One replica's refusal is not the cluster's: fall through.
 		lastErr = execErr
@@ -503,6 +566,10 @@ func (s *Scheduler) submitRead(now float64, id metrics.ClassID, reps []*Replica)
 // it waits the query out instead of surfacing a latency blip as an
 // error.
 func (s *Scheduler) submitReadHealth(now float64, id metrics.ClassID, reps []*Replica) (float64, error) {
+	root := s.tracer.Current()
+	if root != nil {
+		defer s.tracer.SetCurrent(root)
+	}
 	excluded := make(map[*Replica]bool, len(reps))
 	arrive := now
 	var lastErr error
@@ -511,23 +578,43 @@ func (s *Scheduler) submitReadHealth(now float64, id metrics.ClassID, reps []*Re
 		if r == nil {
 			break
 		}
+		var asp *obs.Span
+		if root != nil {
+			asp = root.Child(arrive, obs.SpanAttempt, r.srv.Name())
+			asp.Server = r.srv.Name()
+			asp.Annotate("attempt", float64(attempt))
+			s.tracer.SetCurrent(asp)
+		}
 		deadline := arrive + s.hcfg.QueryDeadline
 		failAt := deadline
 		if r.down {
 			// Unanswered: the client waits out the full deadline.
 			s.recordTimeout(deadline, r, "read unanswered: replica unresponsive")
+			if asp != nil {
+				asp.Fail("replica unresponsive")
+				asp.Finish(deadline)
+			}
 		} else {
 			d, execErr := r.eng.Execute(start, id)
 			switch {
 			case execErr == nil && d <= deadline:
 				s.recordSuccess(d, r)
+				asp.Finish(d)
 				return d, nil
 			case execErr == nil:
 				s.recordTimeout(deadline, r, "read exceeded deadline")
+				if asp != nil {
+					asp.Fail("exceeded deadline")
+					asp.Finish(deadline)
+				}
 			default:
 				lastErr = execErr
 				failAt = start
 				s.recordTimeout(start, r, "read refused: "+execErr.Error())
+				if asp != nil {
+					asp.Fail(execErr.Error())
+					asp.Finish(start)
+				}
 			}
 		}
 		excluded[r] = true
@@ -538,7 +625,12 @@ func (s *Scheduler) submitReadHealth(now float64, id metrics.ClassID, reps []*Re
 				Server: r.srv.Name(), Class: id.Class,
 				Cause:  fmt.Sprintf("attempt %d failed; retrying elsewhere after %.2gs backoff", attempt, backoff),
 				Fields: map[string]float64{"attempt": float64(attempt), "backoff": backoff},
+				Trace:  root.TraceID(),
 			})
+		}
+		if root != nil && backoff > 0 {
+			root.Child(failAt, obs.SpanRetryWait,
+				fmt.Sprintf("backoff after attempt %d", attempt)).Finish(failAt + backoff)
 		}
 		arrive = failAt + backoff
 	}
@@ -554,9 +646,19 @@ func (s *Scheduler) submitReadHealth(now float64, id metrics.ClassID, reps []*Re
 		if r == nil {
 			break
 		}
+		var asp *obs.Span
+		if root != nil {
+			asp = root.Child(arrive, obs.SpanAttempt, r.srv.Name()+" (patient)")
+			asp.Server = r.srv.Name()
+			s.tracer.SetCurrent(asp)
+		}
 		deadline := arrive + s.hcfg.QueryDeadline
 		if r.down {
 			s.recordTimeout(deadline, r, "read unanswered: replica unresponsive")
+			if asp != nil {
+				asp.Fail("replica unresponsive")
+				asp.Finish(deadline)
+			}
 			patientExcluded[r] = true
 			arrive = deadline
 			continue
@@ -565,6 +667,10 @@ func (s *Scheduler) submitReadHealth(now float64, id metrics.ClassID, reps []*Re
 		if execErr != nil {
 			lastErr = execErr
 			s.recordTimeout(start, r, "read refused: "+execErr.Error())
+			if asp != nil {
+				asp.Fail(execErr.Error())
+				asp.Finish(start)
+			}
 			patientExcluded[r] = true
 			arrive = start
 			continue
@@ -572,8 +678,11 @@ func (s *Scheduler) submitReadHealth(now float64, id metrics.ClassID, reps []*Re
 		if d <= deadline {
 			s.recordSuccess(d, r)
 		} else {
+			// Late but delivered: the attempt succeeded for the client
+			// even though the detector counts it as a timeout.
 			s.recordTimeout(deadline, r, "read exceeded deadline")
 		}
+		asp.Finish(d)
 		return d, nil
 	}
 	if lastErr != nil {
@@ -642,12 +751,27 @@ func (s *Scheduler) submitWriteSync(now float64, id metrics.ClassID) (done float
 	if s.hcfg.Enabled() {
 		return s.submitWriteSyncHealth(now, id, reps)
 	}
+	root := s.tracer.Current()
+	if root != nil {
+		defer s.tracer.SetCurrent(root)
+	}
 	done = now
 	for _, r := range reps {
+		var asp *obs.Span
+		if root != nil {
+			asp = root.Child(now, obs.SpanAttempt, r.srv.Name())
+			asp.Server = r.srv.Name()
+			s.tracer.SetCurrent(asp)
+		}
 		d, execErr := r.eng.Execute(now, id)
 		if execErr != nil {
+			if asp != nil {
+				asp.Fail(execErr.Error())
+				asp.Finish(now)
+			}
 			return now, execErr
 		}
+		asp.Finish(d)
 		if d > done {
 			done = d
 		}
@@ -681,25 +805,46 @@ func (s *Scheduler) submitWriteSyncHealth(now float64, id metrics.ClassID, reps 
 		// stays current, so fail-open reads stay consistent.
 		targets = reps
 	}
+	root := s.tracer.Current()
+	if root != nil {
+		defer s.tracer.SetCurrent(root)
+	}
 	applied := make([]*Replica, 0, len(targets))
 	for _, r := range targets {
+		var asp *obs.Span
+		if root != nil {
+			asp = root.Child(now, obs.SpanAttempt, r.srv.Name())
+			asp.Server = r.srv.Name()
+			s.tracer.SetCurrent(asp)
+		}
 		if r.down {
 			// Unacknowledged: ROWA waits for this replica until the
 			// deadline, then gives up on it.
 			done = deadline
 			s.recordTimeout(deadline, r, "write unacknowledged: replica unresponsive")
+			if asp != nil {
+				asp.Fail("replica unresponsive")
+				asp.Finish(deadline)
+			}
 			continue
 		}
 		d, execErr := r.eng.Execute(now, id)
 		if execErr != nil {
+			if asp != nil {
+				asp.Fail(execErr.Error())
+				asp.Finish(now)
+			}
 			return now, execErr
 		}
 		applied = append(applied, r)
 		if d > deadline {
 			s.recordTimeout(deadline, r, "write exceeded deadline")
+			asp.Fail("exceeded deadline")
+			asp.Finish(deadline)
 			d = deadline
 		} else {
 			s.recordSuccess(d, r)
+			asp.Finish(d)
 		}
 		if d > done {
 			done = d
@@ -724,21 +869,50 @@ func (s *Scheduler) submitWriteAsync(now float64, id metrics.ClassID) (done floa
 	if len(reps) == 0 {
 		return now, fmt.Errorf("cluster: application %q has no live replicas", s.app.Name)
 	}
+	root := s.tracer.Current()
+	if root != nil {
+		defer s.tracer.SetCurrent(root)
+	}
 	primary := reps[int(s.writeSeq)%len(reps)]
+	var asp *obs.Span
+	if root != nil {
+		asp = root.Child(now, obs.SpanAttempt, primary.srv.Name())
+		asp.Server = primary.srv.Name()
+		s.tracer.SetCurrent(asp)
+	}
 	done, err = primary.eng.Execute(now, id)
 	if err != nil {
+		if asp != nil {
+			asp.Fail(err.Error())
+			asp.Finish(now)
+		}
 		return now, err
 	}
+	asp.Finish(done)
 	appliedAt := map[*Replica]float64{primary: done}
 	for _, r := range reps {
 		if r == primary {
 			continue
 		}
 		applyAt := now + s.asyncLag
+		// Lagged apply: these attempt spans may extend past the root's
+		// end — the client completed at the primary; consumers clip to
+		// the root window.
+		var lsp *obs.Span
+		if root != nil {
+			lsp = root.Child(applyAt, obs.SpanAttempt, r.srv.Name()+" (async apply)")
+			lsp.Server = r.srv.Name()
+			s.tracer.SetCurrent(lsp)
+		}
 		d, execErr := r.eng.Execute(applyAt, id)
 		if execErr != nil {
+			if lsp != nil {
+				lsp.Fail(execErr.Error())
+				lsp.Finish(applyAt)
+			}
 			return now, execErr
 		}
+		lsp.Finish(d)
 		appliedAt[r] = d
 	}
 	for r, d := range appliedAt {

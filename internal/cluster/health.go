@@ -208,14 +208,22 @@ func (s *Scheduler) healthFor(r *Replica) *replicaHealth {
 	return h
 }
 
-// emitHealth sends one health-transition event.
+// emitHealth sends one health-transition event, mirrored onto the
+// current query's span (breaker and detector transitions are caused by
+// specific queries — the span shows which one) and stamped with its
+// trace ID so /debug/decisions entries correlate with span trees.
 func (s *Scheduler) emitHealth(now float64, kind obs.EventKind, r *Replica, cause string, fields map[string]float64) {
+	sp := s.tracer.Current()
+	if sp != nil {
+		sp.AddEvent(now, kind, cause, fields)
+	}
 	if !s.observing {
 		return
 	}
 	s.observer.Event(obs.Event{
 		Time: now, Kind: kind, App: s.app.Name,
 		Server: r.srv.Name(), Cause: cause, Fields: fields,
+		Trace: sp.TraceID(),
 	})
 }
 

@@ -32,7 +32,11 @@ type Manager struct {
 	Observer obs.Observer
 	// Clock supplies the virtual time stamped onto lifecycle events; the
 	// manager itself has no simulation reference. Nil means time 0.
-	Clock      func() float64
+	Clock func() float64
+	// Tracer, when non-nil, is handed to every scheduler registered and
+	// engine provisioned afterwards so their query/exec spans land in one
+	// shared trace ring. Set it before Register/Provision calls.
+	Tracer     *obs.Tracer
 	nextEngine int
 }
 
@@ -72,6 +76,9 @@ func (m *Manager) Register(s *Scheduler) error {
 		return fmt.Errorf("cluster: application %q already registered", name)
 	}
 	m.schedulers[name] = s
+	if m.Tracer != nil {
+		s.SetTracer(m.Tracer)
+	}
 	return nil
 }
 
@@ -133,6 +140,9 @@ func (m *Manager) Provision(app string, srv *server.Server) (*Replica, error) {
 	eng, err := engine.New(cfg, srv)
 	if err != nil {
 		return nil, err
+	}
+	if m.Tracer != nil {
+		eng.SetTracer(m.Tracer)
 	}
 	rep := NewReplica(eng, srv)
 	if err := sched.AddReplica(rep); err != nil {

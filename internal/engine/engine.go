@@ -36,6 +36,7 @@ import (
 	"outlierlb/internal/lockmgr"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
+	"outlierlb/internal/obs"
 	"outlierlb/internal/trace"
 )
 
@@ -156,6 +157,11 @@ type Engine struct {
 	// early rejection. Single-owner: updated only by Execute on the
 	// query thread.
 	latEst map[metrics.ClassID]float64
+
+	// tracer, when non-nil, lets Execute attach service-phase spans
+	// (exec/cpu/disk/lock-wait, pool hit/miss counts) under the query's
+	// current span. Nil keeps the path untouched.
+	tracer *obs.Tracer
 }
 
 // New returns an engine running on host.
@@ -236,6 +242,10 @@ func (e *Engine) Pool() *bufferpool.Pool { return e.pool }
 // Host returns the machine the engine runs on.
 func (e *Engine) Host() Host { return e.host }
 
+// SetTracer attaches the span tracer Execute nests service-phase spans
+// under. Nil (the default) disables engine-side tracing.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
 // Register adds or replaces a query class definition.
 func (e *Engine) Register(spec ClassSpec) error {
 	if err := spec.validate(); err != nil {
@@ -301,6 +311,14 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		win = e.windows[id]
 	}
 
+	// Service-phase span, nested under the scheduler's current span
+	// (the active attempt). sp stays nil on every untraced query, so the
+	// guarded blocks below cost one branch each.
+	var sp *obs.Span
+	if cur := e.tracer.Current(); cur != nil {
+		sp = cur.Child(now, obs.SpanExec, e.cfg.Name)
+	}
+
 	// Lock acquisition precedes execution: writers take the table's
 	// exclusive lock, readers wait out any current holder. Lock waits
 	// delay the whole query and are logged per class.
@@ -321,6 +339,7 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 
 	e.curNow, e.curIODone, e.curClass, e.curSlot = start, start, id, spec.slot
 	prefetched := 0
+	hits := 0
 	for i := 0; i < spec.PagesPerQuery; i++ {
 		pg := spec.Pattern.Next()
 		var res bufferpool.AccessResult
@@ -331,6 +350,9 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 		}
 		if win != nil {
 			win.Add(pg)
+		}
+		if res.Hit {
+			hits++
 		}
 		e.emit(metrics.Record{Kind: metrics.RecAccess, Class: id, Slot: spec.slot, Value: float64(pg), Miss: !res.Hit})
 		prefetched += res.Prefetched
@@ -348,6 +370,21 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 	if lockRelease > done {
 		// The transaction is not finished until its lock hold elapses.
 		done = lockRelease
+	}
+	if sp != nil {
+		if start > now {
+			sp.Child(now, obs.SpanLockWait, spec.LockTable).Finish(start)
+		}
+		sp.Child(start, obs.SpanCPU, "").Finish(cpuDone)
+		if e.curIODone > start {
+			sp.Child(start, obs.SpanDisk, "").Finish(e.curIODone)
+		}
+		sp.Annotate("pool_hits", float64(hits))
+		sp.Annotate("pool_misses", float64(spec.PagesPerQuery-hits))
+		if prefetched > 0 {
+			sp.Annotate("prefetched_pages", float64(prefetched))
+		}
+		sp.Finish(done)
 	}
 	e.emit(metrics.Record{Kind: metrics.RecQuery, Class: id, Slot: spec.slot, Value: done - now})
 	e.updateLatencyEstimate(id, done-now)

@@ -75,6 +75,18 @@ func SetObsHooks(o obs.Observer, onTestbed func(ctl *core.Controller, mgr *clust
 	obsHooks.onTestbed = onTestbed
 }
 
+// tracer is the query tracer handed to every testbed built after
+// SetTracer. Process-global for the same reason as the observability
+// hooks: scenario functions take only a seed.
+var tracer *obs.Tracer
+
+// SetTracer installs a span tracer on every subsequently built testbed:
+// schedulers start query root spans through it and engines attach
+// exec/cpu/disk child spans. Sampling draws on the tracer's own seeded
+// hash, not the simulation RNG, so goldens are unaffected. Pass nil to
+// clear.
+func SetTracer(t *obs.Tracer) { tracer = t }
+
 // statWorkers is the engine statistics parallelism applied to testbeds
 // built after SetStatWorkers. Like the observability hooks it is
 // process-global because the scenario functions take only a seed.
@@ -93,6 +105,7 @@ func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	mgr := cluster.NewManager()
 	mgr.PoolConfig = poolConfig(poolPages)
 	mgr.StatWorkers = statWorkers
+	mgr.Tracer = tracer
 	for i := 0; i < servers; i++ {
 		mgr.AddServer(newServer(fmt.Sprintf("db%d", i+1), poolPages*2))
 	}

@@ -126,6 +126,34 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// CumulativeLE folds the histogram's internal log buckets onto an
+// externally chosen ladder of upper bounds (ascending), returning the
+// cumulative count of samples at or below each bound — the shape a
+// Prometheus `le`-bucketed histogram exposes. Each internal bucket's
+// samples are attributed to the first ladder bound ≥ the bucket's upper
+// edge (the conservative direction, consistent with Quantile); samples
+// above the last bound are only in the implicit +Inf bucket, i.e.
+// Count().
+func (h *Histogram) CumulativeLE(bounds []float64) []int64 {
+	out := make([]int64, len(bounds))
+	for b, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		upper := bucketUpper(b)
+		if b == histBucket-1 && h.max > upper {
+			// The top bucket is open-ended; place its samples by the
+			// exact maximum instead of the nominal edge.
+			upper = h.max
+		}
+		i := sort.SearchFloat64s(bounds, upper)
+		for ; i < len(bounds); i++ {
+			out[i] += n
+		}
+	}
+	return out
+}
+
 // Merge adds other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for b, n := range other.counts {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 )
 
 // DiagnoseFunc produces a live diagnosis for the named server — the
@@ -30,6 +32,32 @@ type MuxConfig struct {
 	Registry *Registry
 	// Diagnose backs /debug/diagnosis.
 	Diagnose DiagnoseFunc
+	// Tracer backs /debug/trace/{id} and the trace list.
+	Tracer *Tracer
+	// Flight backs /debug/runs with a live recording snapshot.
+	Flight *FlightRecorder
+	// PProf mounts net/http/pprof under /debug/pprof/ (opt-in: profiles
+	// expose process internals, so tools gate this behind a flag).
+	PProf bool
+}
+
+// traceSummary is one row of the /debug/trace listing.
+type traceSummary struct {
+	Trace    TraceID `json:"trace"`
+	App      string  `json:"app,omitempty"`
+	Class    string  `json:"class,omitempty"`
+	Start    float64 `json:"start"`
+	Duration float64 `json:"duration"`
+	Spans    int     `json:"spans"`
+	Err      string  `json:"err,omitempty"`
+}
+
+func countSpans(s *Span) int {
+	n := 1
+	for _, c := range s.Children {
+		n += countSpans(c)
+	}
+	return n
 }
 
 // decisionsResponse is the /debug/decisions payload.
@@ -48,6 +76,10 @@ type decisionsResponse struct {
 //	/debug/decisions      recent decision-trace events as JSON
 //	                      (?n=limit, ?kind=, ?app= filters)
 //	/debug/diagnosis      live DiagnosisReport (?server=name)
+//	/debug/trace          recent finished traces, summarized (?n=limit)
+//	/debug/trace/{id}     one finished trace's full span tree
+//	/debug/runs           live flight-recorder snapshot (RUN_*.json shape)
+//	/debug/pprof/         net/http/pprof, only when cfg.PProf is set
 func NewMux(cfg MuxConfig) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -95,6 +127,61 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 			}
 			writeJSON(w, decisionsResponse{Total: cfg.Log.Total(), Events: events})
 		})
+	}
+	if cfg.Tracer != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+			n := 0
+			if s := req.URL.Query().Get("n"); s != "" {
+				v, err := strconv.Atoi(s)
+				if err != nil || v < 0 {
+					http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+					return
+				}
+				n = v
+			}
+			traces := cfg.Tracer.Recent(n)
+			summaries := make([]traceSummary, 0, len(traces))
+			for _, t := range traces {
+				summaries = append(summaries, traceSummary{
+					Trace: t.Trace, App: t.App, Class: t.Class,
+					Start: t.Start, Duration: t.End - t.Start,
+					Spans: countSpans(t), Err: t.Err,
+				})
+			}
+			writeJSON(w, struct {
+				Stats  TraceStats     `json:"stats"`
+				Traces []traceSummary `json:"traces"`
+			}{cfg.Tracer.Stats(), summaries})
+		})
+		mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, req *http.Request) {
+			raw := strings.TrimPrefix(req.URL.Path, "/debug/trace/")
+			id, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				http.Error(w, "trace id must be the decimal TraceID", http.StatusBadRequest)
+				return
+			}
+			root := cfg.Tracer.Get(TraceID(id))
+			if root == nil {
+				http.Error(w, "trace not found (not sampled, unfinished, or evicted)", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, struct {
+				Root   *Span  `json:"root"`
+				Phases Phases `json:"phases"`
+			}{root, Breakdown(root)})
+		})
+	}
+	if cfg.Flight != nil {
+		mux.HandleFunc("/debug/runs", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, cfg.Flight.Snapshot())
+		})
+	}
+	if cfg.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	if cfg.Diagnose != nil {
 		mux.HandleFunc("/debug/diagnosis", func(w http.ResponseWriter, req *http.Request) {

@@ -133,6 +133,11 @@ type Event struct {
 	// Fields carries numeric evidence: metric impact values for outlier
 	// events, MRC parameters for diagnosis events.
 	Fields map[string]float64 `json:"fields,omitempty"`
+	// Trace correlates the event with a sampled query's span tree: the
+	// TraceID of the query that triggered it (retries, breaker trips,
+	// failure-detector transitions). Zero when the triggering query was
+	// not sampled or the event is not query-scoped.
+	Trace TraceID `json:"trace,omitempty"`
 }
 
 // String renders the event as one operator-readable line.

@@ -88,9 +88,12 @@ func TestRegistryTextExposition(t *testing.T) {
 		`test_events_total{kind="sla-violation"} 1`,
 		"# TYPE test_gauge gauge",
 		"test_gauge 0.5",
-		"# TYPE test_latency_seconds summary",
-		`test_latency_seconds{app="tpcw",quantile="0.5"}`,
-		`test_latency_seconds{app="tpcw",quantile="0.99"}`,
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{app="tpcw",le="0.001"} 0`,
+		`test_latency_seconds_bucket{app="tpcw",le="0.5"} 1`,
+		`test_latency_seconds_bucket{app="tpcw",le="1"} 2`,
+		`test_latency_seconds_bucket{app="tpcw",le="60"} 2`,
+		`test_latency_seconds_bucket{app="tpcw",le="+Inf"} 2`,
 		`test_latency_seconds_sum{app="tpcw"} 1`,
 		`test_latency_seconds_count{app="tpcw"} 2`,
 	} {

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestEndpointsUnderConcurrentEmission hammers every debug endpoint
+// while 8 goroutines emit decision-trace events and one goroutine (the
+// simulation loop's stand-in: span building is single-threaded by
+// design) drives the tracer and flight recorder. Run under -race this
+// is the proof that the HTTP read side only touches concurrent-safe
+// surfaces.
+func TestEndpointsUnderConcurrentEmission(t *testing.T) {
+	rec := NewRecorder(256)
+	tr := NewTracer(1, 1.0, 32)
+	fl := NewFlightRecorder(rec.Registry(), tr, RunMeta{Tool: "race-test", Seed: 1, SampleRate: 1})
+	obsv := Tee(rec, fl)
+	srv := httptest.NewServer(NewMux(MuxConfig{
+		Log:      rec.Events(),
+		Registry: rec.Registry(),
+		Tracer:   tr,
+		Flight:   fl,
+		PProf:    true,
+	}))
+	defer srv.Close()
+
+	const emitters = 8
+	const perEmitter = 400
+	var wg sync.WaitGroup
+
+	// Start the endpoint hammerers FIRST and wait for each to complete
+	// one successful request before any writer goroutine launches — that
+	// is what guarantees the HTTP read side genuinely interleaves with
+	// StartQuery and event emission instead of racing past it.
+	done := make(chan struct{})
+	paths := []string{"/metrics", "/debug/decisions", "/debug/trace", "/debug/trace/12345", "/debug/runs"}
+	var ready, readers sync.WaitGroup
+	for _, p := range paths {
+		ready.Add(1)
+		readers.Add(1)
+		go func(p string) {
+			defer readers.Done()
+			first := true
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + p)
+				if err != nil {
+					if first {
+						ready.Done()
+					}
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if first {
+					first = false
+					ready.Done()
+				}
+			}
+		}(p)
+	}
+	ready.Wait()
+
+	// 8 goroutines flooding the decision trace and metrics registry.
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app := fmt.Sprintf("app%d", g)
+			for i := 0; i < perEmitter; i++ {
+				obsv.Event(Event{Time: float64(i), Kind: EventViolation, App: app})
+				obsv.ClassLatency(ClassLatencyObs{Server: "db1", App: app, Class: "c", Count: 1, Mean: 0.1, P95: 0.2})
+			}
+		}(g)
+	}
+
+	// One goroutine plays the simulation loop: spans are built
+	// single-threaded and only published trees are read concurrently.
+	var lastID TraceID
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perEmitter; i++ {
+			now := float64(i)
+			sp := tr.StartQuery(now, "tpcw", "Home")
+			asp := sp.Child(now, SpanAttempt, "db1")
+			asp.AddEvent(now, EventSlotAcquire, "db1", nil)
+			asp.Child(now, SpanExec, "engine-0").Finish(now + 0.1)
+			asp.Finish(now + 0.1)
+			sp.Finish(now + 0.2)
+			lastID = sp.Trace
+			if i%50 == 0 {
+				fl.IntervalClosed(IntervalObs{Time: now, App: "tpcw"})
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	if got := rec.Events().Total(); got != emitters*perEmitter {
+		t.Errorf("event total = %d, want %d", got, emitters*perEmitter)
+	}
+	st := tr.Stats()
+	if st.Finished != perEmitter {
+		t.Errorf("finished traces = %d, want %d", st.Finished, perEmitter)
+	}
+	// The last trace must be fully readable over HTTP once the dust
+	// settles.
+	resp, err := http.Get(fmt.Sprintf("%s/debug/trace/%d", srv.URL, lastID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final trace fetch = %d", resp.StatusCode)
+	}
+	var got struct {
+		Root   *Span  `json:"root"`
+		Phases Phases `json:"phases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(got.Root); err != nil {
+		t.Errorf("trace served over HTTP is malformed: %v", err)
+	}
+	if got.Phases.Service <= 0 {
+		t.Errorf("phases = %+v, want positive service time", got.Phases)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	tr := NewTracer(1, 1.0, 8)
+	fl := NewFlightRecorder(NewRegistry(), tr, RunMeta{Tool: "test"})
+	srv := httptest.NewServer(NewMux(MuxConfig{Tracer: tr, Flight: fl}))
+	defer srv.Close()
+
+	sp := tr.StartQuery(1, "tpcw", "Home")
+	sp.Child(1, SpanAttempt, "db1").Finish(2)
+	sp.Finish(2)
+
+	code, body, _ := get(t, srv.URL+"/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace list = %d", code)
+	}
+	var list struct {
+		Stats  TraceStats `json:"stats"`
+		Traces []struct {
+			Trace TraceID `json:"trace"`
+			Spans int     `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Stats.Sampled != 1 || len(list.Traces) != 1 || list.Traces[0].Spans != 2 {
+		t.Fatalf("trace list = %+v", list)
+	}
+
+	code, _, _ = get(t, fmt.Sprintf("%s/debug/trace/%d", srv.URL, list.Traces[0].Trace))
+	if code != http.StatusOK {
+		t.Errorf("trace by id = %d", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/debug/trace/999"); code != http.StatusNotFound {
+		t.Errorf("unknown trace = %d, want 404", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/debug/trace/bogus"); code != http.StatusBadRequest {
+		t.Errorf("malformed trace id = %d, want 400", code)
+	}
+
+	code, body, _ = get(t, srv.URL+"/debug/runs")
+	if code != http.StatusOK {
+		t.Fatalf("runs = %d", code)
+	}
+	var rec RunRecording
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.SchemaVersion != RunSchemaVersion || len(rec.Traces) != 1 {
+		t.Errorf("runs snapshot: version %d, %d traces", rec.SchemaVersion, len(rec.Traces))
+	}
+}
+
+func TestPProfGating(t *testing.T) {
+	off := httptest.NewServer(NewMux(MuxConfig{}))
+	defer off.Close()
+	if code, _, _ := get(t, off.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof without opt-in = %d, want 404", code)
+	}
+	on := httptest.NewServer(NewMux(MuxConfig{PProf: true}))
+	defer on.Close()
+	if code, _, _ := get(t, on.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof with opt-in = %d, want 200", code)
+	}
+}

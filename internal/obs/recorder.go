@@ -152,8 +152,8 @@ func (r *Recorder) ClassLatency(cl ClassLatencyObs) {
 	if cl.Count == 0 {
 		return
 	}
-	// Cumulative per-query distribution across the run (summary with
-	// quantiles, sum and count)…
+	// Cumulative per-query distribution across the run (le-bucketed
+	// histogram with sum and count)…
 	r.reg.ObserveHistogram(MetricClassLatency, L("app", cl.App, "class", cl.Class), cl.Hist)
 	// …and the last interval's quantiles from the class histogram.
 	r.reg.Set(MetricClassLatencyQ, L("app", cl.App, "class", cl.Class, "quantile", "0.5"), cl.P50)

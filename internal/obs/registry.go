@@ -64,22 +64,23 @@ func (ls Labels) render() string {
 type series struct {
 	labels string
 	value  float64
-	hist   *metrics.Histogram // non-nil for summaries
+	hist   *metrics.Histogram // non-nil for histograms
 }
 
 // family groups the series of one metric name.
 type family struct {
 	name   string
-	typ    string // "counter" | "gauge" | "summary"
+	typ    string // "counter" | "gauge" | "histogram"
 	help   string
 	series map[string]*series
 }
 
-// Registry holds counters, gauges and latency summaries and renders them
-// in the Prometheus text exposition format. Families are created lazily
-// with the type implied by the first operation (Add → counter, Set →
-// gauge, Observe → summary); mixing operations on one name panics, since
-// that is always an instrumentation bug. Safe for concurrent use.
+// Registry holds counters, gauges and latency histograms and renders
+// them in the Prometheus text exposition format. Families are created
+// lazily with the type implied by the first operation (Add → counter,
+// Set → gauge, Observe → histogram); mixing operations on one name
+// panics, since that is always an instrumentation bug. Safe for
+// concurrent use.
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
@@ -117,7 +118,7 @@ func (r *Registry) seriesFor(name, typ string, labels Labels) *series {
 	s := f.series[key]
 	if s == nil {
 		s = &series{labels: key}
-		if typ == "summary" {
+		if typ == "histogram" {
 			s.hist = metrics.NewHistogram()
 		}
 		f.series[key] = s
@@ -143,26 +144,27 @@ func (r *Registry) Set(name string, labels Labels, v float64) {
 	r.seriesFor(name, "gauge", labels).value = v
 }
 
-// Observe records one sample into the summary name{labels}.
+// Observe records one sample into the histogram name{labels}.
 func (r *Registry) Observe(name string, labels Labels, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.seriesFor(name, "summary", labels).hist.Observe(v)
+	r.seriesFor(name, "histogram", labels).hist.Observe(v)
 }
 
-// ObserveHistogram merges a whole histogram of samples into the summary
-// name{labels} — the batch form of Observe for per-interval histograms.
+// ObserveHistogram merges a whole histogram of samples into the
+// histogram name{labels} — the batch form of Observe for per-interval
+// histograms.
 func (r *Registry) ObserveHistogram(name string, labels Labels, h *metrics.Histogram) {
 	if h == nil || h.Count() == 0 {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.seriesFor(name, "summary", labels).hist.Merge(h)
+	r.seriesFor(name, "histogram", labels).hist.Merge(h)
 }
 
 // Value returns the current value of a counter or gauge (0 when the
-// series does not exist). Tests and reports use it; summaries return 0.
+// series does not exist). Tests and reports use it; histograms return 0.
 func (r *Registry) Value(name string, labels Labels) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -177,12 +179,20 @@ func (r *Registry) Value(name string, labels Labels) float64 {
 	return s.value
 }
 
-// summaryQuantiles are the quantile series each summary exposes.
-var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+// HistogramBuckets is the fixed `le` ladder every histogram family
+// exposes: latency-shaped bounds from 1 ms to 60 s (seconds), plus the
+// implicit +Inf bucket. A fixed ladder keeps series cardinality bounded
+// and lets PromQL's histogram_quantile aggregate across label sets.
+var HistogramBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
 
 // WriteText renders every family in the Prometheus text exposition
 // format (version 0.0.4), deterministically ordered by metric name and
-// label set.
+// label set. Histogram families render cumulative `le` buckets (the
+// HistogramBuckets ladder plus +Inf) with _sum and _count, so
+// histogram_quantile works downstream.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -217,10 +227,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 				}
 				continue
 			}
-			for _, q := range summaryQuantiles {
-				if err := writeQuantile(w, f.name, s.labels, q, s.hist.Quantile(q)); err != nil {
+			cum := s.hist.CumulativeLE(HistogramBuckets)
+			for i, le := range HistogramBuckets {
+				if err := writeBucket(w, f.name, s.labels, fmt.Sprintf("%g", le), cum[i]); err != nil {
 					return err
 				}
+			}
+			if err := writeBucket(w, f.name, s.labels, "+Inf", s.hist.Count()); err != nil {
+				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, s.labels, s.hist.Sum()); err != nil {
 				return err
@@ -233,15 +247,53 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-// writeQuantile emits one summary quantile line, splicing the quantile
-// label into the existing label set.
-func writeQuantile(w io.Writer, name, labels string, q, v float64) error {
-	ql := fmt.Sprintf(`quantile="%g"`, q)
+// writeBucket emits one cumulative histogram bucket line, splicing the
+// le label into the existing label set.
+func writeBucket(w io.Writer, name, labels, le string, n int64) error {
+	bl := fmt.Sprintf(`le="%s"`, le)
 	if labels == "" {
-		labels = "{" + ql + "}"
+		labels = "{" + bl + "}"
 	} else {
-		labels = labels[:len(labels)-1] + "," + ql + "}"
+		labels = labels[:len(labels)-1] + "," + bl + "}"
 	}
-	_, err := fmt.Fprintf(w, "%s%s %g\n", name, labels, v)
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, n)
 	return err
+}
+
+// SeriesSample is one (metric, label set) value in a registry snapshot.
+// Histogram families flatten to their _count and _sum series so a
+// snapshot is always plain numbers.
+type SeriesSample struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"` // rendered {a="b",...} form
+	Value  float64 `json:"value"`
+}
+
+// Snapshot returns every series' current value, sorted by metric name
+// then label set — the flight recorder samples this once per closed
+// interval.
+func (r *Registry) Snapshot() []SeriesSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SeriesSample
+	for _, f := range r.families {
+		if f.typ == "" {
+			continue
+		}
+		for _, s := range f.series {
+			if s.hist != nil {
+				out = append(out, SeriesSample{Name: f.name + "_count", Labels: s.labels, Value: float64(s.hist.Count())})
+				out = append(out, SeriesSample{Name: f.name + "_sum", Labels: s.labels, Value: s.hist.Sum()})
+				continue
+			}
+			out = append(out, SeriesSample{Name: f.name, Labels: s.labels, Value: s.value})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
 }

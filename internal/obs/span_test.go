@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// buildTrace assembles a representative query trace on tr: a failed
+// first attempt, a backoff wait, then a successful attempt whose exec
+// splits into cpu and disk.
+func buildTrace(tr *Tracer) *Span {
+	root := tr.StartQuery(0, "tpcw", "Home")
+	if root == nil {
+		return nil
+	}
+	a1 := root.Child(0.1, SpanAttempt, "db1")
+	e1 := a1.Child(0.1, SpanExec, "engine-0")
+	e1.Finish(0.3)
+	a1.Fail("replica unresponsive")
+	a1.Finish(0.3)
+	root.Child(0.3, SpanRetryWait, "backoff after attempt 1").Finish(0.4)
+	a2 := root.Child(0.4, SpanAttempt, "db2")
+	e2 := a2.Child(0.45, SpanExec, "engine-1")
+	e2.Child(0.45, SpanCPU, "").Finish(0.6)
+	e2.Child(0.6, SpanDisk, "").Finish(0.9)
+	e2.Finish(0.9)
+	a2.Finish(0.9)
+	root.Finish(1.0)
+	return root
+}
+
+func TestTracerSamplingDeterministic(t *testing.T) {
+	pick := func(seed uint64, rate float64, n int) []uint64 {
+		tr := NewTracer(seed, rate, 16)
+		var ids []uint64
+		for i := 0; i < n; i++ {
+			if sp := tr.StartQuery(0, "a", "c"); sp != nil {
+				ids = append(ids, uint64(sp.Trace))
+				sp.Finish(1)
+			}
+		}
+		return ids
+	}
+	a := pick(7, 0.25, 400)
+	b := pick(7, 0.25, 400)
+	if len(a) == 0 || len(a) == 400 {
+		t.Fatalf("rate 0.25 sampled %d/400 queries", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed sampled %d then %d queries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace ids diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// The fraction should be in the neighborhood of the rate.
+	frac := float64(len(a)) / 400
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("rate 0.25 sampled fraction %.2f", frac)
+	}
+	// Distinct seeds must make different picks (mix64 decorrelates them).
+	c := pick(8, 0.25, 400)
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 made identical sampling decisions")
+	}
+}
+
+func TestTracerDisabledAndNil(t *testing.T) {
+	var nilTracer *Tracer
+	if sp := nilTracer.StartQuery(0, "a", "c"); sp != nil {
+		t.Fatal("nil tracer sampled a query")
+	}
+	nilTracer.SetCurrent(nil)
+	if nilTracer.Current() != nil || nilTracer.Get(1) != nil || nilTracer.Recent(0) != nil {
+		t.Fatal("nil tracer accessors not inert")
+	}
+	if got := nilTracer.Stats(); got != (TraceStats{}) {
+		t.Fatalf("nil tracer stats = %+v", got)
+	}
+
+	tr := NewTracer(1, 0, 4)
+	for i := 0; i < 100; i++ {
+		if sp := tr.StartQuery(0, "a", "c"); sp != nil {
+			t.Fatal("rate-0 tracer sampled a query")
+		}
+	}
+	// A disabled tracer does no per-query work, not even counting.
+	st := tr.Stats()
+	if st.Started != 0 || st.Sampled != 0 {
+		t.Fatalf("stats = %+v, want 0 started, 0 sampled", st)
+	}
+
+	// Nil span methods must all be no-ops.
+	var sp *Span
+	if sp.Child(0, SpanExec, "x") != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	sp.Annotate("k", 1)
+	sp.AddEvent(0, EventAdmitted, "", nil)
+	sp.Fail("x")
+	sp.Finish(1)
+	if sp.TraceID() != 0 || sp.Root() != nil {
+		t.Fatal("nil span accessors not inert")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3, 1.0, 4)
+	var ids []TraceID
+	for i := 0; i < 7; i++ {
+		sp := tr.StartQuery(float64(i), "a", "c")
+		ids = append(ids, sp.Trace)
+		sp.Finish(float64(i) + 0.5)
+	}
+	st := tr.Stats()
+	if st.Finished != 7 || st.Evicted != 3 {
+		t.Fatalf("stats = %+v, want 7 finished, 3 evicted", st)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(recent))
+	}
+	for i, root := range recent {
+		if root.Trace != ids[3+i] {
+			t.Fatalf("ring[%d] = trace %d, want %d (oldest-first order)", i, root.Trace, ids[3+i])
+		}
+	}
+	if tr.Get(ids[0]) != nil {
+		t.Error("evicted trace still resolvable by ID")
+	}
+	if tr.Get(ids[6]) == nil {
+		t.Error("retained trace not resolvable by ID")
+	}
+	if tr.Recent(2)[1].Trace != ids[6] {
+		t.Error("Recent(n) did not keep the newest traces")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := NewTracer(1, 1.0, 4)
+	root := buildTrace(tr)
+	if err := Validate(root); err != nil {
+		t.Fatalf("well-formed trace rejected: %v", err)
+	}
+
+	// Corrupt a child's parent link: must be flagged as an orphan.
+	tr2 := NewTracer(1, 1.0, 4)
+	bad := buildTrace(tr2)
+	bad.Children[0].Parent = 99
+	if err := Validate(bad); err == nil {
+		t.Error("orphaned child not detected")
+	}
+
+	tr3 := NewTracer(1, 1.0, 4)
+	bad = buildTrace(tr3)
+	bad.Children[1].Trace++
+	if err := Validate(bad); err == nil {
+		t.Error("foreign trace id not detected")
+	}
+
+	tr4 := NewTracer(1, 1.0, 4)
+	bad = buildTrace(tr4)
+	bad.Children[0].ID = bad.ID
+	bad.Children[0].Children[0].Parent = bad.ID
+	if err := Validate(bad); err == nil {
+		t.Error("duplicate span id not detected")
+	}
+
+	if err := Validate(nil); err == nil {
+		t.Error("nil root not rejected")
+	}
+}
+
+func TestBreakdownExactPartition(t *testing.T) {
+	tr := NewTracer(1, 1.0, 4)
+	root := buildTrace(tr)
+	p := Breakdown(root)
+	total := root.End - root.Start
+	if sum := p.Queue + p.Service + p.Retry; math.Abs(sum-total) > 1e-12 {
+		t.Fatalf("phases sum %.6f != total %.6f", sum, total)
+	}
+	// Service: exec under the successful attempt only, [0.45, 0.9].
+	if math.Abs(p.Service-0.45) > 1e-9 {
+		t.Errorf("service = %.6f, want 0.45", p.Service)
+	}
+	// Retry: failed attempt [0.1,0.3] + backoff [0.3,0.4] = 0.3.
+	if math.Abs(p.Retry-0.3) > 1e-9 {
+		t.Errorf("retry = %.6f, want 0.30", p.Retry)
+	}
+	// Queue: the remainder — admission at [0,0.1] plus the successful
+	// attempt's pre-exec wait [0.4,0.45].
+	if math.Abs(p.Queue-0.25) > 1e-9 {
+		t.Errorf("queue = %.6f, want 0.25", p.Queue)
+	}
+	if Breakdown(nil) != (Phases{}) {
+		t.Error("nil root breakdown not zero")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	tr := NewTracer(1, 1.0, 4)
+	root := buildTrace(tr)
+	path := CriticalPath(root)
+	want := []SpanKind{SpanQuery, SpanAttempt, SpanExec, SpanDisk}
+	if len(path) != len(want) {
+		t.Fatalf("critical path length %d, want %d", len(path), len(want))
+	}
+	for i, k := range want {
+		if path[i].Kind != k {
+			t.Fatalf("path[%d].Kind = %s, want %s", i, path[i].Kind, k)
+		}
+	}
+	if path[1].Name != "db2" {
+		t.Errorf("critical attempt is %q, want the successful db2", path[1].Name)
+	}
+	if CriticalPath(nil) != nil {
+		t.Error("nil root critical path not nil")
+	}
+}
+
+func TestSpanFinishClampsAndPublishes(t *testing.T) {
+	tr := NewTracer(1, 1.0, 4)
+	root := tr.StartQuery(5, "a", "c")
+	if tr.Current() != root {
+		t.Fatal("StartQuery did not set the current span")
+	}
+	c := root.Child(5, SpanExec, "x")
+	c.Finish(4) // ends "before" it starts: clamped
+	if c.End != c.Start {
+		t.Fatalf("Finish did not clamp: end %g, start %g", c.End, c.Start)
+	}
+	root.Finish(6)
+	if tr.Current() != nil {
+		t.Fatal("finishing the root did not clear the current span")
+	}
+	if tr.Get(root.Trace) != root {
+		t.Fatal("finished root not published to the ring")
+	}
+}

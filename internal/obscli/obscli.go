@@ -29,10 +29,41 @@ import (
 // EventLogCapacity is how many decision-trace events the tools retain.
 const EventLogCapacity = 4096
 
+// Options configures a Session from the tools' flags. The zero value
+// disables everything.
+type Options struct {
+	// Addr is the -obs.addr listen address; "" disables the HTTP server.
+	Addr string
+	// Verbose mirrors decision-trace events to stderr (-v).
+	Verbose bool
+	// SigPath is the -sig.store signature file; "" disables persistence.
+	SigPath string
+	// TraceSample is the -trace.sample head-sampling rate in [0, 1];
+	// 0 disables span tracing.
+	TraceSample float64
+	// TraceRing is the -trace.ring capacity of retained finished traces;
+	// 0 means obs.DefaultTraceRing.
+	TraceRing int
+	// RunOut is the -run.out path the flight recording is flushed to as
+	// RUN_*.json when Finish is called; "" disables the flight recorder.
+	RunOut string
+	// PProf mounts net/http/pprof under /debug/pprof/ (-obs.pprof).
+	PProf bool
+	// Tool, Scenario and Seed label the flight recording's metadata.
+	Tool     string
+	Scenario string
+	Seed     uint64
+}
+
 // Session is one tool invocation's observability state.
 type Session struct {
-	// Recorder is nil when observability is disabled (no -obs.addr, no -v).
+	// Recorder is nil when observability is disabled (no -obs.addr, no -v,
+	// no -run.out).
 	Recorder *obs.Recorder
+	// Tracer is nil unless -trace.sample > 0 or -run.out is set.
+	Tracer *obs.Tracer
+	// Flight is nil unless -run.out is set.
+	Flight *obs.FlightRecorder
 
 	srv  *http.Server
 	addr string
@@ -40,35 +71,51 @@ type Session struct {
 	// sigPath is the -sig.store file: controllers warm-start from it and
 	// Finish saves the last controller's signatures back. "" disables.
 	sigPath string
+	// runOut is where Finish flushes the flight recording.
+	runOut string
 
 	mu      sync.Mutex
 	ctl     *core.Controller
 	running bool
 }
 
-// Start configures observability from the tools' flags: addr is the
-// -obs.addr listen address ("" disables the HTTP server), verbose the -v
-// switch mirroring decisions to stderr, and sigPath the -sig.store
-// signature file ("" disables persistence). With everything off it
-// returns a disabled session, leaving the simulation hot path on the
-// no-op observer.
-func Start(addr string, verbose bool, sigPath string) (*Session, error) {
-	s := &Session{sigPath: sigPath}
-	if addr == "" && !verbose && sigPath == "" {
+// Start configures observability from the tools' flags. With everything
+// off it returns a disabled session, leaving the simulation hot path on
+// the no-op observer and the nil tracer.
+func Start(o Options) (*Session, error) {
+	s := &Session{sigPath: o.SigPath, runOut: o.RunOut}
+	if o.Addr == "" && !o.Verbose && o.SigPath == "" && o.TraceSample <= 0 && o.RunOut == "" {
 		return s, nil
 	}
-	if addr != "" || verbose {
+	if o.Addr != "" || o.Verbose || o.RunOut != "" {
 		s.Recorder = obs.NewRecorder(EventLogCapacity)
 	}
-	if verbose {
+	if o.Verbose {
 		s.Recorder.SetVerbose(os.Stderr)
 	}
+	if o.TraceSample > 0 || o.RunOut != "" {
+		ring := o.TraceRing
+		if ring <= 0 {
+			ring = obs.DefaultTraceRing
+		}
+		s.Tracer = obs.NewTracer(o.Seed, o.TraceSample, ring)
+	}
+	if o.RunOut != "" {
+		s.Flight = obs.NewFlightRecorder(s.Recorder.Registry(), s.Tracer, obs.RunMeta{
+			Tool: o.Tool, Scenario: o.Scenario, Seed: o.Seed, SampleRate: o.TraceSample,
+		})
+	}
 	// A nil *Recorder must become a nil interface, not a typed nil the
-	// testbeds would try to call.
+	// testbeds would try to call. Tee drops nils and unwraps a single
+	// observer, so the flight recorder costs nothing when absent.
 	var observer obs.Observer
 	if s.Recorder != nil {
 		observer = s.Recorder
+		if s.Flight != nil {
+			observer = obs.Tee(s.Recorder, s.Flight)
+		}
 	}
+	experiments.SetTracer(s.Tracer)
 	experiments.SetObsHooks(observer, func(ctl *core.Controller, _ *cluster.Manager, _ *sim.Engine) {
 		s.mu.Lock()
 		s.ctl = ctl
@@ -76,17 +123,30 @@ func Start(addr string, verbose bool, sigPath string) (*Session, error) {
 		s.mu.Unlock()
 		s.warmStart(ctl)
 	})
-	if addr != "" {
-		srv, bound, err := obs.Serve(addr, obs.MuxConfig{
+	if o.Addr != "" {
+		srv, bound, err := obs.Serve(o.Addr, obs.MuxConfig{
 			Log:      s.Recorder.Events(),
 			Registry: s.Recorder.Registry(),
 			Diagnose: s.diagnose,
+			Tracer:   s.Tracer,
+			Flight:   s.Flight,
+			PProf:    o.PProf,
 		})
 		if err != nil {
 			return nil, err
 		}
 		s.srv, s.addr = srv, bound
-		fmt.Fprintf(os.Stderr, "observability: serving /metrics, /debug/decisions, /debug/diagnosis on http://%s\n", bound)
+		endpoints := "/metrics, /debug/decisions, /debug/diagnosis"
+		if s.Tracer != nil {
+			endpoints += ", /debug/trace"
+		}
+		if s.Flight != nil {
+			endpoints += ", /debug/runs"
+		}
+		if o.PProf {
+			endpoints += ", /debug/pprof/"
+		}
+		fmt.Fprintf(os.Stderr, "observability: serving %s on http://%s\n", endpoints, bound)
 	}
 	return s, nil
 }
@@ -127,15 +187,24 @@ func (s *Session) warmStart(ctl *core.Controller) {
 	}
 }
 
-// Finish marks the run complete, enabling live diagnosis, and persists
-// the last controller's signatures when -sig.store is set. Call it after
-// the scenario function returns (the simulation ran to completion inside
-// it).
+// Finish marks the run complete, enabling live diagnosis, flushes the
+// flight recording to -run.out, and persists the last controller's
+// signatures when -sig.store is set. Call it after the scenario function
+// returns (the simulation ran to completion inside it).
 func (s *Session) Finish() {
 	s.mu.Lock()
 	ctl := s.ctl
 	s.running = false
 	s.mu.Unlock()
+	if s.Flight != nil && s.runOut != "" {
+		rec := s.Flight.Snapshot()
+		if err := obs.WriteRunFile(s.runOut, rec, true); err != nil {
+			fmt.Fprintf(os.Stderr, "flight recorder: saving %s: %v\n", s.runOut, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "flight recorder: %d ticks, %d series, %d traces saved to %s\n",
+				len(rec.Ticks), len(rec.Series), len(rec.Traces), s.runOut)
+		}
+	}
 	if s.sigPath == "" || ctl == nil {
 		return
 	}
