@@ -22,7 +22,11 @@ go build ./...
 # statistics pipeline with 8+ producer goroutines racing a snapshotter.
 go test -race -short -count=1 ./internal/metrics/ ./internal/mrc/ ./internal/engine/
 
-go test -race ./...
+# The experiments package alone runs ~14 min under the race detector
+# (the chaos, overload, guard and adversarial suites are full
+# simulations × 3 seeds each), so the default 10 min per-package test
+# timeout is not enough.
+go test -race -timeout 20m ./...
 
 # Seed-pinned chaos smoke run: gray-failure + flapping under seed 1,
 # short mode. The full 3-seed chaos suite already ran above; this run
@@ -51,6 +55,16 @@ go run ./cmd/benchrunner -suite.short -out "$BENCH_TMP/BENCH_ci.json" -baseline 
 # breakdown (tracetool exits non-zero on any malformed span tree).
 go run ./cmd/outlierlb -scenario cpu -trace.sample 1.0 -run.out "$BENCH_TMP/RUN_ci.json" >/dev/null
 go run ./cmd/tracetool -run "$BENCH_TMP/RUN_ci.json" -phases >/dev/null
+
+# Resilience gate: one adversarial fault (clock skew) and one
+# pathological policy (reject-all admission) across the pinned 3 seeds.
+# -assert fails the run unless every scorecard shows the fault detected,
+# the pathological action rolled back by the watchdog, and steady state
+# recovered within the 300 s budget; the scorecards are then persisted
+# as a RESIL_*.json and round-tripped through tracetool's strict loader.
+go run ./cmd/benchrunner -resil -resil.scenarios clock-skew,guard-reject-all-admission \
+	-resil.seeds 1,2,3 -assert -out "$BENCH_TMP/RESIL_ci.json"
+go run ./cmd/tracetool -resil "$BENCH_TMP/RESIL_ci.json" >/dev/null
 
 # Static-analysis gate: staticcheck at a pinned version so CI and
 # developer machines agree on the rule set. The tool is not vendored and

@@ -13,6 +13,11 @@
 //
 //	benchrunner -suite -out BENCH_0.json          # full run, write baseline
 //	benchrunner -suite.short -baseline BENCH_0.json  # CI regression gate
+//
+// And the resilience scorecard suite (see internal/resil):
+//
+//	benchrunner -resil -out RESIL_0.json             # chaos+adversarial+guard sweep
+//	benchrunner -resil -resil.scenarios clock-skew -assert  # CI resilience gate
 package main
 
 import (
@@ -36,6 +41,15 @@ func main() {
 		"concurrent statistics executors per engine (0 = synchronous, deterministic)")
 	suite := flag.Bool("suite", false, "run the performance suite (full settings) instead of an experiment")
 	suiteShort := flag.Bool("suite.short", false, "run the performance suite with reduced CI settings")
+	resilMode := flag.Bool("resil", false,
+		"run the resilience scorecard suite (chaos + adversarial + guard scenarios) instead of an experiment")
+	resilScen := flag.String("resil.scenarios", "all",
+		"resil mode: comma-separated scenario names to run (all = every scenario)")
+	resilSeeds := flag.String("resil.seeds", "1,2,3", "resil mode: comma-separated seeds")
+	resilAssert := flag.Bool("assert", false,
+		"resil mode: fail unless every scorecard is detected, mitigated and recovered within -assert.budget")
+	resilBudget := flag.Float64("assert.budget", 300,
+		"resil mode: maximum acceptable time-to-recover in virtual seconds for -assert")
 	out := flag.String("out", "", "suite mode: write results to this BENCH_*.json path")
 	force := flag.Bool("force", false, "suite mode: allow -out to overwrite an existing file")
 	baseline := flag.String("baseline", "", "suite mode: compare against this BENCH_*.json and fail on regressions")
@@ -47,13 +61,21 @@ func main() {
 	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
 	flag.Parse()
 
-	if *suite || *suiteShort {
-		// The suite never starts an obs session, so these flags would be
+	if *suite || *suiteShort || *resilMode {
+		// These modes never start an obs session, so those flags would be
 		// silently ignored; refuse them instead of surprising the user.
 		if *traceSample != 0 || *runOut != "" || *pprof || *obsAddr != "" {
 			fmt.Fprintln(os.Stderr,
-				"benchrunner: -trace.sample, -run.out, -obs.pprof and -obs.addr apply only to experiment runs, not -suite/-suite.short")
+				"benchrunner: -trace.sample, -run.out, -obs.pprof and -obs.addr apply only to experiment runs, not -suite/-suite.short/-resil")
 			os.Exit(2)
+		}
+		if *resilMode {
+			if *suite || *suiteShort {
+				fmt.Fprintln(os.Stderr, "benchrunner: -resil and -suite are mutually exclusive")
+				os.Exit(2)
+			}
+			runResil(*resilScen, *resilSeeds, *out, *force, *resilAssert, *resilBudget)
+			return
 		}
 		runSuite(*suiteShort, *out, *baseline, *tol, *force, *seed)
 		return

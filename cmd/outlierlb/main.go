@@ -11,6 +11,10 @@
 //	outlierlb -scenario flapping       # chaos: one replica cycles down/up
 //	outlierlb -scenario blackout       # chaos: one server's metrics go dark
 //	outlierlb -scenario overload       # chaos: 2x load pulse, impact-ranked shedding
+//	outlierlb -scenario byzantine      # adversarial: one replica's monitoring lies
+//	outlierlb -scenario snapcorrupt    # adversarial: dropped + duplicated snapshots
+//	outlierlb -scenario clockskew      # adversarial: the controller's clock jumps
+//	outlierlb -scenario guard-...      # pathological policy under the action watchdog
 //	outlierlb -record tpcw.trace       # dump a TPC-W page-access trace for mrctool
 //
 // With -sig.store FILE the controller warm-starts from signatures saved
@@ -21,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"outlierlb/internal/experiments"
 	"outlierlb/internal/obscli"
@@ -30,9 +35,72 @@ import (
 	"outlierlb/internal/workload/tpcw"
 )
 
+// scenarioDef registers one runnable scenario: its flag value, the
+// one-line description printed by the usage listing, and the runner.
+type scenarioDef struct {
+	name string
+	desc string
+	run  func(seed uint64)
+}
+
+// scenarios is the full registry, in listing order. -scenario values
+// are validated against it up front, so a typo fails fast with the
+// valid names instead of silently running nothing.
+func scenarios() []scenarioDef {
+	defs := []scenarioDef{
+		{"cpu", "§5.2 sinusoid load, reactive provisioning", runCPU},
+		{"indexdrop", "§5.3 O_DATE index drop, quota enforcement", runIndexDrop},
+		{"consolidation", "§5.4 two apps in one DBMS, class reschedule", runConsolidation},
+		{"iocontention", "§5.5 two VMs, dom-0 I/O interference", runIOContention},
+		{"lockcontention", "§7 future work: lock-wait outliers", runLockContention},
+		{"failure", "§7 future work: replica crash + recovery", runFailure},
+		{"grayfailure", "chaos: one replica's disk degrades 8x for 200s", func(seed uint64) {
+			runChaos(seed, "one replica's disk degrades 8x for 200s (gray failure: it answers, slowly)",
+				experiments.ChaosGrayFailure)
+		}},
+		{"flapping", "chaos: one replica cycles down/up every ~15s", func(seed uint64) {
+			runChaos(seed, "one replica cycles down/up every ~15s for 120s",
+				experiments.ChaosFlapping)
+		}},
+		{"blackout", "chaos: one server's metrics go dark for 150s", func(seed uint64) {
+			runChaos(seed, "one server's monitoring goes dark for 150s while it keeps serving",
+				experiments.ChaosMetricBlackout)
+		}},
+		{"overload", "chaos: 2x load pulse, impact-ranked shedding", runOverload},
+		{"byzantine", "adversarial: one replica's monitoring lies (scaled CPU, inflated latency)", func(seed uint64) {
+			runChaos(seed, "one healthy replica's monitoring lies for 200s (scaled CPU, 8x latency snapshots)",
+				experiments.ChaosByzantineMetrics)
+		}},
+		{"snapcorrupt", "adversarial: one engine's snapshots dropped, then duplicated", func(seed uint64) {
+			runChaos(seed, "one engine's snapshots are dropped for 95s, then a stale snapshot is re-delivered for 95s",
+				experiments.ChaosSnapshotCorruption)
+		}},
+		{"clockskew", "adversarial: the controller's clock steps +60s and back", func(seed uint64) {
+			runChaos(seed, "the controller's clock steps +60s at t=200s and back at t=400s",
+				experiments.ChaosClockSkew)
+		}},
+	}
+	for _, tpl := range experiments.GuardTemplates() {
+		tpl := tpl
+		defs = append(defs, scenarioDef{
+			"guard-" + tpl,
+			"pathological " + tpl + " policy under the action watchdog",
+			func(seed uint64) { runGuard(seed, tpl) },
+		})
+	}
+	return defs
+}
+
+func scenarioNames() string {
+	var names []string
+	for _, d := range scenarios() {
+		names = append(names, d.name)
+	}
+	return strings.Join(names, "|")
+}
+
 func main() {
-	scenario := flag.String("scenario", "",
-		"cpu|indexdrop|consolidation|iocontention|lockcontention|failure|grayfailure|flapping|blackout|overload")
+	scenario := flag.String("scenario", "", scenarioNames())
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	record := flag.String("record", "", "write a synthetic TPC-W page-access trace to FILE and exit")
 	recordApp := flag.String("record-app", "tpcw", "application to record: tpcw|tpcw-noindex|rubis")
@@ -59,6 +127,29 @@ func main() {
 		return
 	}
 
+	// Validate -scenario before any session or simulation state exists:
+	// a typo must fail fast with the valid names, not start an obs
+	// server and then die.
+	var chosen *scenarioDef
+	for _, d := range scenarios() {
+		if d.name == *scenario {
+			d := d
+			chosen = &d
+			break
+		}
+	}
+	if chosen == nil {
+		if *scenario == "" {
+			fmt.Fprintln(os.Stderr, "outlierlb: need -scenario NAME or -record FILE; scenarios:")
+		} else {
+			fmt.Fprintf(os.Stderr, "outlierlb: unknown scenario %q; valid scenarios:\n", *scenario)
+		}
+		for _, d := range scenarios() {
+			fmt.Fprintf(os.Stderr, "  %-35s %s\n", d.name, d.desc)
+		}
+		os.Exit(2)
+	}
+
 	session, err := obscli.Start(obscli.Options{
 		Addr:        *obsAddr,
 		Verbose:     *verbose,
@@ -76,37 +167,37 @@ func main() {
 		os.Exit(1)
 	}
 
-	switch *scenario {
-	case "cpu":
-		runCPU(*seed)
-	case "indexdrop":
-		runIndexDrop(*seed)
-	case "consolidation":
-		runConsolidation(*seed)
-	case "iocontention":
-		runIOContention(*seed)
-	case "lockcontention":
-		runLockContention(*seed)
-	case "failure":
-		runFailure(*seed)
-	case "grayfailure":
-		runChaos(*seed, "one replica's disk degrades 8x for 200s (gray failure: it answers, slowly)",
-			experiments.ChaosGrayFailure)
-	case "flapping":
-		runChaos(*seed, "one replica cycles down/up every ~15s for 120s",
-			experiments.ChaosFlapping)
-	case "blackout":
-		runChaos(*seed, "one server's monitoring goes dark for 150s while it keeps serving",
-			experiments.ChaosMetricBlackout)
-	case "overload":
-		runOverload(*seed)
-	default:
-		fmt.Fprintln(os.Stderr, "outlierlb: need -scenario cpu|indexdrop|consolidation|iocontention|lockcontention|failure|grayfailure|flapping|blackout|overload or -record FILE")
-		os.Exit(2)
-	}
+	chosen.run(*seed)
 
 	session.Finish()
 	session.WaitForInterrupt()
+}
+
+func runGuard(seed uint64, template string) {
+	fmt.Printf("scenario: pathological %s policy is switched on mid-run;\n", template)
+	fmt.Println("the action watchdog must detect each harmful action by its fitness")
+	fmt.Println("regression, roll it back, and contain the repetition")
+	fmt.Println()
+	r, err := experiments.GuardScenario(seed, template)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("policy window:      [%.0fs, %.0fs]\n", r.EnableAt, r.DisableAt)
+	fmt.Printf("protected latency:  %.3fs (inside the policy window)\n", r.ProtectedLatency)
+	fmt.Printf("final latency:      %.3fs (after the policy was pulled)\n", r.FinalLatency)
+	fmt.Printf("client errors:      %d\n", r.ClientErrors)
+	fmt.Printf("watchdog:           %d actions, %d vetoes, %d suspects, %d reverts, %d storm trips\n",
+		r.Watchdog.Actions, r.Watchdog.Vetoes, r.Watchdog.Suspects, r.Watchdog.Reverts, r.Watchdog.Trips)
+	sc := r.Scorecard
+	fmt.Printf("scorecard:          detected=%v (%s, +%.0fs) mitigated=%v (%s, +%.0fs) reverted=%v\n",
+		sc.Detected, sc.DetectKind, sc.TimeToDetect, sc.Mitigated, sc.MitigateKind, sc.TimeToMitigate, sc.Reverted)
+	fmt.Printf("recovery:           recovered=%v time-to-recover=%.0fs steady-state deviation %+.1f%%\n",
+		sc.Recovered, sc.TimeToRecover, 100*sc.SteadyStateDeviation)
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
 }
 
 func runFailure(seed uint64) {
@@ -145,6 +236,11 @@ func runChaos(seed uint64, desc string, fn func(uint64) (*experiments.ChaosResul
 	fmt.Printf("degraded analyses:  %d\n", r.DegradedEvents)
 	fmt.Printf("capacity actions:   %d provision(s), %d shrink(s)\n", r.Provisions, r.Shrinks)
 	fmt.Printf("target ended run:   healthy=%v\n", r.TargetHealthy)
+	sc := r.Scorecard
+	fmt.Printf("scorecard:          detected=%v (%s, +%.0fs) mitigated=%v (%s, +%.0fs) reverted=%v\n",
+		sc.Detected, sc.DetectKind, sc.TimeToDetect, sc.Mitigated, sc.MitigateKind, sc.TimeToMitigate, sc.Reverted)
+	fmt.Printf("recovery:           recovered=%v time-to-recover=%.0fs steady-state deviation %+.1f%%\n",
+		sc.Recovered, sc.TimeToRecover, 100*sc.SteadyStateDeviation)
 	fmt.Println()
 	for _, a := range r.Actions {
 		fmt.Println("action:", a)

@@ -8,8 +8,14 @@
 //	tracetool -run RUN_0.json -phases           # queue/service/retry per trace
 //	tracetool -run RUN_0.json -critical         # critical-path chains
 //
-// Every mode validates span-tree well-formedness (obs.Validate) and
-// reports malformed traces instead of rendering them.
+// It also renders RESIL_*.json resilience scorecards written by
+// benchrunner -resil:
+//
+//	tracetool -resil RESIL_0.json               # per-scenario resilience verdicts
+//
+// Every mode validates its input strictly: span trees must be
+// well-formed (obs.Validate) and scorecard documents must carry the
+// supported schema version; malformed input is reported, not rendered.
 package main
 
 import (
@@ -21,18 +27,28 @@ import (
 	"strings"
 
 	"outlierlb/internal/obs"
+	"outlierlb/internal/resil"
 )
 
 func main() {
-	runPath := flag.String("run", "", "RUN_*.json flight recording to inspect (required)")
+	runPath := flag.String("run", "", "RUN_*.json flight recording to inspect")
+	resilPath := flag.String("resil", "", "RESIL_*.json resilience scorecard to render (instead of -run)")
 	traceID := flag.String("trace", "", "render the span-tree timeline of this trace ID")
 	phases := flag.Bool("phases", false, "break each trace's latency into queue/service/retry time")
 	critical := flag.Bool("critical", false, "print each trace's critical path")
 	n := flag.Int("n", 20, "traces to list/summarize (0 = all)")
 	flag.Parse()
 
+	if *resilPath != "" {
+		if *runPath != "" || *traceID != "" || *phases || *critical {
+			fmt.Fprintln(os.Stderr, "tracetool: -resil renders a scorecard document; it does not combine with -run/-trace/-phases/-critical")
+			os.Exit(2)
+		}
+		printResil(*resilPath)
+		return
+	}
 	if *runPath == "" {
-		fmt.Fprintln(os.Stderr, "tracetool: need -run RUN_*.json (write one with outlierlb -run.out)")
+		fmt.Fprintln(os.Stderr, "tracetool: need -run RUN_*.json (write one with outlierlb -run.out) or -resil RESIL_*.json (write one with benchrunner -resil)")
 		os.Exit(2)
 	}
 	rec, err := obs.LoadRun(*runPath)
@@ -72,6 +88,67 @@ func main() {
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "tracetool: %d malformed trace(s)\n", bad)
 		os.Exit(1)
+	}
+}
+
+// printResil renders a RESIL_*.json scorecard document: one line per
+// (scenario, seed) with the milestone verdicts and times, then a
+// verdict summary grouped by scenario.
+func printResil(path string) {
+	doc, err := resil.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: schema v%d, %s, %d scorecard(s)\n",
+		path, doc.SchemaVersion, doc.GoVersion, len(doc.Scorecards))
+	if doc.Timestamp != "" {
+		fmt.Printf("recorded %s\n", doc.Timestamp)
+	}
+	fmt.Println()
+	fmt.Printf("%-34s %5s %9s %9s %9s %8s %22s %9s\n",
+		"SCENARIO", "SEED", "DETECT", "MITIGATE", "RECOVER", "REVERT", "FIRST DETECTION", "DEVIATION")
+	milestone := func(ok bool, at float64) string {
+		if !ok {
+			return "never"
+		}
+		return fmt.Sprintf("+%.0fs", at)
+	}
+	type verdict struct{ runs, detected, mitigated, recovered, reverted int }
+	order := []string{}
+	byScenario := map[string]*verdict{}
+	for _, sc := range doc.Scorecards {
+		fmt.Printf("%-34s %5d %9s %9s %9s %8v %22s %+8.1f%%\n",
+			sc.Scenario, sc.Seed,
+			milestone(sc.Detected, sc.TimeToDetect),
+			milestone(sc.Mitigated, sc.TimeToMitigate),
+			milestone(sc.Recovered, sc.TimeToRecover),
+			sc.Reverted, sc.DetectKind, 100*sc.SteadyStateDeviation)
+		v := byScenario[sc.Scenario]
+		if v == nil {
+			v = &verdict{}
+			byScenario[sc.Scenario] = v
+			order = append(order, sc.Scenario)
+		}
+		v.runs++
+		if sc.Detected {
+			v.detected++
+		}
+		if sc.Mitigated {
+			v.mitigated++
+		}
+		if sc.Recovered {
+			v.recovered++
+		}
+		if sc.Reverted {
+			v.reverted++
+		}
+	}
+	fmt.Println()
+	for _, name := range order {
+		v := byScenario[name]
+		fmt.Printf("%-34s detected %d/%d, mitigated %d/%d, recovered %d/%d, reverted %d/%d\n",
+			name, v.detected, v.runs, v.mitigated, v.runs, v.recovered, v.runs, v.reverted, v.runs)
 	}
 }
 

@@ -317,6 +317,26 @@ func (a *Controller) StableTick() (metrics.ClassID, bool) {
 	return a.brownout.stableTick(a.cfg.ReadmitAfter)
 }
 
+// ReadmitTick is StableTick with the LIFO pick replaced by choose,
+// which receives the current shed list (oldest first) and names the
+// class to re-admit — the brownout decision point a readmission policy
+// can pervert. An out-of-list choice falls back to LIFO.
+func (a *Controller) ReadmitTick(choose func([]metrics.ClassID) metrics.ClassID) (metrics.ClassID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.brownout.stableTickChoose(a.cfg.ReadmitAfter, choose)
+}
+
+// Readmit removes id from the shed list immediately, wherever it sits
+// in the shed order, reporting whether it was shed. This is the action
+// watchdog's rollback of a harmful shed — it bypasses the stable-streak
+// hysteresis on purpose.
+func (a *Controller) Readmit(id metrics.ClassID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.brownout.readmit(id)
+}
+
 // ViolationTick resets the brownout hysteresis streak: re-admission
 // requires ReadmitAfter *consecutive* stable intervals.
 func (a *Controller) ViolationTick() {

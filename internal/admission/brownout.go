@@ -58,6 +58,45 @@ func (b *brownout) stableTick(readmitAfter int) (metrics.ClassID, bool) {
 	return id, true
 }
 
+// stableTickChoose is stableTick with the LIFO pick replaced by an
+// arbitrary chooser over the current shed order (oldest first). A
+// chooser returning a class not on the list falls back to LIFO, so a
+// buggy policy cannot wedge re-admission.
+func (b *brownout) stableTickChoose(readmitAfter int, choose func([]metrics.ClassID) metrics.ClassID) (metrics.ClassID, bool) {
+	if len(b.order) == 0 {
+		b.streak = 0
+		return metrics.ClassID{}, false
+	}
+	b.streak++
+	if b.streak < readmitAfter {
+		return metrics.ClassID{}, false
+	}
+	b.streak = 0
+	id := choose(append([]metrics.ClassID(nil), b.order...))
+	if !b.readmit(id) {
+		id = b.order[len(b.order)-1]
+		b.readmit(id)
+	}
+	return id, true
+}
+
+// readmit removes id from the shed list wherever it sits in the order,
+// reporting whether it was shed. Used by the watchdog's rollback of a
+// shed action and by policy-driven re-admission.
+func (b *brownout) readmit(id metrics.ClassID) bool {
+	if !b.shedSet[id] {
+		return false
+	}
+	delete(b.shedSet, id)
+	for i, got := range b.order {
+		if got == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 func (b *brownout) violationTick() { b.streak = 0 }
 
 func (b *brownout) shedClasses() []metrics.ClassID {

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"outlierlb/internal/obs"
+)
+
+// TestHalfOpenProbesRaceRetryTraffic drives two replicas through
+// breaker trips simultaneously and lets their half-open probes land in
+// the middle of ongoing retry traffic: one probe succeeds while the
+// other fails and reopens, all while reads keep retrying onto the one
+// healthy replica. The suite runs under -race in CI, where this
+// exercises the scheduler's detector bookkeeping racing the engine's
+// statistics goroutines underneath each submit.
+//
+// The event stream is then replayed per replica to assert every breaker
+// state transition is legal: healthy → suspected → failed → probation,
+// then probation → healthy (probe success) or probation → failed
+// (probe failure). Any other edge is a detector bug.
+func TestHalfOpenProbesRaceRetryTraffic(t *testing.T) {
+	r1, r2, r3 := newReplica(t, "s1"), newReplica(t, "s2"), newReplica(t, "s3")
+	s, rec := healthSched(t, 0.5, r1, r2, r3)
+
+	// Two of three replicas fail at once: every read pays timeouts and
+	// retries until both breakers open.
+	r1.SetDown(true)
+	r2.SetDown(true)
+	for i := 0; i < 12; i++ {
+		if _, err := s.Submit(float64(i), readID); err != nil {
+			t.Fatalf("read %d during double fault: %v", i, err)
+		}
+	}
+	if s.Health(r1) != HealthFailed || s.Health(r2) != HealthFailed {
+		t.Fatalf("health after double fault = %v/%v, want failed/failed",
+			s.Health(r1), s.Health(r2))
+	}
+	if rec.count(obs.EventQueryRetry) == 0 {
+		t.Fatal("no retries recorded while two replicas were down")
+	}
+
+	// s1 recovers before its probe; s2 stays down. The probes race the
+	// retry traffic: s1's succeeds mid-stream, s2's fails mid-stream and
+	// reopens with a doubled cooldown — and no client ever sees either.
+	r1.SetDown(false)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(100+float64(i), readID); err != nil {
+			t.Fatalf("read %d during probe window: %v", i, err)
+		}
+	}
+	if got := s.Health(r1); got != HealthHealthy {
+		t.Fatalf("recovered replica health = %v, want healthy", got)
+	}
+	if got := s.Health(r2); got != HealthFailed {
+		t.Fatalf("still-down replica health = %v, want failed", got)
+	}
+	if trips := s.BreakerTrips(r2); trips < 2 {
+		t.Fatalf("s2 trips = %d, want >=2 (failed probe must retrip)", trips)
+	}
+
+	// Replay the health events per replica and verify transition
+	// legality from the initial healthy state.
+	legal := map[HealthState][]HealthState{
+		HealthHealthy:   {HealthSuspected},
+		HealthSuspected: {HealthFailed, HealthHealthy},
+		HealthFailed:    {HealthProbation},
+		HealthProbation: {HealthHealthy, HealthFailed},
+	}
+	toState := map[obs.EventKind]HealthState{
+		obs.EventReplicaSuspected: HealthSuspected,
+		obs.EventBreakerTrip:      HealthFailed,
+		obs.EventBreakerProbe:     HealthProbation,
+		obs.EventReplicaRecovered: HealthHealthy,
+	}
+	cur := map[string]HealthState{}
+	for _, e := range rec.events {
+		next, ok := toState[e.Kind]
+		if !ok {
+			continue
+		}
+		from := cur[e.Server] // zero value HealthHealthy
+		allowed := false
+		for _, st := range legal[from] {
+			if st == next {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			t.Fatalf("replica %s: illegal transition %v -> %v at t=%.2f (%s)",
+				e.Server, from, next, e.Time, e.Cause)
+		}
+		cur[e.Server] = next
+	}
+	if cur["s1"] != HealthHealthy || cur["s2"] != HealthFailed {
+		t.Fatalf("replayed end states = %v, want s1 healthy / s2 failed", cur)
+	}
+}

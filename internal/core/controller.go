@@ -85,6 +85,25 @@ type Config struct {
 	// pressure cannot drive provision/decommission oscillation.
 	ShrinkAfter int
 
+	// FrozenMetricsAfter enables the Byzantine-metrics guard: a server
+	// whose utilization sample, or an engine whose snapshot, repeats
+	// bit-identically for more than this many consecutive ticks (while
+	// non-idle) is treated as lying and handled like a metric blackout —
+	// skipped, narrated as degraded analysis, gap-normalized on
+	// recovery. Real counters essentially never repeat exactly; a wedged
+	// or malicious exporter re-delivering stale numbers does. Zero (the
+	// default) disables the guard, keeping default runs bit-identical.
+	FrozenMetricsAfter int
+
+	// ClockGuard enables the controller clock-skew defence: a tick whose
+	// measured interval is wildly off the configured Interval (under a
+	// third or over three times it, or non-positive) is treated as a
+	// clock anomaly — the interval is clamped to the configured length
+	// and per-engine snapshot gaps are reset, so skewed wall-clock
+	// arithmetic cannot inflate rates and fabricate outliers. Off by
+	// default.
+	ClockGuard bool
+
 	// Ablation switches (off in normal operation):
 
 	// PreferMigration disables quota enforcement: every feasible quota
@@ -190,9 +209,17 @@ type Controller struct {
 	violStreak   map[string]int
 	cooldown     map[string]int // per-app intervals to wait before re-diagnosing
 	stableStreak map[string]int // consecutive stable intervals, for maintenance
-	lastTick     float64
-	started      bool
-	suspended    bool
+	// reconfirm marks class@server diagnoses whose remedy was vetoed or
+	// rolled back by the action watchdog: confirmProblems treats an
+	// unchanged recorded MRC as already-acted-upon, which would silence
+	// the diagnosis forever even though nothing was repaired. The flag
+	// survives stable-interval signature refreshes (which re-record the
+	// same params) and clears on the next confirmation. Only guard paths
+	// write it, so guard-free runs never consult a non-empty map.
+	reconfirm map[string]bool
+	lastTick  float64
+	started   bool
+	suspended bool
 
 	// observer receives the decision trace; observing caches whether it
 	// is a real sink, so the tick path only builds event payloads (maps,
@@ -211,6 +238,36 @@ type Controller struct {
 	// counters over the true gap instead of one interval (which would
 	// inflate every rate and fabricate outliers).
 	engSnapAt map[*engine.Engine]float64
+
+	// guard, when non-nil, is the action watchdog consulted around every
+	// retuning action (see ActionGuard). policy, when non-nil, replaces
+	// the inline shed/reschedule/readmit choices (see Policy). Both nil
+	// by default: the historical code paths run untouched.
+	guard  ActionGuard
+	policy Policy
+
+	// clockOffset skews the controller's notion of virtual time — the
+	// clock-skew fault surface. The simulation itself is unaffected;
+	// only this controller's interval arithmetic sees the wrong clock.
+	clockOffset float64
+
+	// Frozen-metrics guard state (allocated lazily, only when
+	// FrozenMetricsAfter > 0): last fingerprints and repeat counts.
+	frozenSrv map[*server.Server]*frozenSample
+	frozenEng map[*engine.Engine]*frozenSnap
+}
+
+// frozenSample is one server's last utilization fingerprint and how
+// many consecutive ticks it has repeated bit-identically.
+type frozenSample struct {
+	cpu, disk float64
+	repeats   int
+}
+
+// frozenSnap is one engine's last snapshot hash and repeat count.
+type frozenSnap struct {
+	hash    uint64
+	repeats int
 }
 
 // NewController wires a controller to a simulation and a cluster manager.
@@ -228,6 +285,7 @@ func NewController(s *sim.Engine, mgr *cluster.Manager, cfg Config) (*Controller
 		violStreak:   make(map[string]int),
 		cooldown:     make(map[string]int),
 		stableStreak: make(map[string]int),
+		reconfirm:    make(map[string]bool),
 		observer:     obs.Nop{},
 		engSnapAt:    make(map[*engine.Engine]float64),
 	}, nil
@@ -259,6 +317,42 @@ func (c *Controller) AllocationHistory() []AllocationSample { return c.allocatio
 // Experiments use it to measure a damaged configuration before allowing
 // the controller to repair it.
 func (c *Controller) Suspend(s bool) { c.suspended = s }
+
+// SetGuard attaches (or, with nil, detaches) the action watchdog
+// consulted around every retuning action.
+func (c *Controller) SetGuard(g ActionGuard) { c.guard = g }
+
+// SetPolicy installs (or, with nil, removes) a decision policy. Nil —
+// the default — keeps the historical inline decisions byte-for-byte.
+func (c *Controller) SetPolicy(p Policy) { c.policy = p }
+
+// SetClockOffset skews the controller's clock by o seconds of virtual
+// time — the clock-skew fault's injection point. The simulation and the
+// data plane keep true time; only this controller's interval arithmetic
+// is lied to.
+func (c *Controller) SetClockOffset(o float64) { c.clockOffset = o }
+
+// ClockOffset reports the current controller clock skew.
+func (c *Controller) ClockOffset() float64 { return c.clockOffset }
+
+// guardAllows consults the attached watchdog before an action's side
+// effects run; true (always, when no guard is attached) lets it
+// proceed. Vetoes are narrated by the guard itself.
+func (c *Controller) guardAllows(now float64, kind ActionKind, app, server, class string) bool {
+	if c.guard == nil {
+		return true
+	}
+	ok, _ := c.guard.Allow(now, kind, app, server, class)
+	return ok
+}
+
+// guardCommitted registers an executed action with the watchdog for
+// post-action fitness evaluation; undo reverses it (nil: irreversible).
+func (c *Controller) guardCommitted(a Action, undo func() error) {
+	if c.guard != nil {
+		c.guard.Committed(a, undo)
+	}
+}
 
 // Start schedules the periodic measurement/diagnosis tick.
 func (c *Controller) Start() {
@@ -314,10 +408,40 @@ func (c *Controller) cooldownServer(name string) {
 // to violations. Exposed so tests and tools can drive the controller
 // manually instead of through Start.
 func (c *Controller) Tick() {
-	now := c.sim.Now().Seconds()
+	now := c.sim.Now().Seconds() + c.clockOffset
+	if c.guard != nil {
+		c.guard.BeginTick(now)
+	}
 	interval := now - c.lastTick
 	if interval <= 0 {
 		interval = c.cfg.Interval
+	}
+	// Clock-skew defence: a measured interval wildly off the configured
+	// cadence means the controller's clock jumped, not that time passed.
+	// Rates divided by a skewed window inflate or vanish — so the window
+	// is clamped to the configured length and the per-engine snapshot
+	// gaps are ignored this tick. The SLA tracker's interval close
+	// consumes whatever samples accumulated regardless of the window
+	// passed; only throughput normalization and the stamps use it.
+	clockAnomaly := false
+	if c.cfg.ClockGuard {
+		raw := now - c.lastTick
+		if raw <= c.cfg.Interval/3 || raw >= 3*c.cfg.Interval {
+			clockAnomaly = true
+			interval = c.cfg.Interval
+			if c.observing {
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventDegradedAnalysis,
+					Cause: fmt.Sprintf("controller clock anomaly: measured interval %.3gs vs configured %.3gs; window clamped",
+						raw, c.cfg.Interval),
+					Fields: map[string]float64{"measured_interval": raw},
+				})
+			}
+		}
+	}
+	intervalStart := c.lastTick
+	if clockAnomaly {
+		intervalStart = now - interval
 	}
 
 	// Snapshot every engine exactly once and sample system metrics. With
@@ -333,6 +457,19 @@ func (c *Controller) Tick() {
 	disk := make(map[*server.Server]float64)
 	blackout := make(map[*server.Server]bool)
 	for _, srv := range c.mgr.Servers() {
+		// On a clock-anomaly tick every utilization window is measured
+		// against the jumped clock: sampling would dilute (or invert) the
+		// servers' observation windows, and a window mark left at a
+		// future timestamp would read as idle for intervals afterwards —
+		// exactly the fake-idle signal that feeds a false shrink. Treat
+		// the whole fleet as unmeasurable for this one tick and realign
+		// every sampling window to the new clock; the anomaly itself was
+		// already narrated.
+		if clockAnomaly {
+			srv.ResyncObservation(now)
+			blackout[srv] = true
+			continue
+		}
 		if srv.MetricsBlackedOut() {
 			blackout[srv] = true
 			if c.observing {
@@ -345,20 +482,54 @@ func (c *Controller) Tick() {
 		}
 		cpu[srv] = srv.CPUUtilization(now)
 		disk[srv] = srv.Disk().UtilizationWindow(now)
+		// Byzantine-metrics guard: a non-idle utilization sample that
+		// repeats bit-identically is a lying exporter, not a steady
+		// machine. Treat the server like a metric blackout — no sample,
+		// no engine snapshots, no shrink decisions off its fake numbers.
+		if c.cfg.FrozenMetricsAfter > 0 && c.frozenServerSample(srv, cpu[srv], disk[srv]) {
+			blackout[srv] = true
+			delete(cpu, srv)
+			delete(disk, srv)
+			if c.observing {
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventDegradedAnalysis, Server: srv.Name(),
+					Cause: fmt.Sprintf("utilization sample frozen for >%d intervals; treating metrics as unreachable",
+						c.cfg.FrozenMetricsAfter),
+				})
+			}
+			continue
+		}
 		var engObs []obs.EngineObs
 		for _, eng := range c.mgr.EnginesOn(srv) {
 			// The first snapshot after a blackout covers every skipped
-			// interval; normalize over the true gap.
+			// interval; normalize over the true gap — unless the clock
+			// itself is suspect, in which case the gap arithmetic is too.
 			engInterval := interval
-			if last, ok := c.engSnapAt[eng]; ok && now-last > 0 {
+			if last, ok := c.engSnapAt[eng]; !clockAnomaly && ok && now-last > 0 {
 				engInterval = now - last
 			}
 			c.engSnapAt[eng] = now
 			if !c.observing {
-				snaps[eng] = c.analyzer(eng).Snapshot(engInterval)
+				snap := c.analyzer(eng).Snapshot(engInterval)
+				if c.cfg.FrozenMetricsAfter > 0 && c.frozenEngineSnap(eng, snap) {
+					continue
+				}
+				snaps[eng] = snap
 				continue
 			}
 			grouped, flat := c.analyzer(eng).SnapshotStats(engInterval)
+			// The frozen-snapshot guard drops a bit-identically repeating
+			// engine report before it reaches the analyzer or the
+			// registry: a duplicated interval re-delivered is corruption,
+			// and diagnosing from it fabricates outliers.
+			if c.cfg.FrozenMetricsAfter > 0 && c.frozenEngineSnap(eng, grouped) {
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventDegradedAnalysis, Server: srv.Name(),
+					Cause: fmt.Sprintf("engine %s snapshot frozen for >%d intervals; report discarded",
+						eng.Name(), c.cfg.FrozenMetricsAfter),
+				})
+				continue
+			}
 			snaps[eng] = grouped
 			for id, st := range flat {
 				if st.Latency.Count == 0 {
@@ -394,7 +565,7 @@ func (c *Controller) Tick() {
 	var violated []*cluster.Scheduler
 	for _, sched := range c.mgr.Schedulers() {
 		app := sched.App().Name
-		iv := sched.Tracker().CloseInterval(c.lastTick, now)
+		iv := sched.Tracker().CloseInterval(intervalStart, now)
 		c.allocation = append(c.allocation, AllocationSample{
 			Time: now, App: app, Replicas: len(sched.Replicas()),
 		})
@@ -409,17 +580,42 @@ func (c *Controller) Tick() {
 				c.observer.AdmissionSampled(adm.Snapshot(now, app))
 			}
 		}
+		if c.guard != nil {
+			// Feed the watchdog's fitness history and run due
+			// post-action evaluations; rollbacks execute here, between
+			// interval closes, never mid-diagnosis.
+			var rejected int64
+			if adm := sched.Admission(); adm != nil {
+				rejected = adm.TotalRejected()
+			}
+			c.guard.IntervalClosed(now, app, iv, rejected)
+		}
 		if iv.Queries == 0 {
 			continue
 		}
 		if iv.Met {
 			c.violStreak[app] = 0
 			c.stableStreak[app]++
-			if adm := sched.Admission(); adm != nil && !c.suspended {
-				if id, ok := adm.StableTick(); ok {
-					c.record(Action{Time: now, Kind: ActionReadmitClass, App: app, Class: id.Class,
+			if adm := sched.Admission(); adm != nil && !c.suspended &&
+				c.guardAllows(now, ActionReadmitClass, app, "", "") {
+				id, ok := metrics.ClassID{}, false
+				if c.policy != nil {
+					id, ok = adm.ReadmitTick(c.policy.ReadmitChoice)
+				} else {
+					id, ok = adm.StableTick()
+				}
+				if ok {
+					a := Action{Time: now, Kind: ActionReadmitClass, App: app, Class: id.Class,
 						Detail: fmt.Sprintf("SLA met for %d consecutive interval(s); class re-admitted",
-							adm.Config().ReadmitAfter)})
+							adm.Config().ReadmitAfter)}
+					c.record(a)
+					reshed := id
+					c.guardCommitted(a, func() error {
+						if _, ok := adm.ShedClass(reshed); !ok {
+							return fmt.Errorf("re-shed of %v refused", reshed)
+						}
+						return nil
+					})
 				}
 			}
 			c.recordStable(now, sched, snaps)
@@ -451,10 +647,51 @@ func (c *Controller) Tick() {
 	// One retuning action per tick, across all applications: the
 	// diagnosis is incremental — act, then observe the next interval.
 	acted := false
+	// A force-shed policy (the reject-all pathological template) sheds
+	// on every eligible tick, violated or not, in place of diagnosis —
+	// unless the watchdog's storm circuit has opened for the app.
+	if c.policy != nil && c.policy.ForceShed() && !c.suspended {
+		for _, sched := range c.mgr.Schedulers() {
+			app := sched.App().Name
+			if acted {
+				break
+			}
+			if c.guard != nil && c.guard.Posture(app) != GuardNormal {
+				continue
+			}
+			if c.cooldown[app] > 0 {
+				c.cooldown[app]--
+				continue
+			}
+			if c.brownoutShed(now, sched, snaps) {
+				acted = true
+				c.violStreak[app] = 0
+			}
+		}
+	}
 	for _, sched := range violated {
 		app := sched.App().Name
 		if c.suspended {
 			continue
+		}
+		if c.policy != nil && c.policy.ForceShed() {
+			continue // the force-shed loop above owns all actions
+		}
+		if c.guard != nil {
+			switch c.guard.Posture(app) {
+			case GuardSuspend:
+				continue
+			case GuardFallback:
+				// The storm circuit's terminal mitigation: reverting
+				// individual actions stopped helping, so coarse-isolate
+				// once and stay suspended while things settle.
+				if !acted {
+					c.coarseFallback(now, sched)
+					acted = true
+					c.violStreak[app] = 0
+				}
+				continue
+			}
 		}
 		if c.cooldown[app] > 0 {
 			c.cooldown[app]--
@@ -471,6 +708,107 @@ func (c *Controller) Tick() {
 		}
 	}
 	c.lastTick = now
+}
+
+// frozenServerSample advances srv's frozen-metrics fingerprint and
+// reports whether either utilization channel has repeated bit-
+// identically, while non-zero, for more than FrozenMetricsAfter
+// consecutive ticks.
+func (c *Controller) frozenServerSample(srv *server.Server, cpuV, diskV float64) bool {
+	if c.frozenSrv == nil {
+		c.frozenSrv = make(map[*server.Server]*frozenSample)
+	}
+	fs := c.frozenSrv[srv]
+	if fs == nil {
+		fs = &frozenSample{cpu: math.NaN(), disk: math.NaN()}
+		c.frozenSrv[srv] = fs
+	}
+	if cpuV > 0 && cpuV == fs.cpu {
+		fs.repeats++
+	} else if diskV > 0 && diskV == fs.disk {
+		fs.repeats++
+	} else {
+		fs.repeats = 0
+	}
+	fs.cpu, fs.disk = cpuV, diskV
+	return fs.repeats >= c.cfg.FrozenMetricsAfter
+}
+
+// frozenEngineSnap advances eng's frozen-snapshot hash and reports
+// whether a non-empty snapshot has repeated bit-identically for more
+// than FrozenMetricsAfter consecutive ticks. Works on both snapshot
+// flavours via the grouped vector view.
+func (c *Controller) frozenEngineSnap(eng *engine.Engine, snap map[string]map[metrics.ClassID]metrics.Vector) bool {
+	classes := 0
+	for _, m := range snap {
+		classes += len(m)
+	}
+	if classes == 0 {
+		delete(c.frozenEng, eng)
+		return false
+	}
+	apps := make([]string, 0, len(snap))
+	for app := range snap {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	var h fnv64a
+	for _, app := range apps {
+		h.str(app)
+		ids := make([]metrics.ClassID, 0, len(snap[app]))
+		for id := range snap[app] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+		for _, id := range ids {
+			h.str(id.String())
+			v := snap[app][id]
+			for m := 0; m < metrics.NumMetrics; m++ {
+				h.u64(math.Float64bits(v[m]))
+			}
+		}
+	}
+	if c.frozenEng == nil {
+		c.frozenEng = make(map[*engine.Engine]*frozenSnap)
+	}
+	fs := c.frozenEng[eng]
+	if fs == nil {
+		fs = &frozenSnap{}
+		c.frozenEng[eng] = fs
+	}
+	if uint64(h) == fs.hash {
+		fs.repeats++
+	} else {
+		fs.hash, fs.repeats = uint64(h), 0
+	}
+	return fs.repeats >= c.cfg.FrozenMetricsAfter
+}
+
+// fnv64a is an inline FNV-1a accumulator (hash/fnv allocates).
+type fnv64a uint64
+
+func (h *fnv64a) init() {
+	if *h == 0 {
+		*h = 14695981039346656037
+	}
+}
+
+func (h *fnv64a) byte(b byte) {
+	h.init()
+	*h = (*h ^ fnv64a(b)) * 1099511628211
+}
+
+func (h *fnv64a) str(s string) {
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	h.byte(0xff) // separator
+}
+
+func (h *fnv64a) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
 }
 
 // recordStable updates the stable-state signature of app on every server
@@ -714,15 +1052,20 @@ func (c *Controller) diagnose(now float64, sched *cluster.Scheduler,
 // recorded as ActionExhausted).
 func (c *Controller) provisionForCPU(now float64, sched *cluster.Scheduler, hot *server.Server) bool {
 	app := sched.App().Name
+	if !c.guardAllows(now, ActionProvision, app, hot.Name(), "") {
+		return false
+	}
 	rep, err := c.mgr.ProvisionOnFreeServer(app)
 	if err != nil {
 		c.record(Action{Time: now, Kind: ActionExhausted, App: app,
 			Server: hot.Name(), Detail: "CPU saturated, " + err.Error()})
 		return false
 	}
-	c.record(Action{Time: now, Kind: ActionProvision, App: app,
+	a := Action{Time: now, Kind: ActionProvision, App: app,
 		Server: rep.Server().Name(),
-		Detail: fmt.Sprintf("CPU saturation on %s, replicas now %d", hot.Name(), len(sched.Replicas()))})
+		Detail: fmt.Sprintf("CPU saturation on %s, replicas now %d", hot.Name(), len(sched.Replicas()))}
+	c.record(a)
+	c.guardCommitted(a, func() error { return c.mgr.Decommission(app, rep) })
 	return true
 }
 
@@ -770,34 +1113,60 @@ func (c *Controller) brownoutShed(now float64, sched *cluster.Scheduler,
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
 	protected := adm.Config().Protected
-	var victim metrics.ClassID
-	best := math.Inf(1)
-	found := false
+	// Total impact across metrics. Summing lets the volume-
+	// proportional heaviness weights dominate; a single metric whose
+	// impact is near-uniform across classes (latency under
+	// saturation: everyone queues alike) cannot scramble the order.
+	cands := make([]ShedCandidate, 0, len(ids))
 	for _, id := range ids {
 		if protected[id] || adm.IsShed(id) {
 			continue
 		}
-		// Total impact across metrics. Summing lets the volume-
-		// proportional heaviness weights dominate; a single metric whose
-		// impact is near-uniform across classes (latency under
-		// saturation: everyone queues alike) cannot scramble the order.
 		score := 0.0
 		for m := 0; m < metrics.NumMetrics; m++ {
 			score += reports[id].Impact[m]
 		}
-		if score < best {
-			best, victim, found = score, id, true
+		cands = append(cands, ShedCandidate{ID: id, Impact: score})
+	}
+	var victim metrics.ClassID
+	best := math.Inf(1)
+	found := false
+	if c.policy != nil {
+		victim, found = c.policy.ShedVictim(cands)
+		for _, cd := range cands {
+			if cd.ID == victim {
+				best = cd.Impact
+			}
+		}
+	} else {
+		for _, cd := range cands {
+			if cd.Impact < best {
+				best, victim, found = cd.Impact, cd.ID, true
+			}
 		}
 	}
 	if !found {
+		return false
+	}
+	if !c.guardAllows(now, ActionShedClass, app, "", victim.Class) {
 		return false
 	}
 	ord, ok := adm.ShedClass(victim)
 	if !ok {
 		return false
 	}
-	c.record(Action{Time: now, Kind: ActionShedClass, App: app, Class: victim.Class,
-		Detail: fmt.Sprintf("no rebalancing move; lowest impact %.3g, shed #%d", best, ord)})
+	detail := fmt.Sprintf("no rebalancing move; lowest impact %.3g, shed #%d", best, ord)
+	if c.policy != nil {
+		detail = fmt.Sprintf("policy %s chose impact %.3g, shed #%d", c.policy.Name(), best, ord)
+	}
+	a := Action{Time: now, Kind: ActionShedClass, App: app, Class: victim.Class, Detail: detail}
+	c.record(a)
+	c.guardCommitted(a, func() error {
+		if !adm.Readmit(victim) {
+			return fmt.Errorf("readmit of %v refused: not on shed list", victim)
+		}
+		return nil
+	})
 	return true
 }
 
@@ -923,6 +1292,20 @@ func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cl
 		plan.Feasible = false
 	}
 	if plan.Feasible {
+		if !c.guardAllows(now, ActionQuota, app, srv.Name(), "") {
+			// Same as the reschedule veto: the problems were consumed
+			// into the signature but nothing was repaired.
+			for _, p := range problems {
+				c.markReconfirm(p.id, srv.Name())
+			}
+			return false
+		}
+		// The watchdog's rollback restores the pool's quota set exactly
+		// as it stood before this plan was applied.
+		priorQuotas := make(map[string]int)
+		for key, q := range eng.Pool().Quotas() {
+			priorQuotas[key] = q
+		}
 		// Dissolve quotas from earlier plans that the new plan does not
 		// include, so the pool reflects exactly the current diagnosis.
 		inPlan := make(map[string]bool, len(plan.Quotas))
@@ -942,8 +1325,23 @@ func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cl
 			applied = append(applied, fmt.Sprintf("%s=%d", id.Class, q))
 		}
 		sort.Strings(applied)
-		c.record(Action{Time: now, Kind: ActionQuota, App: app, Server: srv.Name(),
-			Detail: fmt.Sprintf("quotas %s, rest %d pages", strings.Join(applied, " "), plan.RestPages)})
+		a := Action{Time: now, Kind: ActionQuota, App: app, Server: srv.Name(),
+			Detail: fmt.Sprintf("quotas %s, rest %d pages", strings.Join(applied, " "), plan.RestPages)}
+		c.record(a)
+		c.guardCommitted(a, func() error {
+			pool := eng.Pool()
+			for key := range pool.Quotas() {
+				if _, had := priorQuotas[key]; !had {
+					pool.RemoveQuota(key)
+				}
+			}
+			for key, q := range priorQuotas {
+				if err := pool.SetQuota(key, q); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		c.cooldownServer(srv.Name())
 		return true
 	}
@@ -1016,6 +1414,13 @@ func (c *Controller) diagnoseLocks(now float64, sched *cluster.Scheduler, r *clu
 // whose miss ratio stays near 1 no matter how much memory they get — are
 // not memory problems (no quota or placement can help them), and neither
 // are classes whose memory need is a sliver of the pool.
+// markReconfirm flags id@server so the next confirmProblems treats its
+// recorded MRC as absent. Called only from guard veto and rollback
+// paths.
+func (c *Controller) markReconfirm(id metrics.ClassID, server string) {
+	c.reconfirm[id.String()+"@"+server] = true
+}
+
 func (c *Controller) confirmProblems(now float64, candidates []metrics.ClassID, srv *server.Server, eng *engine.Engine, capacity int) []problem {
 	const uncacheableMR = 0.9
 	var out []problem
@@ -1032,6 +1437,9 @@ func (c *Controller) confirmProblems(now float64, candidates []metrics.ClassID, 
 		}
 		ownSig := c.sigs.Get(id.App, srv.Name())
 		old, had := ownSig.MRC[id]
+		if c.reconfirm[id.String()+"@"+srv.Name()] {
+			had = false
+		}
 		if !had || mrc.SignificantChange(old, params, c.cfg.MRCChangeFactor) {
 			if c.observing {
 				fields := map[string]float64{
@@ -1052,6 +1460,7 @@ func (c *Controller) confirmProblems(now float64, candidates []metrics.ClassID, 
 			}
 			out = append(out, problem{id: id, params: params})
 			ownSig.SetMRC(id, params)
+			delete(c.reconfirm, id.String()+"@"+srv.Name())
 			ownSig.MRCSampleCount[id] = eng.WindowTotal(id)
 		}
 	}
@@ -1067,13 +1476,27 @@ func (c *Controller) rescheduleClass(now float64, id metrics.ClassID, from *serv
 	if !ok {
 		return false
 	}
+	if !c.guardAllows(now, kind, id.App, from.Name(), id.Class) {
+		// confirmProblems consumed this diagnosis when it recorded the
+		// fresh MRC; with the move vetoed nothing was repaired, so put
+		// the diagnosis back on the table for the next tick.
+		c.markReconfirm(id, from.Name())
+		return false
+	}
 	var target *cluster.Replica
-	for _, r := range owner.Replicas() {
-		if r.Server() != from {
-			target = r
-			break
+	if c.policy != nil {
+		target = c.policy.RescheduleTarget(now, from, owner.Replicas())
+	} else {
+		for _, r := range owner.Replicas() {
+			if r.Server() != from {
+				target = r
+				break
+			}
 		}
 	}
+	// The watchdog's rollback restores the class's placement as it was
+	// before the move.
+	prior := append([]*cluster.Replica(nil), owner.Placement(id)...)
 	if target == nil {
 		// Provisioning attaches a full replica, which by default joins
 		// every class's placement; rescheduling moves ONLY the problem
@@ -1102,8 +1525,22 @@ func (c *Controller) rescheduleClass(now float64, id metrics.ClassID, from *serv
 	if err := owner.PlaceClass(id, target); err != nil {
 		return false
 	}
-	c.record(Action{Time: now, Kind: kind, App: id.App, Server: target.Server().Name(),
-		Class: id.Class, Detail: detail + fmt.Sprintf("; moved off %s", from.Name())})
+	a := Action{Time: now, Kind: kind, App: id.App, Server: target.Server().Name(),
+		Class: id.Class, Detail: detail + fmt.Sprintf("; moved off %s", from.Name())}
+	c.record(a)
+	c.guardCommitted(a, func() error {
+		if len(prior) == 0 {
+			return fmt.Errorf("no prior placement for %v recorded", id)
+		}
+		if err := owner.PlaceClass(id, prior...); err != nil {
+			return err
+		}
+		// The move is undone, so the diagnosis it answered is unanswered
+		// again: let the controller re-confirm the problem (and, with a
+		// sane policy, pick a better target).
+		c.markReconfirm(id, from.Name())
+		return nil
+	})
 	c.cooldownServer(from.Name())
 	return true
 }

@@ -1,0 +1,49 @@
+package core
+
+import "outlierlb/internal/sla"
+
+// GuardPosture is the stance an attached ActionGuard dictates for one
+// application's diagnosis this tick.
+type GuardPosture int
+
+// The guard postures.
+const (
+	// GuardNormal lets the diagnosis run.
+	GuardNormal GuardPosture = iota
+	// GuardSuspend skips the diagnosis entirely: the action-storm
+	// circuit is open and further fine-grained actions are distrusted.
+	GuardSuspend
+	// GuardFallback asks the controller to coarse-isolate the
+	// application once, then suspend — the storm circuit's terminal
+	// mitigation when reverting individual actions stopped helping.
+	GuardFallback
+)
+
+// ActionGuard is the control-plane self-protection seam the controller
+// consults around every retuning action. The real implementation is
+// internal/guard.Watchdog; core only defines the contract so the
+// dependency points outward (guard imports core, not vice versa).
+//
+// All methods are called from the simulation goroutine during Tick;
+// Committed's undo closure is likewise only invoked there (from inside
+// a later IntervalClosed), so rollbacks never race the controller.
+type ActionGuard interface {
+	// BeginTick marks the start of a controller tick at virtual time
+	// now, advancing the guard's interval counter.
+	BeginTick(now float64)
+	// IntervalClosed feeds one application's closed measurement
+	// interval plus its cumulative admission rejections — the fitness
+	// inputs. Due post-action evaluations run here, so a rollback's
+	// mutations happen between interval closes, never mid-diagnosis.
+	IntervalClosed(now float64, app string, iv sla.Interval, rejected int64)
+	// Allow is consulted before an action's side effects run. False
+	// vetoes the action (rate limit, cooldown, oscillation); the reason
+	// is the guard's explanation.
+	Allow(now float64, kind ActionKind, app, server, class string) (ok bool, reason string)
+	// Committed registers an executed action for post-action
+	// evaluation. undo reverses the action's side effects; nil marks
+	// the action irreversible (evaluated, flagged, never rolled back).
+	Committed(a Action, undo func() error)
+	// Posture reports the guard's stance for app this tick.
+	Posture(app string) GuardPosture
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/server"
+)
+
+// Pathological policy templates: deliberately-broken decision policies
+// used to prove the action watchdog (internal/guard) detects and
+// reverts harmful control-plane behaviour. Each inverts exactly one
+// decision of DefaultPolicy; none is ever the right thing to run in
+// production.
+
+// PathologicalRejectAll sheds a class on every eligible tick whether or
+// not the SLA is violated — an admission policy that "protects" the
+// system by refusing work it could serve.
+type PathologicalRejectAll struct{ DefaultPolicy }
+
+// Name implements Policy.
+func (PathologicalRejectAll) Name() string { return "reject-all-admission" }
+
+// ForceShed implements Policy: always shed.
+func (PathologicalRejectAll) ForceShed() bool { return true }
+
+// PathologicalInvertedShed sheds the HIGHEST-impact class first — the
+// traffic most responsible for the application's throughput and the
+// most expensive to turn away.
+type PathologicalInvertedShed struct{ DefaultPolicy }
+
+// Name implements Policy.
+func (PathologicalInvertedShed) Name() string { return "inverted-shed-order" }
+
+// ShedVictim implements Policy: highest summed impact wins.
+func (PathologicalInvertedShed) ShedVictim(cands []ShedCandidate) (metrics.ClassID, bool) {
+	if len(cands) == 0 {
+		return metrics.ClassID{}, false
+	}
+	worst := cands[0]
+	for _, cd := range cands[1:] {
+		if cd.Impact > worst.Impact {
+			worst = cd
+		}
+	}
+	return worst.ID, true
+}
+
+// PathologicalAlwaysBusiest moves a problem class onto the replica
+// whose server has the LARGEST instantaneous backlog (CPU run queue
+// plus disk queue) — concentrating load exactly where it hurts most.
+type PathologicalAlwaysBusiest struct{ DefaultPolicy }
+
+// Name implements Policy.
+func (PathologicalAlwaysBusiest) Name() string { return "always-busiest-placement" }
+
+// RescheduleTarget implements Policy: the busiest other server wins.
+func (PathologicalAlwaysBusiest) RescheduleTarget(now float64, from *server.Server, reps []*cluster.Replica) *cluster.Replica {
+	var target *cluster.Replica
+	worst := -1.0
+	for _, r := range reps {
+		if r.Server() == from {
+			continue
+		}
+		backlog := r.Server().CPUQueueDelay(now) + r.Server().Disk().QueueDelay(now)
+		if backlog > worst {
+			worst, target = backlog, r
+		}
+	}
+	return target
+}
+
+// PathologicalReverseReadmit readmits shed classes FIFO — the oldest,
+// lowest-impact class returns first while the valuable traffic shed
+// last keeps waiting.
+type PathologicalReverseReadmit struct{ DefaultPolicy }
+
+// Name implements Policy.
+func (PathologicalReverseReadmit) Name() string { return "reverse-priority-readmission" }
+
+// ReadmitChoice implements Policy: FIFO.
+func (PathologicalReverseReadmit) ReadmitChoice(shed []metrics.ClassID) metrics.ClassID {
+	return shed[0]
+}
+
+var (
+	_ Policy = PathologicalRejectAll{}
+	_ Policy = PathologicalInvertedShed{}
+	_ Policy = PathologicalAlwaysBusiest{}
+	_ Policy = PathologicalReverseReadmit{}
+)

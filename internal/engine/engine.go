@@ -162,6 +162,42 @@ type Engine struct {
 	// (exec/cpu/disk/lock-wait, pool hit/miss counts) under the query's
 	// current span. Nil keeps the path untouched.
 	tracer *obs.Tracer
+
+	// report, when non-nil, corrupts the engine's snapshot transport
+	// (see ReportFault); the caches hold the last truthful snapshot for
+	// frozen re-delivery. Nil on every honest engine.
+	report    *ReportFault
+	frozenVec map[metrics.ClassID]metrics.Vector
+	frozenSts map[metrics.ClassID]metrics.ClassStats
+}
+
+// ReportFault is a snapshot-corruption fault: the engine executes
+// queries honestly, but the statistics it reports to the controller are
+// wrong — the monitoring transport lies, not the machine. It models a
+// wedged stats thread (Freeze: the same interval re-delivered), a lossy
+// collection hop (Drop: an interval vanishes), or a buggy exporter
+// scaling its numbers (LatencyScale).
+//
+// The underlying interval counters reset on every snapshot regardless,
+// exactly like a real engine whose internal counters keep cycling while
+// the export path misbehaves.
+type ReportFault struct {
+	// LatencyScale multiplies reported per-class latency (vector Latency
+	// slot; mean/percentiles in stats snapshots). 0 or 1 disables.
+	LatencyScale float64
+	// Freeze re-delivers the first snapshot taken after installation on
+	// every later call — a duplicated interval, repeated.
+	Freeze bool
+	// Drop reports an empty snapshot — the interval is lost in transit.
+	Drop bool
+}
+
+// SetReportFault installs (or, with nil, clears) a snapshot-corruption
+// fault on the engine's reporting path.
+func (e *Engine) SetReportFault(f *ReportFault) {
+	e.report = f
+	e.frozenVec = nil
+	e.frozenSts = nil
 }
 
 // New returns an engine running on host.
@@ -421,10 +457,37 @@ func (e *Engine) Locks() *lockmgr.Manager { return e.locks }
 // length in seconds, resetting the interval counters.
 func (e *Engine) Snapshot(interval float64) map[metrics.ClassID]metrics.Vector {
 	e.barrier()
+	var snap map[metrics.ClassID]metrics.Vector
 	if e.sharded != nil {
-		return e.sharded.Snapshot(interval)
+		snap = e.sharded.Snapshot(interval)
+	} else {
+		snap = e.collector.Snapshot(interval)
 	}
-	return e.collector.Snapshot(interval)
+	if f := e.report; f != nil {
+		if f.Drop {
+			return map[metrics.ClassID]metrics.Vector{}
+		}
+		if f.Freeze {
+			if e.frozenVec == nil {
+				frozen := make(map[metrics.ClassID]metrics.Vector, len(snap))
+				for id, v := range snap {
+					frozen[id] = v
+				}
+				e.frozenVec = frozen
+			}
+			snap = make(map[metrics.ClassID]metrics.Vector, len(e.frozenVec))
+			for id, v := range e.frozenVec {
+				snap[id] = v
+			}
+		}
+		if f.LatencyScale > 0 && f.LatencyScale != 1 {
+			for id, v := range snap {
+				v[metrics.Latency] *= f.LatencyScale
+				snap[id] = v
+			}
+		}
+	}
+	return snap
 }
 
 // SnapshotStats is Snapshot with per-class latency distributions
@@ -432,10 +495,45 @@ func (e *Engine) Snapshot(interval float64) map[metrics.ClassID]metrics.Vector {
 // the other per interval, not both.
 func (e *Engine) SnapshotStats(interval float64) map[metrics.ClassID]metrics.ClassStats {
 	e.barrier()
+	var snap map[metrics.ClassID]metrics.ClassStats
 	if e.sharded != nil {
-		return e.sharded.SnapshotStats(interval)
+		snap = e.sharded.SnapshotStats(interval)
+	} else {
+		snap = e.collector.SnapshotStats(interval)
 	}
-	return e.collector.SnapshotStats(interval)
+	if f := e.report; f != nil {
+		if f.Drop {
+			return map[metrics.ClassID]metrics.ClassStats{}
+		}
+		if f.Freeze {
+			if e.frozenSts == nil {
+				frozen := make(map[metrics.ClassID]metrics.ClassStats, len(snap))
+				for id, s := range snap {
+					frozen[id] = s
+				}
+				e.frozenSts = frozen
+			}
+			snap = make(map[metrics.ClassID]metrics.ClassStats, len(e.frozenSts))
+			for id, s := range e.frozenSts {
+				snap[id] = s
+			}
+		}
+		if f.LatencyScale > 0 && f.LatencyScale != 1 {
+			// Scale the summary the analyzer reads; the histogram (a
+			// private per-interval copy) is left untouched — a real buggy
+			// exporter scales its headline numbers, not every bucket.
+			for id, s := range snap {
+				s.Vector[metrics.Latency] *= f.LatencyScale
+				s.Latency.Mean *= f.LatencyScale
+				s.Latency.P50 *= f.LatencyScale
+				s.Latency.P95 *= f.LatencyScale
+				s.Latency.P99 *= f.LatencyScale
+				s.Latency.Max *= f.LatencyScale
+				snap[id] = s
+			}
+		}
+	}
+	return snap
 }
 
 // Window returns the recent page accesses of class id (oldest first), the

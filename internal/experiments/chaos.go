@@ -7,6 +7,7 @@ import (
 	"outlierlb/internal/core"
 	"outlierlb/internal/faults"
 	"outlierlb/internal/obs"
+	"outlierlb/internal/resil"
 	"outlierlb/internal/sim"
 	"outlierlb/internal/sla"
 	"outlierlb/internal/workload"
@@ -49,6 +50,9 @@ type ChaosResult struct {
 	// TargetHealthy reports whether the attacked replica ended the run
 	// back in the healthy state with the fault cleared.
 	TargetHealthy bool
+	// Scorecard is the run reduced to its resilience milestones with
+	// the injected fault window as ground truth.
+	Scorecard resil.Scorecard
 	// Intervals is the controller-closed per-interval SLA series for the
 	// whole run (latency percentiles and throughput per interval), for
 	// distribution-level analysis such as internal/benchsuite's macro
@@ -68,14 +72,36 @@ const (
 	chaosThink    = 1.0
 )
 
+// chaosOpts extends runChaos for the adversarial scenarios: mutate
+// edits the controller config before the testbed is built (nil leaves
+// the shared chaos config untouched, byte-for-byte), and inject gets
+// the whole testbed so faults can target the controller's clock or the
+// target replica's engine, not just its server.
+type chaosOpts struct {
+	// name labels the run's scorecard (RESIL_*.json scenario field).
+	name   string
+	mutate func(cfg *core.Config)
+	inject func(in *faults.Injector, tb *testbed, target *cluster.Replica)
+}
+
 // runChaos builds the shared chaos testbed — TPC-W on two of three
 // servers, health management on, controller ticking — lets inject
 // schedule faults against the second replica, runs to endAt and collects
 // the result. The fault window [faultAt, clearAt] only shapes the
 // latency windows; the injected fault decides what actually happens.
-func runChaos(seed uint64, faultAt, clearAt, endAt float64,
+func runChaos(seed uint64, name string, faultAt, clearAt, endAt float64,
 	inject func(in *faults.Injector, target *cluster.Replica)) (*ChaosResult, error) {
-	tb := newTestbed(seed, 3, 2*PoolPages, core.Config{
+	return runChaosOpts(seed, faultAt, clearAt, endAt, chaosOpts{
+		name: name,
+		inject: func(in *faults.Injector, _ *testbed, target *cluster.Replica) {
+			inject(in, target)
+		},
+	})
+}
+
+// runChaosOpts is runChaos with the adversarial extension points.
+func runChaosOpts(seed uint64, faultAt, clearAt, endAt float64, opts chaosOpts) (*ChaosResult, error) {
+	cfg := core.Config{
 		Interval:        chaosInterval,
 		SettleIntervals: 3,
 		// The fine-grained paths degrade deliberately under these faults;
@@ -89,7 +115,11 @@ func runChaos(seed uint64, faultAt, clearAt, endAt float64,
 		// Signatures starved by a blackout go stale rather than serving
 		// as a bogus baseline.
 		SignatureMaxAge: 6 * chaosInterval,
-	})
+	}
+	if opts.mutate != nil {
+		opts.mutate(&cfg)
+	}
+	tb := newTestbed(seed, 3, 2*PoolPages, cfg)
 	defer tb.close()
 	rec := obs.NewRecorder(1 << 14)
 	observer := obs.Tee(rec, obsHooks.observer)
@@ -109,7 +139,7 @@ func runChaos(seed uint64, faultAt, clearAt, endAt float64,
 	target := sched.Replicas()[1]
 	in := faults.New(tb.sim)
 	in.SetObserver(observer)
-	inject(in, target)
+	opts.inject(in, tb, target)
 
 	em := tb.emulate(sched, tpcw.Mix(), chaosThink, workload.Constant(chaosClients))
 	em.Start()
@@ -152,6 +182,12 @@ func runChaos(seed uint64, faultAt, clearAt, endAt float64,
 		}
 	}
 	res.TargetHealthy = !target.Down() && sched.Health(target) == cluster.HealthHealthy
+	res.Scorecard = resil.Score(resil.Input{
+		Scenario: opts.name, Seed: seed,
+		FaultAt: faultAt, ClearAt: clearAt,
+		SLA:       app.SLA.MaxAvgLatency,
+		Intervals: res.Intervals, Events: res.Events,
+	})
 	for _, a := range tb.ctl.Actions() {
 		switch a.Kind {
 		case core.ActionProvision:
@@ -173,7 +209,7 @@ func runChaos(seed uint64, faultAt, clearAt, endAt float64,
 // recovers and its backlog drains.
 func ChaosGrayFailure(seed uint64) (*ChaosResult, error) {
 	const faultAt, clearAt, endAt = 200.0, 400.0, 600.0
-	return runChaos(seed, faultAt, clearAt, endAt,
+	return runChaos(seed, "gray-failure", faultAt, clearAt, endAt,
 		func(in *faults.Injector, target *cluster.Replica) {
 			in.GrayFailure(target.Server(), faultAt, clearAt, 8)
 		})
@@ -186,7 +222,7 @@ func ChaosGrayFailure(seed uint64) (*ChaosResult, error) {
 // oscillating with the flaps.
 func ChaosFlapping(seed uint64) (*ChaosResult, error) {
 	const faultAt, clearAt, endAt = 200.0, 320.0, 500.0
-	return runChaos(seed, faultAt, clearAt, endAt,
+	return runChaos(seed, "flapping", faultAt, clearAt, endAt,
 		func(in *faults.Injector, target *cluster.Replica) {
 			in.Flap(target, faultAt, clearAt, 15, 15, 2)
 		})
@@ -199,7 +235,7 @@ func ChaosFlapping(seed uint64) (*ChaosResult, error) {
 // or diagnose outliers from data that does not exist.
 func ChaosMetricBlackout(seed uint64) (*ChaosResult, error) {
 	const faultAt, clearAt, endAt = 200.0, 350.0, 500.0
-	return runChaos(seed, faultAt, clearAt, endAt,
+	return runChaos(seed, "metric-blackout", faultAt, clearAt, endAt,
 		func(in *faults.Injector, target *cluster.Replica) {
 			in.MetricBlackout(target.Server(), faultAt, clearAt)
 		})

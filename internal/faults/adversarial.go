@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"fmt"
+
+	"outlierlb/internal/engine"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+)
+
+// Adversarial fault types: unlike crash/gray/flap/blackout, these do
+// not degrade the data path at all — they corrupt what the control
+// plane BELIEVES about a healthy data path. The queries keep completing
+// on time; only the monitoring stream lies. A controller that trusts
+// its telemetry unconditionally will "fix" a problem that does not
+// exist, so the defense under test is the analyzer's stale/frozen
+// guards, not the failure detector.
+
+// ByzantineMetrics makes srv report distorted monitoring from at until
+// clearAt without being sick: its CPU utilization is multiplied by
+// cpuScale and then frozen at the first distorted sample, and its
+// engine's per-class latency reports are multiplied by latencyScale and
+// likewise frozen. clearAt ≤ at leaves the lie permanent. eng may be
+// nil to distort only the vmstat path.
+func (in *Injector) ByzantineMetrics(srv *server.Server, eng *engine.Engine, at, clearAt, cpuScale, latencyScale float64) {
+	in.sim.ScheduleAt(sim.Time(at), func() {
+		srv.SetMetricDistortion(&server.MetricDistortion{CPUScale: cpuScale, Freeze: true})
+		if eng != nil {
+			eng.SetReportFault(&engine.ReportFault{LatencyScale: latencyScale, Freeze: true})
+		}
+		in.emit(obs.EventFaultInjected, srv.Name(),
+			fmt.Sprintf("byzantine metrics: cpu ×%.3g frozen, latency ×%.3g frozen", cpuScale, latencyScale),
+			map[string]float64{"cpu_scale": cpuScale, "latency_scale": latencyScale})
+	})
+	if clearAt > at {
+		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+			srv.SetMetricDistortion(nil)
+			if eng != nil {
+				eng.SetReportFault(nil)
+			}
+			in.emit(obs.EventFaultCleared, srv.Name(), "byzantine metrics cleared: honest reporting restored", nil)
+		})
+	}
+}
+
+// SnapshotCorruption corrupts eng's per-interval metric snapshots from
+// at until clearAt. drop true loses every snapshot in transit (the
+// controller sees an empty interval); drop false re-delivers the first
+// post-fault snapshot on every later poll (a duplicated interval,
+// repeated). srvName labels the narration. clearAt ≤ at leaves the
+// corruption permanent.
+func (in *Injector) SnapshotCorruption(eng *engine.Engine, srvName string, at, clearAt float64, drop bool) {
+	mode := "duplicated"
+	if drop {
+		mode = "dropped"
+	}
+	in.sim.ScheduleAt(sim.Time(at), func() {
+		eng.SetReportFault(&engine.ReportFault{Drop: drop, Freeze: !drop})
+		in.emit(obs.EventFaultInjected, srvName,
+			fmt.Sprintf("snapshot corruption: engine intervals %s", mode), nil)
+	})
+	if clearAt > at {
+		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+			eng.SetReportFault(nil)
+			in.emit(obs.EventFaultCleared, srvName, "snapshot corruption cleared: engine snapshots restored", nil)
+		})
+	}
+}
+
+// SkewableClock is the controller-side seam ClockSkew drives: the
+// controller's notion of "now" is offset without the simulation's
+// clock moving. core.Controller implements it via SetClockOffset.
+type SkewableClock interface {
+	SetClockOffset(offset float64)
+}
+
+// ClockSkew offsets the controller's clock by offset seconds from at
+// until clearAt, then snaps it back — the NTP step that makes a
+// measurement interval look three times longer (offset > 0 on entry)
+// or near-zero-length (on exit) than it really was. Interval-derived
+// rates computed from the skewed span are garbage; the controller's
+// ClockGuard is the defense under test. clearAt ≤ at leaves the skew
+// permanent.
+func (in *Injector) ClockSkew(c SkewableClock, ctlName string, at, clearAt, offset float64) {
+	in.sim.ScheduleAt(sim.Time(at), func() {
+		c.SetClockOffset(offset)
+		in.emit(obs.EventFaultInjected, ctlName,
+			fmt.Sprintf("clock skew: controller clock stepped %+.3gs", offset),
+			map[string]float64{"offset": offset})
+	})
+	if clearAt > at {
+		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+			c.SetClockOffset(0)
+			in.emit(obs.EventFaultCleared, ctlName, "clock skew cleared: controller clock stepped back", nil)
+		})
+	}
+}

@@ -1,0 +1,25 @@
+package faults
+
+import (
+	"outlierlb/internal/obs"
+	"outlierlb/internal/server"
+	"outlierlb/internal/sim"
+)
+
+// MetricBlackout makes srv's monitoring unreachable from at until
+// clearAt: the server keeps serving queries, but vmstat samples and
+// engine snapshots are unavailable and the controller must degrade
+// gracefully rather than misdiagnose. clearAt ≤ at leaves the blackout
+// permanent.
+func (in *Injector) MetricBlackout(srv *server.Server, at, clearAt float64) {
+	in.sim.ScheduleAt(sim.Time(at), func() {
+		srv.SetMetricsBlackout(true)
+		in.emit(obs.EventFaultInjected, srv.Name(), "metric blackout: monitoring unreachable", nil)
+	})
+	if clearAt > at {
+		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+			srv.SetMetricsBlackout(false)
+			in.emit(obs.EventFaultCleared, srv.Name(), "metric blackout cleared: monitoring restored", nil)
+		})
+	}
+}

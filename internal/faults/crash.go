@@ -1,0 +1,35 @@
+package faults
+
+import (
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/sim"
+)
+
+// Crash takes replica r down at virtual time at, unannounced: the
+// scheduler's failure detector has to notice. A recoverAt > at brings
+// the replica back (still unannounced — the breaker's probe discovers
+// it); recoverAt ≤ at means the replica stays down forever.
+func (in *Injector) Crash(r *cluster.Replica, at, recoverAt float64) {
+	name := r.Server().Name()
+	in.sim.ScheduleAt(sim.Time(at), func() {
+		r.SetDown(true)
+		in.emit(obs.EventFaultInjected, name, "crash: replica process killed", nil)
+	})
+	if recoverAt > at {
+		in.sim.ScheduleAt(sim.Time(recoverAt), func() {
+			r.SetDown(false)
+			in.emit(obs.EventFaultCleared, name, "crash cleared: replica process restarted", nil)
+		})
+	}
+}
+
+// CorrelatedCrash takes every replica down at the same instant — the
+// shared-rack / shared-switch failure mode that independent per-replica
+// crash probabilities never produce — and restores them all at
+// recoverAt (if > at).
+func (in *Injector) CorrelatedCrash(reps []*cluster.Replica, at, recoverAt float64) {
+	for _, r := range reps {
+		in.Crash(r, at, recoverAt)
+	}
+}

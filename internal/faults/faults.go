@@ -5,10 +5,15 @@
 //
 // Faults target the granularities the paper's architecture exposes —
 // the replica (crash, flapping), the physical server's disk (gray
-// failure) and the server's monitoring path (metric blackout) — and
-// each injection and clearance is narrated to the obs decision trace,
-// giving a chaos experiment a ground-truth timeline to compare the
-// failure detector's inferences against.
+// failure) and the server's monitoring path (metric blackout, and the
+// adversarial variants: Byzantine metric distortion, snapshot
+// corruption, controller clock skew) — and each injection and clearance
+// is narrated to the obs decision trace, giving a chaos experiment a
+// ground-truth timeline to compare the failure detector's inferences
+// against.
+//
+// Each fault type lives in its own file (crash.go, gray.go, flap.go,
+// blackout.go, adversarial.go); this file holds the shared Injector.
 //
 // Concurrency: injections are events on the simulation loop
 // (internal/sim), so the package is single-owner like everything else in
@@ -17,11 +22,7 @@
 package faults
 
 import (
-	"fmt"
-
-	"outlierlb/internal/cluster"
 	"outlierlb/internal/obs"
-	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
 )
 
@@ -56,114 +57,4 @@ func (in *Injector) emit(kind obs.EventKind, srv string, cause string, fields ma
 		Time: in.sim.Now().Seconds(), Kind: kind,
 		Server: srv, Cause: cause, Fields: fields,
 	})
-}
-
-// Crash takes replica r down at virtual time at, unannounced: the
-// scheduler's failure detector has to notice. A recoverAt > at brings
-// the replica back (still unannounced — the breaker's probe discovers
-// it); recoverAt ≤ at means the replica stays down forever.
-func (in *Injector) Crash(r *cluster.Replica, at, recoverAt float64) {
-	name := r.Server().Name()
-	in.sim.ScheduleAt(sim.Time(at), func() {
-		r.SetDown(true)
-		in.emit(obs.EventFaultInjected, name, "crash: replica process killed", nil)
-	})
-	if recoverAt > at {
-		in.sim.ScheduleAt(sim.Time(recoverAt), func() {
-			r.SetDown(false)
-			in.emit(obs.EventFaultCleared, name, "crash cleared: replica process restarted", nil)
-		})
-	}
-}
-
-// CorrelatedCrash takes every replica down at the same instant — the
-// shared-rack / shared-switch failure mode that independent per-replica
-// crash probabilities never produce — and restores them all at
-// recoverAt (if > at).
-func (in *Injector) CorrelatedCrash(reps []*cluster.Replica, at, recoverAt float64) {
-	for _, r := range reps {
-		in.Crash(r, at, recoverAt)
-	}
-}
-
-// GrayFailure degrades srv's disk by factor from at until clearAt: every
-// request is served factor times slower. The server keeps answering —
-// slowly — which is exactly the failure an announced-crash model cannot
-// represent. clearAt ≤ at leaves the degradation permanent.
-func (in *Injector) GrayFailure(srv *server.Server, at, clearAt, factor float64) {
-	if factor < 1 {
-		factor = 1
-	}
-	in.sim.ScheduleAt(sim.Time(at), func() {
-		srv.Disk().SetSlowdown(factor)
-		in.emit(obs.EventFaultInjected, srv.Name(),
-			fmt.Sprintf("gray failure: disk service time ×%.3g", factor),
-			map[string]float64{"factor": factor})
-	})
-	if clearAt > at {
-		in.sim.ScheduleAt(sim.Time(clearAt), func() {
-			srv.Disk().SetSlowdown(1)
-			in.emit(obs.EventFaultCleared, srv.Name(), "gray failure cleared: disk service time restored", nil)
-		})
-	}
-}
-
-// Flap cycles replica r between down and up from at until clearAt: down
-// for downFor seconds, then up for upFor seconds, repeating. jitter > 0
-// perturbs each phase length uniformly by ±jitter seconds, drawn from
-// the injector's forked seeded RNG (reproducible per seed). The replica
-// is left up when the flapping window closes.
-func (in *Injector) Flap(r *cluster.Replica, at, clearAt, downFor, upFor, jitter float64) {
-	name := r.Server().Name()
-	phase := func(d float64) float64 {
-		if jitter > 0 {
-			d += in.rng.Uniform(-jitter, jitter)
-		}
-		return max(d, 0.001)
-	}
-	var down, up func()
-	down = func() {
-		if in.sim.Now().Seconds() >= clearAt {
-			return
-		}
-		r.SetDown(true)
-		in.emit(obs.EventFaultInjected, name, "flap: replica down", nil)
-		in.sim.Schedule(phase(downFor), up)
-	}
-	up = func() {
-		if r.Down() {
-			r.SetDown(false)
-			in.emit(obs.EventFaultCleared, name, "flap: replica back up", nil)
-		}
-		if in.sim.Now().Seconds() < clearAt {
-			in.sim.Schedule(phase(upFor), down)
-		}
-	}
-	in.sim.ScheduleAt(sim.Time(at), down)
-	// Safety net: whatever phase the cycle is in, the window's close
-	// leaves the replica up.
-	in.sim.ScheduleAt(sim.Time(clearAt), func() {
-		if r.Down() {
-			r.SetDown(false)
-			in.emit(obs.EventFaultCleared, name, "flap window closed: replica left up", nil)
-		}
-	})
-}
-
-// MetricBlackout makes srv's monitoring unreachable from at until
-// clearAt: the server keeps serving queries, but vmstat samples and
-// engine snapshots are unavailable and the controller must degrade
-// gracefully rather than misdiagnose. clearAt ≤ at leaves the blackout
-// permanent.
-func (in *Injector) MetricBlackout(srv *server.Server, at, clearAt float64) {
-	in.sim.ScheduleAt(sim.Time(at), func() {
-		srv.SetMetricsBlackout(true)
-		in.emit(obs.EventFaultInjected, srv.Name(), "metric blackout: monitoring unreachable", nil)
-	})
-	if clearAt > at {
-		in.sim.ScheduleAt(sim.Time(clearAt), func() {
-			srv.SetMetricsBlackout(false)
-			in.emit(obs.EventFaultCleared, srv.Name(), "metric blackout cleared: monitoring restored", nil)
-		})
-	}
 }

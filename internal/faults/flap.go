@@ -1,0 +1,49 @@
+package faults
+
+import (
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/sim"
+)
+
+// Flap cycles replica r between down and up from at until clearAt: down
+// for downFor seconds, then up for upFor seconds, repeating. jitter > 0
+// perturbs each phase length uniformly by ±jitter seconds, drawn from
+// the injector's forked seeded RNG (reproducible per seed). The replica
+// is left up when the flapping window closes.
+func (in *Injector) Flap(r *cluster.Replica, at, clearAt, downFor, upFor, jitter float64) {
+	name := r.Server().Name()
+	phase := func(d float64) float64 {
+		if jitter > 0 {
+			d += in.rng.Uniform(-jitter, jitter)
+		}
+		return max(d, 0.001)
+	}
+	var down, up func()
+	down = func() {
+		if in.sim.Now().Seconds() >= clearAt {
+			return
+		}
+		r.SetDown(true)
+		in.emit(obs.EventFaultInjected, name, "flap: replica down", nil)
+		in.sim.Schedule(phase(downFor), up)
+	}
+	up = func() {
+		if r.Down() {
+			r.SetDown(false)
+			in.emit(obs.EventFaultCleared, name, "flap: replica back up", nil)
+		}
+		if in.sim.Now().Seconds() < clearAt {
+			in.sim.Schedule(phase(upFor), down)
+		}
+	}
+	in.sim.ScheduleAt(sim.Time(at), down)
+	// Safety net: whatever phase the cycle is in, the window's close
+	// leaves the replica up.
+	in.sim.ScheduleAt(sim.Time(clearAt), func() {
+		if r.Down() {
+			r.SetDown(false)
+			in.emit(obs.EventFaultCleared, name, "flap window closed: replica left up", nil)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"testing"
+
+	"outlierlb/internal/cluster"
+	"outlierlb/internal/obs"
+	"outlierlb/internal/sim"
+)
+
+type fakeClock struct{ offset float64 }
+
+func (f *fakeClock) SetClockOffset(o float64) { f.offset = o }
+
+// TestFaultOverlapPrecedence pins the composition semantics when two
+// faults target the same replica or server at once: faults that share a
+// channel (crash and flap both drive the replica's down bit) compose
+// last-writer-wins, while faults on independent channels (blackout hides
+// monitoring, gray failure degrades the disk, byzantine distortion lies
+// about a healthy server) stack without interfering. Each case runs the
+// whole schedule and probes invariants at fixed virtual times.
+func TestFaultOverlapPrecedence(t *testing.T) {
+	type probe struct {
+		at    float64
+		check func(t *testing.T, r *cluster.Replica, clk *fakeClock)
+	}
+	cases := []struct {
+		name   string
+		setup  func(in *Injector, r *cluster.Replica, clk *fakeClock)
+		probes []probe
+	}{
+		{
+			// A hard crash lands mid-flap. The flap cycle keeps toggling
+			// the same down bit, so the crash window is not authoritative —
+			// but the flap window's close leaves the replica up, and the
+			// crash's own recovery also writes up: the run must END up.
+			name: "crash mid-flap",
+			setup: func(in *Injector, r *cluster.Replica, _ *fakeClock) {
+				in.Flap(r, 10, 100, 5, 10, 0)
+				in.Crash(r, 31, 120)
+			},
+			probes: []probe{
+				{at: 32, check: func(t *testing.T, r *cluster.Replica, _ *fakeClock) {
+					if !r.Down() {
+						t.Fatal("replica up right after the mid-flap crash")
+					}
+				}},
+				{at: 130, check: func(t *testing.T, r *cluster.Replica, _ *fakeClock) {
+					if r.Down() {
+						t.Fatal("replica down after both windows closed")
+					}
+				}},
+			},
+		},
+		{
+			// Blackout spans a gray failure: monitoring silence and disk
+			// degradation are independent channels. The disk must degrade
+			// and restore on the gray schedule even while blacked out, and
+			// the blackout must outlive the gray clear.
+			name: "blackout over gray failure",
+			setup: func(in *Injector, r *cluster.Replica, _ *fakeClock) {
+				in.MetricBlackout(r.Server(), 20, 80)
+				in.GrayFailure(r.Server(), 40, 60, 8)
+			},
+			probes: []probe{
+				{at: 50, check: func(t *testing.T, r *cluster.Replica, _ *fakeClock) {
+					if !r.Server().MetricsBlackedOut() {
+						t.Fatal("not blacked out during overlap")
+					}
+					if got := r.Server().Disk().Slowdown(); got != 8 {
+						t.Fatalf("slowdown during overlap = %v, want 8", got)
+					}
+				}},
+				{at: 70, check: func(t *testing.T, r *cluster.Replica, _ *fakeClock) {
+					if !r.Server().MetricsBlackedOut() {
+						t.Fatal("blackout ended early with the gray clear")
+					}
+					if got := r.Server().Disk().Slowdown(); got != 1 {
+						t.Fatalf("slowdown after gray clear = %v, want 1", got)
+					}
+				}},
+				{at: 90, check: func(t *testing.T, r *cluster.Replica, _ *fakeClock) {
+					if r.Server().MetricsBlackedOut() {
+						t.Fatal("blackout survived its clear time")
+					}
+				}},
+			},
+		},
+		{
+			// Byzantine distortion over a blackout: the blackout silences
+			// the monitoring path entirely, which trumps whatever the
+			// distorted reports would have said; when the blackout clears
+			// first, the lie is still in force.
+			name: "byzantine under blackout",
+			setup: func(in *Injector, r *cluster.Replica, _ *fakeClock) {
+				in.ByzantineMetrics(r.Server(), nil, 10, 100, 0.5, 8)
+				in.MetricBlackout(r.Server(), 20, 50)
+			},
+			probes: []probe{
+				{at: 30, check: func(t *testing.T, r *cluster.Replica, _ *fakeClock) {
+					if !r.Server().MetricsBlackedOut() {
+						t.Fatal("blackout not in force over the distortion")
+					}
+				}},
+				{at: 60, check: func(t *testing.T, r *cluster.Replica, _ *fakeClock) {
+					if r.Server().MetricsBlackedOut() {
+						t.Fatal("blackout outlived its window")
+					}
+					// The distortion is still installed: a CPU reading is
+					// scaled down from the truth (both are 0 on an idle
+					// server, so only assert it is sane, not inflated).
+					if u := r.Server().CPUUtilization(60); u < 0 || u > 1 {
+						t.Fatalf("distorted utilization out of range: %v", u)
+					}
+				}},
+			},
+		},
+		{
+			// Clock skew injects and clears on schedule, independent of a
+			// concurrent crash on the data path.
+			name: "clock skew over crash",
+			setup: func(in *Injector, r *cluster.Replica, clk *fakeClock) {
+				in.ClockSkew(clk, "ctl", 25, 75, 60)
+				in.Crash(r, 30, 40)
+			},
+			probes: []probe{
+				{at: 35, check: func(t *testing.T, r *cluster.Replica, clk *fakeClock) {
+					if clk.offset != 60 {
+						t.Fatalf("offset during skew = %v, want 60", clk.offset)
+					}
+					if !r.Down() {
+						t.Fatal("crash not in force under clock skew")
+					}
+				}},
+				{at: 80, check: func(t *testing.T, r *cluster.Replica, clk *fakeClock) {
+					if clk.offset != 0 {
+						t.Fatalf("offset after clear = %v, want 0", clk.offset)
+					}
+					if r.Down() {
+						t.Fatal("crash recovery lost under clock skew")
+					}
+				}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, in, rec := newInjector(1)
+			r := newReplica(t, "db1")
+			clk := &fakeClock{}
+			tc.setup(in, r, clk)
+			for _, p := range tc.probes {
+				eng.RunUntil(sim.Time(p.at))
+				p.check(t, r, clk)
+			}
+			eng.Run()
+			// Every injection narrated; injected and cleared events pair up
+			// by count for bounded faults.
+			inj, clr := 0, 0
+			for _, e := range rec.events {
+				switch e.Kind {
+				case obs.EventFaultInjected:
+					inj++
+				case obs.EventFaultCleared:
+					clr++
+				}
+			}
+			if inj == 0 || clr == 0 {
+				t.Fatalf("fault narration missing: injected=%d cleared=%d", inj, clr)
+			}
+		})
+	}
+}

@@ -111,6 +111,26 @@ const (
 	EventReadmitClass EventKind = "readmit-class"
 )
 
+// Control-plane guardrail events. The action watchdog (internal/guard)
+// narrates its lifecycle through these so a reverted retuning decision
+// is as explainable as the decision itself.
+const (
+	// EventActionSuspect marks a controller action whose post-action
+	// fitness regressed beyond the watchdog's tolerance; Fields carries
+	// the pre/post fitness components and the regression score.
+	EventActionSuspect EventKind = "action-suspect"
+	// EventActionReverted marks a suspect action rolled back by the
+	// watchdog (placement restored, quota reinstated, class readmitted).
+	EventActionReverted EventKind = "action-reverted"
+	// EventGuardVeto marks an action blocked before it ran: rate limit,
+	// post-revert cooldown, or the oscillation detector.
+	EventGuardVeto EventKind = "guard-veto"
+	// EventGuardTripped marks the action-storm circuit opening: the
+	// watchdog reverted repeatedly within its window, so diagnosis is
+	// suspended and the controller falls back to coarse isolation.
+	EventGuardTripped EventKind = "guard-tripped"
+)
+
 // Event is one structured decision-trace record.
 type Event struct {
 	// Seq is assigned by the event log: a monotonically increasing

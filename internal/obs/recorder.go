@@ -35,6 +35,12 @@ const (
 	MetricQueueDepth = "outlierlb_admission_queue_depth"
 	MetricTokens     = "outlierlb_admission_tokens"
 	MetricShedNow    = "outlierlb_admission_shed_classes"
+
+	// Control-plane guardrail metrics (action watchdog).
+	MetricGuardSuspects = "outlierlb_guard_suspects_total"
+	MetricGuardReverts  = "outlierlb_guard_reverts_total"
+	MetricGuardVetoes   = "outlierlb_guard_vetoes_total"
+	MetricGuardTrips    = "outlierlb_guard_trips_total"
 )
 
 // Recorder is the standard Observer: it appends every decision-trace
@@ -76,6 +82,10 @@ func NewRecorder(capacity int) *Recorder {
 	r.reg.Help(MetricQueueDepth, "Bounded in-flight queue depth, per application and server.")
 	r.reg.Help(MetricTokens, "Admission token-bucket level, per application (-1 when the token gate is off).")
 	r.reg.Help(MetricShedNow, "Query classes currently on the brownout shed list, per application.")
+	r.reg.Help(MetricGuardSuspects, "Controller actions whose post-action fitness regressed beyond tolerance, per application.")
+	r.reg.Help(MetricGuardReverts, "Controller actions rolled back by the action watchdog, per application.")
+	r.reg.Help(MetricGuardVetoes, "Controller actions blocked by guardrails before running, by reason.")
+	r.reg.Help(MetricGuardTrips, "Action-storm circuit openings (diagnosis suspended), per application.")
 	return r
 }
 
@@ -100,6 +110,16 @@ func (r *Recorder) Event(e Event) {
 	r.reg.Add(MetricEvents, L("kind", string(e.Kind)), 1)
 	if e.Kind == EventOutlier {
 		r.reg.Add(MetricOutliers, L("level", e.Level), 1)
+	}
+	switch e.Kind {
+	case EventActionSuspect:
+		r.reg.Add(MetricGuardSuspects, L("app", e.App), 1)
+	case EventActionReverted:
+		r.reg.Add(MetricGuardReverts, L("app", e.App), 1)
+	case EventGuardVeto:
+		r.reg.Add(MetricGuardVetoes, L("reason", e.Level), 1)
+	case EventGuardTripped:
+		r.reg.Add(MetricGuardTrips, L("app", e.App), 1)
 	}
 	if e.Kind == EventSignature {
 		return // stable-state bookkeeping, too chatty for the mirror

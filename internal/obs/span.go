@@ -42,6 +42,11 @@ const (
 	SpanDisk SpanKind = "disk"
 	// SpanLockWait is time spent queued behind the engine's lock slots.
 	SpanLockWait SpanKind = "lock-wait"
+	// SpanGuard is a control-plane marker: a zero-or-short-duration root
+	// span recording a watchdog rollback so trace timelines show where a
+	// controller action was reverted. Created by Tracer.StartMarker, never
+	// by StartQuery.
+	SpanGuard SpanKind = "guard"
 )
 
 // SpanEvent is a point-in-time annotation on a span — admission
@@ -222,8 +227,9 @@ type Tracer struct {
 	sampled atomic.Uint64
 
 	// Single-threaded (simulation loop) state.
-	spanSeq SpanID // span counter for the trace being built
-	cur     *Span  // innermost span new engine work should nest under
+	spanSeq   SpanID // span counter for the trace being built
+	cur       *Span  // innermost span new engine work should nest under
+	markerSeq uint64 // guard-marker counter, independent of query sampling
 
 	mu       sync.Mutex
 	ring     []*Span
@@ -284,6 +290,31 @@ func (t *Tracer) StartQuery(now float64, app, class string) *Span {
 	}
 	t.cur = root
 	return root
+}
+
+// StartMarker opens a control-plane guard marker: a standalone root
+// span (kind SpanGuard) that lands in the finished-trace ring so
+// tracetool timelines show reverted actions next to query traces. The
+// caller annotates it and Finishes it immediately.
+//
+// Markers draw IDs from their own counter and never touch the query
+// head-sampling counter or the in-flight trace's span sequence, so
+// attaching guard markers perturbs neither sampling decisions nor open
+// query traces — figure goldens stay bit-identical. Returns nil when
+// the tracer is nil or disabled.
+func (t *Tracer) StartMarker(now float64, app, name string) *Span {
+	if t == nil || t.rate <= 0 {
+		return nil
+	}
+	t.markerSeq++
+	h := mix64((t.seed ^ 0xa5a5a5a5a5a5a5a5) + t.markerSeq*0x9e3779b97f4a7c15)
+	if h == 0 {
+		h = 1
+	}
+	return &Span{
+		Trace: TraceID(h), ID: 1, Kind: SpanGuard,
+		Name: name, App: app, Start: now, tracer: t,
+	}
 }
 
 // Current returns the span new nested work should attach to, nil when

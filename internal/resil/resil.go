@@ -1,0 +1,196 @@
+// Package resil scores a chaos or adversarial run into a resilience
+// scorecard: for each scenario it reduces the run's observability
+// record (decision-trace events plus per-interval SLA outcomes) to the
+// four numbers that matter for a control plane under attack — time to
+// detect, time to mitigate, time to recover, and steady-state deviation
+// once recovered — plus whether the action watchdog had to revert
+// anything along the way.
+//
+// The scorecard is persisted as a versioned, strictly-framed
+// RESIL_*.json document (see schema.go), written atomically and
+// refusing silent overwrites, mirroring the BENCH_*.json and flight-
+// recorder idioms, so CI can gate on "the cluster detected the fault,
+// reverted the damage, and recovered within budget" the same way it
+// gates on throughput.
+package resil
+
+import (
+	"outlierlb/internal/obs"
+	"outlierlb/internal/sla"
+)
+
+// detectKinds are the events that count as the control plane NOTICING
+// something is wrong — failure-detector suspicion, breaker trips,
+// degraded-analysis guards, outlier diagnoses, SLA violations, and the
+// watchdog flagging one of its own actions.
+var detectKinds = map[obs.EventKind]bool{
+	obs.EventReplicaSuspected: true,
+	obs.EventReplicaFailed:    true,
+	obs.EventBreakerTrip:      true,
+	obs.EventDegradedAnalysis: true,
+	obs.EventOutlier:          true,
+	obs.EventViolation:        true,
+	obs.EventActionSuspect:    true,
+	obs.EventGuardTripped:     true,
+}
+
+// mitigateKinds are the events that count as the control plane DOING
+// something about it — retuning actions, query retries, and the
+// watchdog rolling a harmful action back.
+var mitigateKinds = map[obs.EventKind]bool{
+	obs.EventProvision:      true,
+	obs.EventReschedule:     true,
+	obs.EventQuota:          true,
+	obs.EventIOMove:         true,
+	obs.EventFallback:       true,
+	obs.EventShedClass:      true,
+	obs.EventReadmitClass:   true,
+	obs.EventQueryRetry:     true,
+	obs.EventActionReverted: true,
+}
+
+// Input is everything Score needs about one scenario run.
+type Input struct {
+	// Scenario and Seed identify the run.
+	Scenario string
+	Seed     uint64
+	// FaultAt and ClearAt are the ground-truth fault window in virtual
+	// seconds; ClearAt ≤ FaultAt means the fault never cleared.
+	FaultAt float64
+	ClearAt float64
+	// SLA is the protected application's latency bound, for the record.
+	SLA float64
+	// RecoverStreak is how many consecutive met intervals count as
+	// recovered; ≤ 0 defaults to 3.
+	RecoverStreak int
+	// Intervals is the protected application's closed measurement
+	// intervals, in time order.
+	Intervals []sla.Interval
+	// Events is the run's decision trace, in time order.
+	Events []obs.Event
+}
+
+// Scorecard is one scenario's resilience outcome — the per-scenario
+// entry of a RESIL_*.json document. Times are virtual seconds; the
+// TimeTo* durations are -1 when the milestone never happened.
+type Scorecard struct {
+	Scenario string  `json:"scenario"`
+	Seed     uint64  `json:"seed"`
+	FaultAt  float64 `json:"fault_at"`
+	ClearAt  float64 `json:"clear_at,omitempty"`
+	SLA      float64 `json:"sla,omitempty"`
+
+	// Detected / Mitigated / Recovered are the milestone booleans;
+	// Reverted reports whether the action watchdog rolled any action
+	// back during the run.
+	Detected  bool `json:"detected"`
+	Mitigated bool `json:"mitigated"`
+	Recovered bool `json:"recovered"`
+	Reverted  bool `json:"reverted"`
+
+	// TimeToDetect is first detection event minus FaultAt; -1 never.
+	TimeToDetect float64 `json:"time_to_detect"`
+	// TimeToMitigate is first mitigation after detection minus FaultAt;
+	// -1 never.
+	TimeToMitigate float64 `json:"time_to_mitigate"`
+	// TimeToRecover is the end of the first RecoverStreak-long run of
+	// met intervals after the fault cleared (or after FaultAt when the
+	// fault is permanent), minus the fault clearing; -1 never.
+	TimeToRecover float64 `json:"time_to_recover"`
+
+	// DetectKind / MitigateKind name the first qualifying events.
+	DetectKind   string `json:"detect_kind,omitempty"`
+	MitigateKind string `json:"mitigate_kind,omitempty"`
+
+	// SteadyStateDeviation compares mean post-recovery latency against
+	// the pre-fault mean: 0 is a full return to baseline, 0.10 is 10%
+	// worse. Zero when either side has no data.
+	SteadyStateDeviation float64 `json:"steady_state_deviation"`
+}
+
+// Score reduces one scenario run to its scorecard.
+func Score(in Input) Scorecard {
+	sc := Scorecard{
+		Scenario: in.Scenario, Seed: in.Seed,
+		FaultAt: in.FaultAt, ClearAt: in.ClearAt, SLA: in.SLA,
+		TimeToDetect: -1, TimeToMitigate: -1, TimeToRecover: -1,
+	}
+	streak := in.RecoverStreak
+	if streak <= 0 {
+		streak = 3
+	}
+
+	detectAt := -1.0
+	for _, e := range in.Events {
+		if e.Kind == obs.EventActionReverted {
+			sc.Reverted = true
+		}
+		if e.Time < in.FaultAt {
+			continue
+		}
+		if detectAt < 0 && detectKinds[e.Kind] {
+			detectAt = e.Time
+			sc.Detected = true
+			sc.TimeToDetect = e.Time - in.FaultAt
+			sc.DetectKind = string(e.Kind)
+			continue
+		}
+		if detectAt >= 0 && !sc.Mitigated && e.Time >= detectAt && mitigateKinds[e.Kind] {
+			sc.Mitigated = true
+			sc.TimeToMitigate = e.Time - in.FaultAt
+			sc.MitigateKind = string(e.Kind)
+		}
+	}
+
+	// Recovery: the first streak of met, non-empty intervals whose END
+	// falls after the fault cleared (FaultAt for permanent faults).
+	baseAt := in.FaultAt
+	if in.ClearAt > in.FaultAt {
+		baseAt = in.ClearAt
+	}
+	run := 0
+	recoverEnd := -1.0
+	for _, iv := range in.Intervals {
+		if iv.Queries == 0 {
+			continue
+		}
+		if iv.Met {
+			run++
+			if run >= streak && iv.End > baseAt {
+				recoverEnd = iv.End
+				break
+			}
+		} else if iv.End > in.FaultAt {
+			run = 0
+		}
+	}
+	if recoverEnd >= 0 {
+		sc.Recovered = true
+		sc.TimeToRecover = recoverEnd - baseAt
+		if sc.TimeToRecover < 0 {
+			sc.TimeToRecover = 0
+		}
+	}
+
+	// Steady-state deviation: mean latency after recovery vs before the
+	// fault.
+	var preSum, postSum float64
+	var preN, postN int
+	for _, iv := range in.Intervals {
+		if iv.Queries == 0 {
+			continue
+		}
+		switch {
+		case iv.End <= in.FaultAt:
+			preSum += iv.AvgLatency
+			preN++
+		case recoverEnd >= 0 && iv.Start >= recoverEnd:
+			postSum += iv.AvgLatency
+			postN++
+		}
+	}
+	if preN > 0 && postN > 0 && preSum > 0 {
+		sc.SteadyStateDeviation = (postSum/float64(postN))/(preSum/float64(preN)) - 1
+	}
+	return sc
+}

@@ -43,6 +43,31 @@ type Server struct {
 	lastObs  float64 // time of last interval reset
 	vms      []*VM
 	blackout bool // metrics collection unreachable (monitoring fault)
+
+	distort     *MetricDistortion // Byzantine reporting fault, nil when honest
+	frozenCPU   float64           // first utilization reported while frozen
+	frozenValid bool
+}
+
+// MetricDistortion is a Byzantine metric-reporting fault: the server
+// keeps serving queries normally but lies in its vmstat-style samples.
+// It models a wedged monitoring agent or a compromised exporter — the
+// machine is healthy, only the numbers are wrong.
+type MetricDistortion struct {
+	// CPUScale multiplies the reported CPU utilization (clamped to
+	// [0, 1] after scaling). 0 or 1 leaves it unscaled.
+	CPUScale float64
+	// Freeze repeats the first utilization observed after the fault was
+	// installed on every later call — a stuck sample.
+	Freeze bool
+}
+
+// SetMetricDistortion installs (or, with nil, clears) a Byzantine
+// metric-reporting fault. The true utilization window keeps advancing
+// underneath; only the reported value is distorted.
+func (s *Server) SetMetricDistortion(d *MetricDistortion) {
+	s.distort = d
+	s.frozenValid = false
 }
 
 // New returns a server. Cores and MemoryPages must be positive.
@@ -151,7 +176,34 @@ func (s *Server) CPUUtilization(now float64) float64 {
 	if u < 0 {
 		u = 0
 	}
+	if d := s.distort; d != nil {
+		if d.CPUScale > 0 && d.CPUScale != 1 {
+			u *= d.CPUScale
+			if u > 1 {
+				u = 1
+			}
+		}
+		if d.Freeze {
+			if !s.frozenValid {
+				s.frozenCPU = u
+				s.frozenValid = true
+			}
+			u = s.frozenCPU
+		}
+	}
 	return u
+}
+
+// ResyncObservation realigns the CPU and disk observation windows to now
+// without reading them, discarding whatever accumulated. The controller
+// calls it on a clock-anomaly tick: its sampling timestamps jumped, so a
+// window straddling the jump measures nothing, and leaving the marks at
+// a future timestamp would make every later sample read as idle until
+// real time caught up.
+func (s *Server) ResyncObservation(now float64) {
+	s.busyMark = s.busy
+	s.lastObs = now
+	s.disk.ResyncWindow(now)
 }
 
 // ReadPages performs disk I/O on the server's disk, for engines hosted

@@ -159,6 +159,15 @@ func (d *Disk) UtilizationWindow(now float64) float64 {
 	return u
 }
 
+// ResyncWindow realigns the observation window to now without reading
+// it, discarding whatever accumulated. Used when the sampler's clock is
+// known to have jumped: a window bounded by timestamps from two
+// different clocks measures nothing.
+func (d *Disk) ResyncWindow(now float64) {
+	d.busyMark = d.busy
+	d.lastObs = now
+}
+
 // Requests reports the number of read requests served or queued.
 func (d *Disk) Requests() int64 { return d.requests }
 
