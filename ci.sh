@@ -40,6 +40,14 @@ go test -short -run TestChaosSmoke -count=1 ./internal/experiments/
 # smoke above.
 go test -short -run 'TestOverloadProtection|TestOverloadDeterminism' -count=1 ./internal/experiments/
 
+# Event-core determinism smoke: run the §5.3 diagnosis scenario twice
+# through the discrete-event core under 2 pinned seeds (short mode) and
+# require byte-identical metrics snapshots and span trees, plus the
+# inline-path identity and phase-traffic checks. The full 3-seed sweep
+# and the double Figure-3 on/off comparison already ran above; this rerun
+# pins the operator-facing invocation. See DESIGN.md §10.
+go test -short -run TestEventCore -count=1 ./internal/experiments/
+
 # Performance regression gate: run the suite in short mode and compare
 # against the committed seed baseline at ±30% — wide enough to absorb
 # machine-to-machine variance, tight enough to catch a hot path going

@@ -59,6 +59,7 @@ func main() {
 	runOut := flag.String("run.out", "",
 		"flush a RUN_*.json flight recording (metric time series + sampled traces) to FILE on completion")
 	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
+	eventCore := obscli.EventCoreFlag()
 	flag.Parse()
 
 	if *suite || *suiteShort || *resilMode {
@@ -67,6 +68,14 @@ func main() {
 		if *traceSample != 0 || *runOut != "" || *pprof || *obsAddr != "" {
 			fmt.Fprintln(os.Stderr,
 				"benchrunner: -trace.sample, -run.out, -obs.pprof and -obs.addr apply only to experiment runs, not -suite/-suite.short/-resil")
+			os.Exit(2)
+		}
+		// The suites pin their own configuration so baselines stay
+		// comparable; refuse the toggle even at its default value rather
+		// than let an explicit setting appear to take effect.
+		if obscli.FlagWasSet("sim.eventcore") {
+			fmt.Fprintln(os.Stderr,
+				"benchrunner: -sim.eventcore applies only to experiment runs, not -suite/-suite.short/-resil")
 			os.Exit(2)
 		}
 		if *resilMode {
@@ -82,6 +91,7 @@ func main() {
 	}
 
 	experiments.SetStatWorkers(*statWorkers)
+	experiments.SetEventCore(*eventCore)
 
 	session, err := obscli.Start(obscli.Options{
 		Addr:        *obsAddr,

@@ -116,7 +116,9 @@ func main() {
 	runOut := flag.String("run.out", "",
 		"flush a RUN_*.json flight recording (metric time series + sampled traces) to FILE on completion")
 	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
+	eventCore := obscli.EventCoreFlag()
 	flag.Parse()
+	experiments.SetEventCore(*eventCore)
 
 	if *record != "" {
 		if err := recordTrace(*record, *recordApp, *recordN, *seed); err != nil {

@@ -13,6 +13,7 @@ import (
 	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 )
 
 // Config tunes the selective retuning controller.
@@ -364,9 +365,9 @@ func (c *Controller) Start() {
 	var tick func()
 	tick = func() {
 		c.Tick()
-		c.sim.Schedule(c.cfg.Interval, tick)
+		c.sim.ScheduleKind(simcore.KindIntervalTick, c.cfg.Interval, tick)
 	}
-	c.sim.Schedule(c.cfg.Interval, tick)
+	c.sim.ScheduleKind(simcore.KindIntervalTick, c.cfg.Interval, tick)
 }
 
 func (c *Controller) analyzer(eng *engine.Engine) *LogAnalyzer {

@@ -37,6 +37,7 @@ import (
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
 	"outlierlb/internal/obs"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/trace"
 )
 
@@ -118,6 +119,15 @@ type Config struct {
 	// windows and background MRC tracking (see statexec.go). 0 keeps
 	// statistics synchronous and deterministic.
 	StatWorkers int
+	// InlinePhases is the transition escape hatch for the discrete-event
+	// service-phase path (the -sim.eventcore toggle, default on): by
+	// default a query's CPU/disk/lock-wait completions are committed
+	// through the engine's simcore event queue in virtual-time order;
+	// setting InlinePhases restores the pre-event-core inline max()
+	// accounting. Both paths produce bit-identical latencies, metric
+	// snapshots and span trees (asserted by the experiments package's
+	// event-core determinism tests).
+	InlinePhases bool
 }
 
 // Engine is one simulated database engine. The query path is not safe
@@ -162,6 +172,16 @@ type Engine struct {
 	// (exec/cpu/disk/lock-wait, pool hit/miss counts) under the query's
 	// current span. Nil keeps the path untouched.
 	tracer *obs.Tracer
+
+	// Event-core service-phase machinery (nil when Config.InlinePhases):
+	// each Execute pushes its phase completions onto phaseQ and drains
+	// them in virtual-time order. The callbacks are built once at
+	// construction and read the ph* scratch fields, so the per-query
+	// path allocates nothing beyond what the inline path did.
+	phaseQ                                       *simcore.Queue
+	onLockGrant, onCPUDone, onIODone, onLockHold func()
+	phSpanLock, phSpanCPU, phSpanDisk            *obs.Span
+	phGrantAt, phCPUDoneAt, phIODoneAt           float64
 
 	// report, when non-nil, corrupts the engine's snapshot transport
 	// (see ReportFault); the caches hold the last truthful snapshot for
@@ -228,6 +248,27 @@ func New(cfg Config, host Host) (*Engine, error) {
 	e.logbuf = metrics.NewLogBuffer(cfg.LogBufferSize, metrics.Drain(e.collector))
 	if cfg.StatWorkers > 0 {
 		e.startStatPipeline(cfg.StatWorkers)
+	}
+	if !cfg.InlinePhases {
+		e.phaseQ = simcore.NewQueue()
+		e.onLockGrant = func() {
+			if e.phSpanLock != nil {
+				e.phSpanLock.Finish(e.phGrantAt)
+			}
+		}
+		e.onCPUDone = func() {
+			if e.phSpanCPU != nil {
+				e.phSpanCPU.Finish(e.phCPUDoneAt)
+			}
+		}
+		e.onIODone = func() {
+			if e.phSpanDisk != nil {
+				e.phSpanDisk.Finish(e.phIODoneAt)
+			}
+		}
+		// Lock release extends the transaction but has no span of its
+		// own; its dequeue time alone moves the completion fold.
+		e.onLockHold = func() {}
 	}
 	pool.OnMiss(func(class string, pages int) {
 		done := e.host.ReadPages(e.curNow, class, pages)
@@ -399,22 +440,28 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 
 	cpuWork := spec.CPUPerQuery + float64(spec.PagesPerQuery)*spec.CPUPerPage
 	cpuDone := e.host.RunCPU(start, cpuWork)
-	done = cpuDone
-	if e.curIODone > done {
-		done = e.curIODone
-	}
-	if lockRelease > done {
-		// The transaction is not finished until its lock hold elapses.
-		done = lockRelease
+	if e.phaseQ != nil {
+		done = e.drainPhases(now, start, cpuDone, lockRelease, sp, spec.LockTable)
+	} else {
+		done = cpuDone
+		if e.curIODone > done {
+			done = e.curIODone
+		}
+		if lockRelease > done {
+			// The transaction is not finished until its lock hold elapses.
+			done = lockRelease
+		}
+		if sp != nil {
+			if start > now {
+				sp.Child(now, obs.SpanLockWait, spec.LockTable).Finish(start)
+			}
+			sp.Child(start, obs.SpanCPU, "").Finish(cpuDone)
+			if e.curIODone > start {
+				sp.Child(start, obs.SpanDisk, "").Finish(e.curIODone)
+			}
+		}
 	}
 	if sp != nil {
-		if start > now {
-			sp.Child(now, obs.SpanLockWait, spec.LockTable).Finish(start)
-		}
-		sp.Child(start, obs.SpanCPU, "").Finish(cpuDone)
-		if e.curIODone > start {
-			sp.Child(start, obs.SpanDisk, "").Finish(e.curIODone)
-		}
 		sp.Annotate("pool_hits", float64(hits))
 		sp.Annotate("pool_misses", float64(spec.PagesPerQuery-hits))
 		if prefetched > 0 {
@@ -425,6 +472,63 @@ func (e *Engine) Execute(now float64, id metrics.ClassID) (done float64, err err
 	e.emit(metrics.Record{Kind: metrics.RecQuery, Class: id, Slot: spec.slot, Value: done - now})
 	e.updateLatencyEstimate(id, done-now)
 	return done, nil
+}
+
+// drainPhases is the event-core completion path: the query's service
+// phases (lock grant, CPU, disk, lock hold) become KindPhaseComplete
+// events on the engine's queue and are committed in virtual-time order.
+// The spans are created eagerly in the inline path's order (lock-wait,
+// CPU, disk) so span trees stay byte-identical however the completions
+// interleave; each event's dequeue Finishes its span, and the query's
+// completion is the fold of the dequeue times — the same maximum the
+// inline path computes (RunCPU never returns earlier than start, so
+// folding from start is exact).
+func (e *Engine) drainPhases(now, start, cpuDone, lockRelease float64, sp *obs.Span, lockTable string) float64 {
+	e.phSpanLock, e.phSpanCPU, e.phSpanDisk = nil, nil, nil
+	if sp != nil {
+		if start > now {
+			e.phSpanLock = sp.Child(now, obs.SpanLockWait, lockTable)
+		}
+		e.phSpanCPU = sp.Child(start, obs.SpanCPU, "")
+		if e.curIODone > start {
+			e.phSpanDisk = sp.Child(start, obs.SpanDisk, "")
+		}
+	}
+	if start > now {
+		e.phGrantAt = start
+		e.phaseQ.Push(start, simcore.KindPhaseComplete, e.onLockGrant)
+	}
+	e.phCPUDoneAt = cpuDone
+	e.phaseQ.Push(cpuDone, simcore.KindPhaseComplete, e.onCPUDone)
+	if e.curIODone > start {
+		e.phIODoneAt = e.curIODone
+		e.phaseQ.Push(e.curIODone, simcore.KindPhaseComplete, e.onIODone)
+	}
+	if lockRelease > 0 {
+		e.phaseQ.Push(lockRelease, simcore.KindPhaseComplete, e.onLockHold)
+	}
+	done := start
+	for {
+		at, _, fn, ok := e.phaseQ.Pop()
+		if !ok {
+			break
+		}
+		fn()
+		if at > done {
+			done = at
+		}
+	}
+	return done
+}
+
+// PhaseEventStats reports the cumulative traffic through the engine's
+// service-phase event queue (the zero Stats when Config.InlinePhases
+// disabled the event core).
+func (e *Engine) PhaseEventStats() simcore.Stats {
+	if e.phaseQ == nil {
+		return simcore.Stats{}
+	}
+	return e.phaseQ.Stats()
 }
 
 // latencyEWMAAlpha is the smoothing factor of the per-class latency

@@ -8,6 +8,7 @@ import (
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/storage"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/rubis"
@@ -83,7 +84,7 @@ func consolidationWithPolicy(seed uint64, policy string, cfg core.Config) Policy
 	tsched := tb.startApp(tpcwApp)
 	tem := tb.emulate(tsched, tpcw.Mix(), think, workload.Constant(clients))
 	tem.Start()
-	tb.sim.Schedule(120, tb.ctl.Start)
+	tb.sim.ScheduleKind(simcore.KindControlAction, 120, tb.ctl.Start)
 	tb.sim.RunUntil(aloneUntil)
 
 	rubisApp := rubis.New(tb.sim.RNG().Fork(), "")

@@ -9,6 +9,7 @@ import (
 	"outlierlb/internal/obs"
 	"outlierlb/internal/resil"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/sla"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/tpcw"
@@ -143,7 +144,7 @@ func runChaosOpts(seed uint64, faultAt, clearAt, endAt float64, opts chaosOpts) 
 
 	em := tb.emulate(sched, tpcw.Mix(), chaosThink, workload.Constant(chaosClients))
 	em.Start()
-	tb.sim.Schedule(chaosCtlStart, tb.ctl.Start)
+	tb.sim.ScheduleKind(simcore.KindControlAction, chaosCtlStart, tb.ctl.Start)
 	tb.sim.RunUntil(sim.Time(endAt))
 	em.Stop()
 

@@ -100,12 +100,27 @@ var statWorkers int
 // order in snapshots.
 func SetStatWorkers(n int) { statWorkers = n }
 
+// eventCore selects the engines' service-phase completion path for
+// subsequently built testbeds: true (default, the -sim.eventcore
+// toggle) commits CPU/disk/lock-wait completions through each engine's
+// simcore event queue; false restores the pre-event-core inline
+// accounting. Both paths are bit-identical (eventcore_test.go asserts
+// it), so this is a transition escape hatch, not a behavior switch.
+var eventCore = true
+
+// SetEventCore makes every subsequently built testbed provision its
+// engines with the discrete-event service-phase path on (the default)
+// or off (engine.Config.InlinePhases). Process-global for the same
+// reason as the other hooks: scenario functions take only a seed.
+func SetEventCore(on bool) { eventCore = on }
+
 func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	s := sim.NewEngine(seed)
 	mgr := cluster.NewManager()
 	mgr.PoolConfig = poolConfig(poolPages)
 	mgr.StatWorkers = statWorkers
 	mgr.Tracer = tracer
+	mgr.InlinePhases = !eventCore
 	for i := 0; i < servers; i++ {
 		mgr.AddServer(newServer(fmt.Sprintf("db%d", i+1), poolPages*2))
 	}

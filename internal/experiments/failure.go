@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"outlierlb/internal/simcore"
 
 	"outlierlb/internal/core"
 	"outlierlb/internal/workload"
@@ -48,7 +49,7 @@ func FailureRecovery(seed uint64) (*FailureResult, error) {
 	}
 	em := tb.emulate(sched, tpcw.Mix(), think, workload.Constant(clients))
 	em.Start()
-	tb.sim.Schedule(120, tb.ctl.Start)
+	tb.sim.ScheduleKind(simcore.KindControlAction, 120, tb.ctl.Start)
 	tb.sim.RunUntil(crashAt)
 
 	res := &FailureResult{}

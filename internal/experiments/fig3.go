@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"outlierlb/internal/core"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/sla"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/tpcw"
@@ -68,7 +69,7 @@ func Figure3(seed uint64) *Figure3Result {
 	em.Start()
 	// The controller starts after warmup so cold-cache misses are not
 	// misdiagnosed as memory interference.
-	tb.sim.Schedule(warmup, tb.ctl.Start)
+	tb.sim.ScheduleKind(simcore.KindControlAction, warmup, tb.ctl.Start)
 	tb.sim.RunUntil(duration)
 	em.Stop()
 

@@ -12,6 +12,7 @@ import (
 	"outlierlb/internal/obs"
 	"outlierlb/internal/resil"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/sla"
 	"outlierlb/internal/trace"
 	"outlierlb/internal/workload"
@@ -175,9 +176,9 @@ func runGuardAdmission(seed uint64, template string, pol core.Policy, wcfg guard
 
 	em := tb.emulate(sched, overloadMix(), overloadThink, load)
 	em.Start()
-	tb.sim.Schedule(guardCtlStart, tb.ctl.Start)
-	tb.sim.ScheduleAt(sim.Time(guardEnableAt), func() { tb.ctl.SetPolicy(pol) })
-	tb.sim.ScheduleAt(sim.Time(guardDisableAt), func() { tb.ctl.SetPolicy(nil) })
+	tb.sim.ScheduleKind(simcore.KindControlAction, guardCtlStart, tb.ctl.Start)
+	tb.sim.ScheduleKindAt(simcore.KindControlAction, sim.Time(guardEnableAt), func() { tb.ctl.SetPolicy(pol) })
+	tb.sim.ScheduleKindAt(simcore.KindControlAction, sim.Time(guardDisableAt), func() { tb.ctl.SetPolicy(nil) })
 	tb.sim.RunUntil(sim.Time(guardEndAt))
 	em.Stop()
 
@@ -271,7 +272,7 @@ func runGuardPlacement(seed uint64, template string, pol core.Policy, wcfg guard
 		1.0, workload.Constant(240))
 	tem.Start()
 	nem.Start()
-	tb.sim.Schedule(gplCtlStart, tb.ctl.Start)
+	tb.sim.ScheduleKind(simcore.KindControlAction, gplCtlStart, tb.ctl.Start)
 	tb.sim.RunUntil(sim.Time(gplJoinAt))
 
 	// RUBiS joins db1's engine under a suspended controller; it also
@@ -306,7 +307,7 @@ func runGuardPlacement(seed uint64, template string, pol core.Policy, wcfg guard
 	// interference for real.
 	tb.ctl.SetPolicy(pol)
 	tb.ctl.Suspend(false)
-	tb.sim.ScheduleAt(sim.Time(gplDisableAt), func() { tb.ctl.SetPolicy(nil) })
+	tb.sim.ScheduleKindAt(simcore.KindControlAction, sim.Time(gplDisableAt), func() { tb.ctl.SetPolicy(nil) })
 	tb.sim.RunUntil(sim.Time(gplEndAt))
 	tem.Stop()
 	nem.Stop()

@@ -5,6 +5,7 @@ import (
 	"outlierlb/internal/core"
 	"outlierlb/internal/engine"
 	"outlierlb/internal/metrics"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/sla"
 	"outlierlb/internal/trace"
 	"outlierlb/internal/workload"
@@ -86,7 +87,7 @@ func LockContention(seed uint64) *LockResult {
 	}
 	em := tb.emulate(sched, mix, think, workload.Constant(clients))
 	em.Start()
-	tb.sim.Schedule(60, tb.ctl.Start)
+	tb.sim.ScheduleKind(simcore.KindControlAction, 60, tb.ctl.Start)
 	tb.sim.RunUntil(breakAt)
 
 	res := &LockResult{}

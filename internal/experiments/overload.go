@@ -10,6 +10,7 @@ import (
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/sla"
 	"outlierlb/internal/trace"
 	"outlierlb/internal/workload"
@@ -220,7 +221,7 @@ func Overload(seed uint64) (*OverloadResult, error) {
 	em := tb.emulate(sched, overloadMix(), overloadThink,
 		workload.Pulse(overloadNominal, overloadPeak, overloadAt, overloadEnd))
 	em.Start()
-	tb.sim.Schedule(overloadCtlStart, tb.ctl.Start)
+	tb.sim.ScheduleKind(simcore.KindControlAction, overloadCtlStart, tb.ctl.Start)
 
 	finalStart := overloadEndAt - 100
 	tb.sim.RunUntil(sim.Time(finalStart))

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"outlierlb/internal/core"
+	"outlierlb/internal/simcore"
 	"outlierlb/internal/workload"
 	"outlierlb/internal/workload/rubis"
 	"outlierlb/internal/workload/tpcw"
@@ -52,7 +53,7 @@ func Table2(seed uint64) *Table2Result {
 	tsched := tb.startApp(tpcwApp)
 	tem := tb.emulate(tsched, tpcw.Mix(), think, workload.Constant(tpcwClients))
 	tem.Start()
-	tb.sim.Schedule(120, tb.ctl.Start) // start measuring after cache warmup
+	tb.sim.ScheduleKind(simcore.KindControlAction, 120, tb.ctl.Start) // start measuring after cache warmup
 
 	// Phase 1: TPC-W alone.
 	tb.sim.RunUntil(aloneUntil)

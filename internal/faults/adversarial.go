@@ -7,6 +7,7 @@ import (
 	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 )
 
 // Adversarial fault types: unlike crash/gray/flap/blackout, these do
@@ -24,7 +25,7 @@ import (
 // likewise frozen. clearAt ≤ at leaves the lie permanent. eng may be
 // nil to distort only the vmstat path.
 func (in *Injector) ByzantineMetrics(srv *server.Server, eng *engine.Engine, at, clearAt, cpuScale, latencyScale float64) {
-	in.sim.ScheduleAt(sim.Time(at), func() {
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(at), func() {
 		srv.SetMetricDistortion(&server.MetricDistortion{CPUScale: cpuScale, Freeze: true})
 		if eng != nil {
 			eng.SetReportFault(&engine.ReportFault{LatencyScale: latencyScale, Freeze: true})
@@ -34,7 +35,7 @@ func (in *Injector) ByzantineMetrics(srv *server.Server, eng *engine.Engine, at,
 			map[string]float64{"cpu_scale": cpuScale, "latency_scale": latencyScale})
 	})
 	if clearAt > at {
-		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+		in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(clearAt), func() {
 			srv.SetMetricDistortion(nil)
 			if eng != nil {
 				eng.SetReportFault(nil)
@@ -55,13 +56,13 @@ func (in *Injector) SnapshotCorruption(eng *engine.Engine, srvName string, at, c
 	if drop {
 		mode = "dropped"
 	}
-	in.sim.ScheduleAt(sim.Time(at), func() {
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(at), func() {
 		eng.SetReportFault(&engine.ReportFault{Drop: drop, Freeze: !drop})
 		in.emit(obs.EventFaultInjected, srvName,
 			fmt.Sprintf("snapshot corruption: engine intervals %s", mode), nil)
 	})
 	if clearAt > at {
-		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+		in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(clearAt), func() {
 			eng.SetReportFault(nil)
 			in.emit(obs.EventFaultCleared, srvName, "snapshot corruption cleared: engine snapshots restored", nil)
 		})
@@ -83,14 +84,14 @@ type SkewableClock interface {
 // ClockGuard is the defense under test. clearAt ≤ at leaves the skew
 // permanent.
 func (in *Injector) ClockSkew(c SkewableClock, ctlName string, at, clearAt, offset float64) {
-	in.sim.ScheduleAt(sim.Time(at), func() {
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(at), func() {
 		c.SetClockOffset(offset)
 		in.emit(obs.EventFaultInjected, ctlName,
 			fmt.Sprintf("clock skew: controller clock stepped %+.3gs", offset),
 			map[string]float64{"offset": offset})
 	})
 	if clearAt > at {
-		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+		in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(clearAt), func() {
 			c.SetClockOffset(0)
 			in.emit(obs.EventFaultCleared, ctlName, "clock skew cleared: controller clock stepped back", nil)
 		})

@@ -4,6 +4,7 @@ import (
 	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 )
 
 // MetricBlackout makes srv's monitoring unreachable from at until
@@ -12,12 +13,12 @@ import (
 // gracefully rather than misdiagnose. clearAt ≤ at leaves the blackout
 // permanent.
 func (in *Injector) MetricBlackout(srv *server.Server, at, clearAt float64) {
-	in.sim.ScheduleAt(sim.Time(at), func() {
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(at), func() {
 		srv.SetMetricsBlackout(true)
 		in.emit(obs.EventFaultInjected, srv.Name(), "metric blackout: monitoring unreachable", nil)
 	})
 	if clearAt > at {
-		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+		in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(clearAt), func() {
 			srv.SetMetricsBlackout(false)
 			in.emit(obs.EventFaultCleared, srv.Name(), "metric blackout cleared: monitoring restored", nil)
 		})

@@ -4,6 +4,7 @@ import (
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 )
 
 // Crash takes replica r down at virtual time at, unannounced: the
@@ -12,12 +13,12 @@ import (
 // it); recoverAt ≤ at means the replica stays down forever.
 func (in *Injector) Crash(r *cluster.Replica, at, recoverAt float64) {
 	name := r.Server().Name()
-	in.sim.ScheduleAt(sim.Time(at), func() {
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(at), func() {
 		r.SetDown(true)
 		in.emit(obs.EventFaultInjected, name, "crash: replica process killed", nil)
 	})
 	if recoverAt > at {
-		in.sim.ScheduleAt(sim.Time(recoverAt), func() {
+		in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(recoverAt), func() {
 			r.SetDown(false)
 			in.emit(obs.EventFaultCleared, name, "crash cleared: replica process restarted", nil)
 		})

@@ -4,6 +4,7 @@ import (
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 )
 
 // Flap cycles replica r between down and up from at until clearAt: down
@@ -26,7 +27,7 @@ func (in *Injector) Flap(r *cluster.Replica, at, clearAt, downFor, upFor, jitter
 		}
 		r.SetDown(true)
 		in.emit(obs.EventFaultInjected, name, "flap: replica down", nil)
-		in.sim.Schedule(phase(downFor), up)
+		in.sim.ScheduleKind(simcore.KindFault, phase(downFor), up)
 	}
 	up = func() {
 		if r.Down() {
@@ -34,13 +35,13 @@ func (in *Injector) Flap(r *cluster.Replica, at, clearAt, downFor, upFor, jitter
 			in.emit(obs.EventFaultCleared, name, "flap: replica back up", nil)
 		}
 		if in.sim.Now().Seconds() < clearAt {
-			in.sim.Schedule(phase(upFor), down)
+			in.sim.ScheduleKind(simcore.KindFault, phase(upFor), down)
 		}
 	}
-	in.sim.ScheduleAt(sim.Time(at), down)
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(at), down)
 	// Safety net: whatever phase the cycle is in, the window's close
 	// leaves the replica up.
-	in.sim.ScheduleAt(sim.Time(clearAt), func() {
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(clearAt), func() {
 		if r.Down() {
 			r.SetDown(false)
 			in.emit(obs.EventFaultCleared, name, "flap window closed: replica left up", nil)

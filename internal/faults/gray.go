@@ -6,6 +6,7 @@ import (
 	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 )
 
 // GrayFailure degrades srv's disk by factor from at until clearAt: every
@@ -16,14 +17,14 @@ func (in *Injector) GrayFailure(srv *server.Server, at, clearAt, factor float64)
 	if factor < 1 {
 		factor = 1
 	}
-	in.sim.ScheduleAt(sim.Time(at), func() {
+	in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(at), func() {
 		srv.Disk().SetSlowdown(factor)
 		in.emit(obs.EventFaultInjected, srv.Name(),
 			fmt.Sprintf("gray failure: disk service time ×%.3g", factor),
 			map[string]float64{"factor": factor})
 	})
 	if clearAt > at {
-		in.sim.ScheduleAt(sim.Time(clearAt), func() {
+		in.sim.ScheduleKindAt(simcore.KindFault, sim.Time(clearAt), func() {
 			srv.Disk().SetSlowdown(1)
 			in.emit(obs.EventFaultCleared, srv.Name(), "gray failure cleared: disk service time restored", nil)
 		})

@@ -12,6 +12,7 @@ package obscli
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"net/http"
 	"os"
@@ -28,6 +29,30 @@ import (
 
 // EventLogCapacity is how many decision-trace events the tools retain.
 const EventLogCapacity = 4096
+
+// EventCoreFlag registers the shared -sim.eventcore flag so every tool
+// documents the transition toggle identically. It defaults to on; the
+// caller applies the parsed value with experiments.SetEventCore.
+// DESIGN.md §10 explains why both settings are bit-identical.
+func EventCoreFlag() *bool {
+	return flag.Bool("sim.eventcore", true,
+		"drive arrivals, service phases and controller ticks through the discrete-event core "+
+			"(transition flag: =false restores inline phase accounting; both paths are bit-identical)")
+}
+
+// FlagWasSet reports whether the named flag was passed explicitly on
+// the command line (call after flag.Parse). Modes that would silently
+// ignore a flag use this to refuse it even when the explicit value
+// matches the default.
+func FlagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 // Options configures a Session from the tools' flags. The zero value
 // disables everything.

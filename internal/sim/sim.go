@@ -6,6 +6,15 @@
 // the same seed, a simulation is fully deterministic, which makes the
 // reproduction of the paper's measurements repeatable and testable.
 //
+// The queue and run loop themselves live in internal/simcore (a min-heap
+// keyed on (virtual time, push sequence) with FIFO tie-breaking and lazy
+// generation-counter cancellation); this package binds that substrate to
+// a seeded random source and the Event/Time API the rest of the
+// repository schedules against. ScheduleKind tags events with their
+// simcore.Kind (arrival, phase-complete, interval-tick, fault,
+// control-action) so a run can account for its event composition;
+// plain Schedule is the generic-kind shorthand.
+//
 // Concurrency: the event loop is strictly single-threaded, and every
 // object scheduled on it (servers, engines' query paths, emulators, the
 // controller) is owned by the goroutine calling Run/RunUntil. That
@@ -17,10 +26,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
 	"time"
+
+	"outlierlb/internal/simcore"
 )
 
 // Time is a point in virtual time, measured in seconds since simulation
@@ -43,70 +52,38 @@ func (t Time) String() string {
 // Event is a scheduled callback. The zero Event is invalid; events are
 // created through Engine.Schedule.
 type Event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among equal timestamps
-	fn     func()
-	idx    int // heap index, -1 when popped or cancelled
-	cancel bool
+	at    Time
+	timer simcore.Timer
 }
 
 // Cancel marks the event so its callback will not run. Cancelling an
-// already-executed event is a no-op.
+// already-executed event is a no-op. Cancellation is lazy (a generation
+// bump, O(1)): the dead entry is discarded when it reaches the head of
+// the queue.
 func (e *Event) Cancel() {
 	if e != nil {
-		e.cancel = true
+		e.timer.Cancel()
 	}
 }
 
 // At reports the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulation loop. The zero value is not ready
 // to use; construct engines with NewEngine.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	nextID uint64
-	rng    *RNG
+	loop *simcore.Loop
+	rng  *RNG
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
 // source is seeded with seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return &Engine{loop: simcore.NewLoop(), rng: NewRNG(seed)}
 }
 
 // Now reports the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+func (e *Engine) Now() Time { return Time(e.loop.Now()) }
 
 // RNG returns the engine's deterministic random source.
 func (e *Engine) RNG() *RNG { return e.rng }
@@ -114,67 +91,50 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Schedule runs fn after delay seconds of virtual time. A negative delay is
 // treated as zero. The returned event may be cancelled.
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
-	if delay < 0 || math.IsNaN(delay) {
-		delay = 0
+	return e.ScheduleKind(simcore.KindGeneric, delay, fn)
+}
+
+// ScheduleKind is Schedule with an explicit event kind, so arrivals,
+// interval ticks, faults and control actions are countable in the
+// queue's per-kind statistics.
+func (e *Engine) ScheduleKind(kind simcore.Kind, delay float64, fn func()) *Event {
+	t := e.loop.Schedule(delay, kind, fn)
+	at := e.loop.Now()
+	if delay > 0 {
+		at += delay
 	}
-	ev := &Event{at: e.now + Time(delay), seq: e.nextID, fn: fn}
-	e.nextID++
-	heap.Push(&e.queue, ev)
-	return ev
+	return &Event{at: Time(at), timer: t}
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to now.
 func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
-	return e.Schedule(float64(at-e.now), fn)
+	return e.Schedule(float64(at)-e.loop.Now(), fn)
+}
+
+// ScheduleKindAt is ScheduleAt with an explicit event kind.
+func (e *Engine) ScheduleKindAt(kind simcore.Kind, at Time, fn func()) *Event {
+	return e.ScheduleKind(kind, float64(at)-e.loop.Now(), fn)
 }
 
 // Pending reports the number of events waiting to run (including cancelled
 // events not yet drained).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.loop.Pending() }
+
+// QueueStats reports the event queue's cumulative traffic counters:
+// pushes and pops overall and by kind, cancellations, and heap depth.
+func (e *Engine) QueueStats() simcore.Stats { return e.loop.Queue().Stats() }
 
 // Step executes the single earliest pending event. It reports false when
 // the queue is empty.
-func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		ev.fn()
-		return true
-	}
-	return false
-}
+func (e *Engine) Step() bool { return e.loop.Step() }
 
 // Run executes events until the queue is empty.
-func (e *Engine) Run() {
-	for e.Step() {
-	}
-}
+func (e *Engine) Run() { e.loop.Run() }
 
 // RunUntil executes events with timestamps ≤ end, then advances the clock
 // to end. Events scheduled beyond end remain pending.
-func (e *Engine) RunUntil(end Time) {
-	for len(e.queue) > 0 {
-		// Peek at the head, skipping cancelled events.
-		head := e.queue[0]
-		if head.cancel {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if head.at > end {
-			break
-		}
-		e.Step()
-	}
-	if e.now < end {
-		e.now = end
-	}
-}
+func (e *Engine) RunUntil(end Time) { e.loop.RunUntil(float64(end)) }
 
 // RunFor executes events for d seconds of virtual time from now.
-func (e *Engine) RunFor(d float64) { e.RunUntil(e.now + Time(d)) }
+func (e *Engine) RunFor(d float64) { e.loop.RunFor(d) }

@@ -1,0 +1,454 @@
+// Package simcore is the discrete-event substrate every simulation in
+// this repository runs on: a central event queue ordered by virtual
+// time, a virtual-clock run loop, typed event kinds, and lazy timer
+// cancellation via sequence-stamped slots.
+//
+// # Event model
+//
+// An event is a callback scheduled at a point in virtual time and
+// tagged with a Kind describing what the event represents in the
+// paper's architecture: a client interaction arriving at a scheduler
+// (KindArrival), a CPU/disk/lock-wait service phase completing inside a
+// database engine (KindPhaseComplete), the controller's measurement
+// interval closing (KindIntervalTick), a fault injection firing
+// (KindFault), or a control-plane action (KindControlAction). The kinds
+// are observability: the queue treats all events identically, but the
+// per-kind counters in Stats let a run prove its composition ("this
+// scenario was 92% arrivals, 7% phase completions, 41 fault events").
+//
+// # Determinism
+//
+// The queue is a min-heap keyed on (time, sequence): among events with
+// equal virtual timestamps, the one pushed first pops first. Sequence
+// numbers come from a single monotonic counter, so a simulation that
+// performs the same pushes in the same order dequeues identically —
+// byte-identical runs are a property of the queue, not a hope. All
+// randomness lives outside this package (internal/sim's seeded RNG);
+// simcore itself never consults a clock or a random source.
+//
+// # Lazy cancellation
+//
+// Cancelling a scheduled event does not remove it from the heap (an
+// O(n) search or an index-tracking heap would put bookkeeping on the
+// hot path). Instead every event's payload lives in a slab slot
+// stamped with the event's push sequence; Timer.Cancel compares its
+// captured sequence against the slot's, marks the slot retired on a
+// match, and the dead heap entry is discarded when it surfaces at the
+// head. Slots are recycled through a free list, but sequences are
+// globally unique, so a stale Timer handle from a previous occupant
+// can never cancel the new one.
+//
+// # Concurrency
+//
+// A Queue or Loop is single-owner: it belongs to the goroutine driving
+// the simulation, exactly like the rest of the virtual-time world (see
+// internal/sim's package comment for the ownership argument). Stats
+// reads are therefore also owner-only.
+package simcore
+
+import "math"
+
+// Kind classifies what an event represents. Kinds exist for
+// observability and debugging — scheduling and ordering ignore them.
+type Kind uint8
+
+// The event kinds, mapping the paper's architecture onto the queue:
+// clients arrive (§3.1 scheduler), engines finish service phases (§3.2
+// instrumentation's CPU/disk/lock-wait breakdown), the controller's
+// measurement interval closes (§3.3), faults fire (chaos harness), and
+// control-plane actions take effect (§3.3.2 retuning).
+const (
+	// KindGeneric is the default for events with no more specific kind.
+	KindGeneric Kind = iota
+	// KindArrival is a client interaction arriving at a query scheduler.
+	KindArrival
+	// KindPhaseComplete is a CPU, disk or lock-wait service phase
+	// finishing inside a database engine.
+	KindPhaseComplete
+	// KindIntervalTick is a periodic reconciliation tick: the
+	// controller's measurement interval, or a workload emulator
+	// adjusting its client population to the load function.
+	KindIntervalTick
+	// KindFault is a fault injection or clearance firing.
+	KindFault
+	// KindControlAction is a control-plane action taking effect:
+	// starting the controller, switching a policy, or any other
+	// operator-scheduled intervention.
+	KindControlAction
+
+	// NumKinds bounds the Kind space (for per-kind counters).
+	NumKinds = int(KindControlAction) + 1
+)
+
+var kindNames = [NumKinds]string{
+	"generic", "arrival", "phase-complete", "interval-tick", "fault", "control-action",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// event is one heap entry: the ordering key only, 16 bytes so sifts
+// move little memory. key packs the push sequence number (high 40
+// bits) over the payload slab slot (low 24 bits); comparing keys as
+// integers therefore compares sequence numbers, giving FIFO order
+// among equal timestamps, and the slot rides along for free. Events
+// are stored by value; the heap never hands out pointers into itself.
+//
+// The packing bounds the queue at 2^24 concurrently pending events and
+// 2^40 pushes over a queue's lifetime — both orders of magnitude above
+// any simulation here (Push panics on slot overflow rather than
+// corrupting order; seq overflow at 10M events/s is a 30-hour run).
+type event struct {
+	at  float64
+	key uint64 // seq<<slotBits | slot
+}
+
+const (
+	slotBits = 24
+	slotMask = 1<<slotBits - 1
+	maxSeq   = 1 << (64 - slotBits)
+)
+
+// slotRec is the slab payload of one pending event. seq doubles as the
+// cancellation generation (see the package comment): it matches the
+// occupying event's push sequence while the event is pending, and is
+// bumped on pop/cancel, so any stale Timer handle goes inert. fn is
+// cleared on cancel and pop so the callback is released for GC
+// immediately, even while a dead heap entry waits to surface.
+type slotRec struct {
+	fn   func()
+	seq  uint64
+	kind Kind
+}
+
+// Stats counts queue traffic. Counters are cumulative over the queue's
+// lifetime; Depth and MaxDepth describe the heap including
+// lazily-cancelled events not yet drained. Pushes is derived from
+// PerKind at snapshot time, keeping one counter off the push path.
+type Stats struct {
+	Pushes   uint64
+	Pops     uint64 // live events delivered
+	Cancels  uint64 // successful Timer.Cancel calls
+	Skipped  uint64 // cancelled events discarded at the heap head
+	Depth    int
+	MaxDepth int
+	PerKind  [NumKinds]uint64 // pushes by kind
+}
+
+// Queue is a min-heap of events ordered by (virtual time, push
+// sequence). The heap is 4-ary: half the sift depth of a binary heap,
+// with each node's children contiguous in one cache line — the pop
+// path's down-sift is the hot spot at event-core throughput targets.
+// The zero value is ready to use.
+type Queue struct {
+	heap  []event
+	seq   uint64
+	slots []slotRec // payload slab: callback, kind, occupant sequence
+	free  []int32   // recycled slab slots
+	stats Stats
+	// hole marks heap[0] as a stale vacancy left by Pop. Simulations
+	// overwhelmingly pop an event and immediately push its successor
+	// (a rescheduling client, a timer re-arming), so Pop defers the
+	// repair sift: the next Push drops its event straight into the
+	// root and down-sifts once — replace-top, one sift where the naive
+	// sequence costs two. Any other entry point repairs first.
+	hole bool
+}
+
+// retiredSeq marks a slab slot with no pending occupant. Push caps live
+// sequence numbers below maxSeq, so no Timer ever holds this value.
+const retiredSeq = ^uint64(0)
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Timer is a cancellable handle on a scheduled event. The zero Timer is
+// inert: Cancel and Active are no-ops on it.
+type Timer struct {
+	q    *Queue
+	seq  uint64
+	slot int32
+}
+
+// Cancel marks the timer's event so it will not run, and reports
+// whether this call was the one that cancelled it (false: the event
+// already ran or was already cancelled). The dead entry stays in the
+// heap until it surfaces, but its callback is released immediately;
+// cancellation is O(1).
+func (t Timer) Cancel() bool {
+	if t.q == nil || t.q.slots[t.slot].seq != t.seq {
+		return false
+	}
+	rec := &t.q.slots[t.slot]
+	rec.seq = retiredSeq
+	rec.fn = nil
+	t.q.free = append(t.q.free, t.slot)
+	t.q.stats.Cancels++
+	return true
+}
+
+// Active reports whether the timer's event is still pending (neither
+// fired nor cancelled).
+func (t Timer) Active() bool {
+	return t.q != nil && t.q.slots[t.slot].seq == t.seq
+}
+
+// grabSlot takes a payload slab slot from the free list, growing the
+// slab when none are free. The slot-overflow guard lives here, on the
+// grow path, so the per-push cost is one free-list pop.
+func (q *Queue) grabSlot() int32 {
+	if n := len(q.free); n > 0 {
+		s := q.free[n-1]
+		q.free = q.free[:n-1]
+		return s
+	}
+	if len(q.slots) > slotMask {
+		panic("simcore: over 2^24 concurrently pending events")
+	}
+	q.slots = append(q.slots, slotRec{seq: retiredSeq})
+	return int32(len(q.slots) - 1)
+}
+
+// Push schedules fn at virtual time at and returns a cancellable Timer.
+// NaN times are treated as 0; callers wanting "no earlier than now"
+// semantics clamp before pushing (the Loop does).
+func (q *Queue) Push(at float64, kind Kind, fn func()) Timer {
+	if math.IsNaN(at) {
+		at = 0
+	}
+	slot := q.grabSlot()
+	seq := q.seq
+	q.seq++
+	if seq >= maxSeq {
+		panic("simcore: push sequence space exhausted")
+	}
+	rec := &q.slots[slot]
+	rec.fn, rec.seq, rec.kind = fn, seq, kind
+	q.stats.PerKind[kind]++
+	ev := event{at: at, key: seq<<slotBits | uint64(slot)}
+	if q.hole {
+		q.hole = false
+		q.heap[0] = ev
+		q.down(0)
+	} else {
+		q.heap = append(q.heap, ev)
+		q.up(len(q.heap) - 1)
+	}
+	if d := len(q.heap); d > q.stats.MaxDepth {
+		q.stats.MaxDepth = d
+	}
+	return Timer{q: q, seq: seq, slot: slot}
+}
+
+// Len reports the number of heap entries, including lazily-cancelled
+// events not yet drained.
+func (q *Queue) Len() int {
+	n := len(q.heap)
+	if q.hole {
+		n--
+	}
+	return n
+}
+
+// repairHole fills the root vacancy left by a deferred-repair Pop with
+// the last heap element and restores the heap property.
+func (q *Queue) repairHole() {
+	q.hole = false
+	n := len(q.heap) - 1
+	last := q.heap[n]
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.heap[0] = last
+		q.down(0)
+	}
+}
+
+// NextAt prunes cancelled events from the head and reports the virtual
+// time of the earliest live event (false: the queue is empty).
+func (q *Queue) NextAt() (float64, bool) {
+	for {
+		if q.hole {
+			q.repairHole()
+		}
+		if len(q.heap) == 0 {
+			return 0, false
+		}
+		head := &q.heap[0]
+		if q.slots[head.key&slotMask].seq == head.key>>slotBits {
+			return head.at, true
+		}
+		q.stats.Skipped++
+		q.hole = true
+	}
+}
+
+// Pop removes and returns the earliest live event's time, kind and
+// callback (without running it). It reports false when no live event
+// remains.
+func (q *Queue) Pop() (at float64, kind Kind, fn func(), ok bool) {
+	for {
+		if q.hole {
+			q.repairHole()
+		}
+		if len(q.heap) == 0 {
+			return 0, KindGeneric, nil, false
+		}
+		head := q.heap[0]
+		q.hole = true
+		slot := int32(head.key & slotMask)
+		rec := &q.slots[slot]
+		if rec.seq != head.key>>slotBits {
+			q.stats.Skipped++
+			continue
+		}
+		// Retire the slot: marking it makes any outstanding Timer
+		// handle inert before the callback can observe it, and dropping
+		// the slab's fn reference releases it for GC.
+		at, kind, fn = head.at, rec.kind, rec.fn
+		rec.seq = retiredSeq
+		rec.fn = nil
+		q.free = append(q.free, slot)
+		q.stats.Pops++
+		return at, kind, fn, true
+	}
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue) Stats() Stats {
+	s := q.stats
+	s.Depth = q.Len()
+	for _, n := range s.PerKind {
+		s.Pushes += n
+	}
+	return s
+}
+
+// up restores the heap property from child i toward the root. The key
+// comparisons are hand-inlined on local (at, seq) copies — this and
+// down are the event core's hottest instructions.
+func (q *Queue) up(i int) {
+	h := q.heap
+	ev := h[i]
+	at, key := ev.at, ev.key
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := &h[parent]
+		if at > p.at || (at == p.at && key > p.key) {
+			break
+		}
+		h[i] = *p
+		i = parent
+	}
+	h[i] = ev
+}
+
+// down restores the heap property from parent i toward the leaves
+// (4-ary: minimum of up to four contiguous children per level).
+func (q *Queue) down(i int) {
+	h := q.heap
+	n := len(h)
+	ev := h[i]
+	at, key := ev.at, ev.key
+	for {
+		kid := 4*i + 1
+		if kid >= n {
+			break
+		}
+		end := kid + 4
+		if end > n {
+			end = n
+		}
+		best := kid
+		kids := h[kid:end]
+		bAt, bKey := kids[0].at, kids[0].key
+		for c := 1; c < len(kids); c++ {
+			if cAt, cKey := kids[c].at, kids[c].key; cAt < bAt || (cAt == bAt && cKey < bKey) {
+				best, bAt, bKey = kid+c, cAt, cKey
+			}
+		}
+		if bAt > at || (bAt == at && bKey > key) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ev
+}
+
+// Loop is a virtual-clock run loop over a Queue: it pops the earliest
+// event, advances the clock to its timestamp, and executes its
+// callback. Callbacks may schedule further events.
+type Loop struct {
+	q   Queue
+	now float64
+}
+
+// NewLoop returns a loop whose clock starts at zero.
+func NewLoop() *Loop { return &Loop{} }
+
+// Now reports the current virtual time.
+func (l *Loop) Now() float64 { return l.now }
+
+// Queue exposes the loop's event queue (for stats).
+func (l *Loop) Queue() *Queue { return &l.q }
+
+// Schedule runs fn after delay seconds of virtual time. Negative and
+// NaN delays are treated as zero.
+func (l *Loop) Schedule(delay float64, kind Kind, fn func()) Timer {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return l.q.Push(l.now+delay, kind, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at; times in the past are
+// clamped to now.
+func (l *Loop) ScheduleAt(at float64, kind Kind, fn func()) Timer {
+	return l.Schedule(at-l.now, kind, fn)
+}
+
+// Pending reports the number of queued events, including cancelled
+// events not yet drained.
+func (l *Loop) Pending() int { return l.q.Len() }
+
+// Step executes the single earliest live event, advancing the clock to
+// its timestamp. It reports false when the queue is empty.
+func (l *Loop) Step() bool {
+	at, _, fn, ok := l.q.Pop()
+	if !ok {
+		return false
+	}
+	if at > l.now {
+		l.now = at
+	}
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ end, then advances the
+// clock to end. Events scheduled beyond end remain pending.
+func (l *Loop) RunUntil(end float64) {
+	for {
+		at, ok := l.q.NextAt()
+		if !ok || at > end {
+			break
+		}
+		l.Step()
+	}
+	if l.now < end {
+		l.now = end
+	}
+}
+
+// RunFor executes events for d seconds of virtual time from now.
+func (l *Loop) RunFor(d float64) { l.RunUntil(l.now + d) }

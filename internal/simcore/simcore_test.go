@@ -1,0 +1,366 @@
+package simcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// collect drains q, running each callback, and returns the popped
+// (at, kind) pairs in order.
+func collect(q *Queue) (ats []float64, kinds []Kind) {
+	for {
+		at, kind, fn, ok := q.Pop()
+		if !ok {
+			return ats, kinds
+		}
+		if fn == nil {
+			panic("live event with nil callback")
+		}
+		fn()
+		ats = append(ats, at)
+		kinds = append(kinds, kind)
+	}
+}
+
+func TestQueueOrdersByTime(t *testing.T) {
+	q := NewQueue()
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		q.Push(at, KindGeneric, func() {})
+	}
+	ats, _ := collect(q)
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if ats[i] != want[i] {
+			t.Fatalf("pop %d = %v, want %v (full order %v)", i, ats[i], want[i], ats)
+		}
+	}
+}
+
+// TestEqualTimesDequeueFIFO is the property-style determinism test:
+// across many random schedules (with interleaved pops and cancels), the
+// queue must dequeue exactly like a reference model that stable-sorts
+// live events by (time, push order) — so events scheduled at equal
+// virtual times always dequeue in enqueue order.
+func TestEqualTimesDequeueFIFO(t *testing.T) {
+	type ref struct {
+		at        float64
+		idx       int // global push index
+		cancelled bool
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		q := NewQueue()
+		var model []*ref
+		var timers []Timer
+		// The model's next pop: the live entry minimal in (at, idx).
+		next := func() *ref {
+			var best *ref
+			for _, r := range model {
+				if r.cancelled {
+					continue
+				}
+				if best == nil || r.at < best.at || (r.at == best.at && r.idx < best.idx) {
+					best = r
+				}
+			}
+			return best
+		}
+		gotIdx := -1
+		checkPop := func() {
+			want := next()
+			at, _, fn, ok := q.Pop()
+			if want == nil {
+				if ok {
+					t.Fatalf("trial %d: queue delivered %v after model drained", trial, at)
+				}
+				return
+			}
+			if !ok {
+				t.Fatalf("trial %d: queue empty, model still holds t=%v idx=%d", trial, want.at, want.idx)
+			}
+			fn()
+			if at != want.at || gotIdx != want.idx {
+				t.Fatalf("trial %d: popped t=%v idx=%d, model says t=%v idx=%d",
+					trial, at, gotIdx, want.at, want.idx)
+			}
+			want.cancelled = true // consumed
+		}
+		n := 1 + rng.Intn(64)
+		for i := 0; i < n; i++ {
+			i := i
+			// Few distinct timestamps, so equal-time ties are common.
+			at := float64(rng.Intn(4))
+			r := &ref{at: at, idx: i}
+			// The callback records which push surfaced, so checkPop can
+			// verify identity — equal-time FIFO, not just equal times.
+			timers = append(timers, q.Push(at, Kind(rng.Intn(NumKinds)), func() { gotIdx = i }))
+			model = append(model, r)
+			if rng.Intn(4) == 0 {
+				checkPop()
+			}
+			if rng.Intn(6) == 0 {
+				j := rng.Intn(len(timers))
+				if timers[j].Cancel() {
+					model[j].cancelled = true
+				}
+			}
+		}
+		for next() != nil {
+			checkPop()
+		}
+		checkPop() // and the queue must agree it is empty
+	}
+}
+
+// TestFIFOAmongEqualTimes pins the tie-break directly: N events at one
+// timestamp pop in exactly their push order.
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	q := NewQueue()
+	var order []int
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		q.Push(7.0, KindArrival, func() { order = append(order, i) })
+	}
+	for {
+		_, _, fn, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn()
+	}
+	if len(order) != n {
+		t.Fatalf("popped %d of %d events", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("equal-time events popped out of push order: position %d got event %d (order %v...)", i, got, order[:i+1])
+		}
+	}
+}
+
+func TestCancelIsLazyAndExact(t *testing.T) {
+	q := NewQueue()
+	ran := false
+	tm := q.Push(1, KindFault, func() { ran = true })
+	keep := q.Push(2, KindGeneric, func() {})
+	if !tm.Active() {
+		t.Fatal("pending timer reports inactive")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if tm.Active() {
+		t.Fatal("cancelled timer reports active")
+	}
+	// The dead entry is still in the heap (lazy), but never delivered.
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d before drain, want 2 (lazy cancellation keeps the entry)", q.Len())
+	}
+	ats, _ := collect(q)
+	if ran {
+		t.Fatal("cancelled callback ran")
+	}
+	if len(ats) != 1 || ats[0] != 2 {
+		t.Fatalf("pops = %v, want just the live event at 2", ats)
+	}
+	if keep.Active() {
+		t.Fatal("delivered timer reports active")
+	}
+	s := q.Stats()
+	if s.Cancels != 1 || s.Skipped != 1 || s.Pops != 1 || s.Pushes != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestStaleTimerCannotCancelSuccessor proves slot recycling is safe: a
+// handle on a popped/cancelled event stays inert after its slab slot is
+// reused by a new event.
+func TestStaleTimerCannotCancelSuccessor(t *testing.T) {
+	q := NewQueue()
+	old := q.Push(1, KindGeneric, func() {})
+	old.Cancel()
+	// The freed slot is recycled by the next push.
+	ran := false
+	fresh := q.Push(2, KindGeneric, func() { ran = true })
+	if old.Cancel() {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	if old.Active() {
+		t.Fatal("stale handle reports the new occupant as its own")
+	}
+	if !fresh.Active() {
+		t.Fatal("fresh event lost")
+	}
+	ats, _ := collect(q)
+	if !ran || len(ats) != 1 {
+		t.Fatalf("new occupant not delivered: ran=%v pops=%v", ran, ats)
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	if tm.Cancel() || tm.Active() {
+		t.Fatal("zero Timer is not inert")
+	}
+}
+
+// TestQueueDeterminism replays an identical push/cancel schedule twice
+// and requires bit-identical pop sequences — the queue-level half of the
+// repo's bit-identical-runs guarantee.
+func TestQueueDeterminism(t *testing.T) {
+	run := func() ([]float64, []Kind) {
+		q := NewQueue()
+		rng := rand.New(rand.NewSource(7))
+		var timers []Timer
+		for i := 0; i < 500; i++ {
+			at := math.Floor(rng.Float64()*16) / 4 // coarse grid forces ties
+			timers = append(timers, q.Push(at, Kind(rng.Intn(NumKinds)), func() {}))
+			if rng.Intn(3) == 0 {
+				timers[rng.Intn(len(timers))].Cancel()
+			}
+			if rng.Intn(5) == 0 {
+				q.Pop()
+			}
+		}
+		return collect(q)
+	}
+	a1, k1 := run()
+	a2, k2 := run()
+	if len(a1) != len(a2) {
+		t.Fatalf("replay lengths diverge: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] || k1[i] != k2[i] {
+			t.Fatalf("replay diverges at pop %d: (%v,%v) vs (%v,%v)", i, a1[i], k1[i], a2[i], k2[i])
+		}
+	}
+}
+
+func TestNaNAndNegativeClamping(t *testing.T) {
+	q := NewQueue()
+	q.Push(math.NaN(), KindGeneric, func() {})
+	ats, _ := collect(q)
+	if len(ats) != 1 || ats[0] != 0 {
+		t.Fatalf("NaN push delivered at %v, want 0", ats)
+	}
+
+	l := NewLoop()
+	l.RunUntil(10)
+	var at float64
+	l.Schedule(-5, KindGeneric, func() { at = l.Now() })
+	l.Schedule(math.NaN(), KindGeneric, func() {})
+	l.Run()
+	if at != 10 {
+		t.Fatalf("negative delay ran at %v, want clamped to now=10", at)
+	}
+}
+
+func TestLoopClockAdvance(t *testing.T) {
+	l := NewLoop()
+	var seen []float64
+	l.Schedule(5, KindGeneric, func() { seen = append(seen, l.Now()) })
+	l.Schedule(1, KindGeneric, func() {
+		seen = append(seen, l.Now())
+		l.Schedule(1, KindGeneric, func() { seen = append(seen, l.Now()) })
+	})
+	l.RunUntil(3)
+	if l.Now() != 3 {
+		t.Fatalf("RunUntil left clock at %v, want 3", l.Now())
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("event beyond the horizon vanished: pending = %d", l.Pending())
+	}
+	l.RunFor(2)
+	if l.Now() != 5 {
+		t.Fatalf("RunFor left clock at %v, want 5", l.Now())
+	}
+	want := []float64{1, 2, 5}
+	if len(seen) != len(want) {
+		t.Fatalf("callbacks at %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("callbacks at %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestStatsPerKind(t *testing.T) {
+	q := NewQueue()
+	q.Push(1, KindArrival, func() {})
+	q.Push(2, KindArrival, func() {})
+	q.Push(3, KindIntervalTick, func() {})
+	tm := q.Push(4, KindControlAction, func() {})
+	tm.Cancel()
+	collect(q)
+	s := q.Stats()
+	if s.PerKind[KindArrival] != 2 || s.PerKind[KindIntervalTick] != 1 || s.PerKind[KindControlAction] != 1 {
+		t.Fatalf("per-kind pushes = %v", s.PerKind)
+	}
+	if s.Pushes != 4 || s.Pops != 3 || s.Cancels != 1 || s.Skipped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxDepth != 4 || s.Depth != 0 {
+		t.Fatalf("depth stats = %+v", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPhaseComplete.String() != "phase-complete" {
+		t.Fatalf("KindPhaseComplete = %q", KindPhaseComplete)
+	}
+	if Kind(250).String() != "unknown" {
+		t.Fatalf("out-of-range kind = %q", Kind(250))
+	}
+}
+
+// TestNextAtPrunesHoles checks NextAt against the deferred-repair pop:
+// after a pop leaves the root hole, NextAt must still report the true
+// next live event, pruning cancelled heads along the way.
+func TestNextAtPrunesHoles(t *testing.T) {
+	q := NewQueue()
+	q.Push(1, KindGeneric, func() {})
+	dead := q.Push(2, KindGeneric, func() {})
+	q.Push(3, KindGeneric, func() {})
+	dead.Cancel()
+	q.Pop() // delivers t=1, leaves the hole
+	if at, ok := q.NextAt(); !ok || at != 3 {
+		t.Fatalf("NextAt = (%v,%v), want (3,true)", at, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if at, _, _, ok := q.Pop(); !ok || at != 3 {
+		t.Fatalf("Pop = (%v,%v), want (3,true)", at, ok)
+	}
+	if _, ok := q.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+}
+
+// TestHeapStress pushes and pops through many sizes so the 4-ary sift
+// paths (including partial child groups at the frontier) are exercised
+// against a reference sort.
+func TestHeapStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 17, 64, 65, 255, 1024} {
+		q := NewQueue()
+		for i := 0; i < n; i++ {
+			q.Push(rng.Float64()*100, KindGeneric, func() {})
+		}
+		ats, _ := collect(q)
+		if len(ats) != n {
+			t.Fatalf("n=%d: popped %d", n, len(ats))
+		}
+		for i := 1; i < n; i++ {
+			if ats[i] < ats[i-1] {
+				t.Fatalf("n=%d: out of order at %d: %v < %v", n, i, ats[i], ats[i-1])
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/simcore"
 )
 
 // LoadFunction maps virtual time to the target number of concurrent
@@ -190,9 +191,9 @@ func (e *Emulator) adjust() {
 		// Stagger session starts uniformly over the adjustment window so
 		// a ramp-up does not arrive as a thundering herd.
 		delay := e.rng.Uniform(0, e.cfg.AdjustEvery)
-		e.sim.Schedule(delay, func() { e.clientStep(slot) })
+		e.sim.ScheduleKind(simcore.KindArrival, delay, func() { e.clientStep(slot) })
 	}
-	e.sim.Schedule(e.cfg.AdjustEvery, e.adjust)
+	e.sim.ScheduleKind(simcore.KindIntervalTick, e.cfg.AdjustEvery, e.adjust)
 }
 
 func drawFrom(rng *sim.RNG, mix []MixEntry) (metrics.ClassID, bool) {
@@ -259,7 +260,7 @@ func (e *Emulator) clientStep(slot int) {
 			// tries again, like a user retrying a busy site.
 			e.shed++
 			e.last[slot] = class
-			e.sim.Schedule(e.think(), func() { e.clientStep(slot) })
+			e.sim.ScheduleKind(simcore.KindArrival, e.think(), func() { e.clientStep(slot) })
 			return
 		}
 		e.errs = append(e.errs, err)
@@ -270,5 +271,5 @@ func (e *Emulator) clientStep(slot int) {
 	e.last[slot] = class
 	e.interactions++
 	wait := (done - now) + e.think()
-	e.sim.Schedule(wait, func() { e.clientStep(slot) })
+	e.sim.ScheduleKind(simcore.KindArrival, wait, func() { e.clientStep(slot) })
 }
