@@ -64,13 +64,17 @@ go run ./cmd/benchrunner -suite.short -out "$BENCH_TMP/BENCH_ci.json" -baseline 
 go run ./cmd/outlierlb -scenario cpu -trace.sample 1.0 -run.out "$BENCH_TMP/RUN_ci.json" >/dev/null
 go run ./cmd/tracetool -run "$BENCH_TMP/RUN_ci.json" -phases >/dev/null
 
-# Resilience gate: one adversarial fault (clock skew) and one
-# pathological policy (reject-all admission) across the pinned 3 seeds.
-# -assert fails the run unless every scorecard shows the fault detected,
-# the pathological action rolled back by the watchdog, and steady state
-# recovered within the 300 s budget; the scorecards are then persisted
-# as a RESIL_*.json and round-tripped through tracetool's strict loader.
-go run ./cmd/benchrunner -resil -resil.scenarios clock-skew,guard-reject-all-admission \
+# Resilience gate: one adversarial fault (clock skew), one pathological
+# policy (reject-all admission), and two control-channel faults (full
+# controller partition, lossy channel under a load pulse) across the
+# pinned 3 seeds. -assert fails the run unless every scorecard shows
+# the fault detected, visible mitigation where demanded (retries and
+# epoch fences for the channel faults, watchdog rollback for guard-*),
+# and steady state recovered within the 300 s budget; the scorecards
+# are then persisted as a RESIL_*.json and round-tripped through
+# tracetool's strict loader.
+go run ./cmd/benchrunner -resil \
+	-resil.scenarios clock-skew,guard-reject-all-admission,ctrl-partition,ctrl-lossy \
 	-resil.seeds 1,2,3 -assert -out "$BENCH_TMP/RESIL_ci.json"
 go run ./cmd/tracetool -resil "$BENCH_TMP/RESIL_ci.json" >/dev/null
 

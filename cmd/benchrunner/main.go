@@ -60,6 +60,7 @@ func main() {
 		"flush a RUN_*.json flight recording (metric time series + sampled traces) to FILE on completion")
 	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
 	eventCore := obscli.EventCoreFlag()
+	ctrlFlags := obscli.RegisterCtrlFlags()
 	flag.Parse()
 
 	if *suite || *suiteShort || *resilMode {
@@ -78,6 +79,15 @@ func main() {
 				"benchrunner: -sim.eventcore applies only to experiment runs, not -suite/-suite.short/-resil")
 			os.Exit(2)
 		}
+		// Same discipline for the control channel: the performance
+		// baselines and the resilience scorecards both pin a perfect
+		// channel (the ctrl-* scenarios inject their own degradation), so
+		// a -ctrl.* flag here would be silently ignored.
+		if name, set := ctrlFlags.AnySet(); set {
+			fmt.Fprintf(os.Stderr,
+				"benchrunner: %s applies only to experiment runs, not -suite/-suite.short/-resil\n", name)
+			os.Exit(2)
+		}
 		if *resilMode {
 			if *suite || *suiteShort {
 				fmt.Fprintln(os.Stderr, "benchrunner: -resil and -suite are mutually exclusive")
@@ -92,6 +102,7 @@ func main() {
 
 	experiments.SetStatWorkers(*statWorkers)
 	experiments.SetEventCore(*eventCore)
+	ctrlFlags.Apply()
 
 	session, err := obscli.Start(obscli.Options{
 		Addr:        *obsAddr,

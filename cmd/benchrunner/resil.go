@@ -50,6 +50,15 @@ func resilScenarios() []resilScenario {
 		{name: "byzantine-metrics", run: chaos(experiments.ChaosByzantineMetrics)},
 		{name: "snapshot-corruption", run: chaos(experiments.ChaosSnapshotCorruption)},
 		{name: "clock-skew", run: chaos(experiments.ChaosClockSkew)},
+		// The control-channel scenarios attack the message channel itself.
+		// Partitions and loss must be visibly acted on (epoch fences,
+		// retransmissions); delayed snapshots are an absorb-only scenario —
+		// the staleness guard rejects the old reports and nothing else
+		// should happen.
+		{name: "ctrl-partition", wantMitigate: true, run: chaos(experiments.ChaosCtrlPartition)},
+		{name: "ctrl-asym-partition", wantMitigate: true, run: chaos(experiments.ChaosCtrlAsymPartition)},
+		{name: "ctrl-lossy", wantMitigate: true, run: chaos(experiments.ChaosCtrlLossy)},
+		{name: "ctrl-delayed-snapshots", run: chaos(experiments.ChaosCtrlDelayedSnapshots)},
 	}
 	for _, tpl := range experiments.GuardTemplates() {
 		tpl := tpl

@@ -79,6 +79,26 @@ func scenarios() []scenarioDef {
 			runChaos(seed, "the controller's clock steps +60s at t=200s and back at t=400s",
 				experiments.ChaosClockSkew)
 		}},
+		{"ctrl-partition", "control channel: the controller is partitioned from every engine for 150s", func(seed uint64) {
+			runChaos(seed, "the controller endpoint is partitioned in both directions for 150s: "+
+				"unreachable declarations, epoch fencing, engine autonomy, then recovery",
+				experiments.ChaosCtrlPartition)
+		}},
+		{"ctrl-asym", "control channel: one engine's link toward the controller is cut for 150s", func(seed uint64) {
+			runChaos(seed, "one engine's link toward the controller is cut for 150s (half-open): "+
+				"the controller declares it unreachable from silence while its lease keeps renewing",
+				experiments.ChaosCtrlAsymPartition)
+		}},
+		{"ctrl-lossy", "control channel: 30% loss and 15% duplication under an overload pulse", func(seed uint64) {
+			runChaos(seed, "every control link degrades to 30% loss, 15% duplication and jittered latency for 200s "+
+				"while an overload pulse forces retuning actions through it",
+				experiments.ChaosCtrlLossy)
+		}},
+		{"ctrl-delayed", "control channel: snapshot reports delayed past the measurement interval", func(seed uint64) {
+			runChaos(seed, "engine snapshot reports are delayed by 12s — past the 10s interval — for 150s: "+
+				"the staleness guard must reject them while the failure detector stays reachable",
+				experiments.ChaosCtrlDelayedSnapshots)
+		}},
 	}
 	for _, tpl := range experiments.GuardTemplates() {
 		tpl := tpl
@@ -117,8 +137,10 @@ func main() {
 		"flush a RUN_*.json flight recording (metric time series + sampled traces) to FILE on completion")
 	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
 	eventCore := obscli.EventCoreFlag()
+	ctrlFlags := obscli.RegisterCtrlFlags()
 	flag.Parse()
 	experiments.SetEventCore(*eventCore)
+	ctrlFlags.Apply()
 
 	if *record != "" {
 		if err := recordTrace(*record, *recordApp, *recordN, *seed); err != nil {
@@ -238,6 +260,14 @@ func runChaos(seed uint64, desc string, fn func(uint64) (*experiments.ChaosResul
 	fmt.Printf("degraded analyses:  %d\n", r.DegradedEvents)
 	fmt.Printf("capacity actions:   %d provision(s), %d shrink(s)\n", r.Provisions, r.Shrinks)
 	fmt.Printf("target ended run:   healthy=%v\n", r.TargetHealthy)
+	if r.CtrlSent > 0 {
+		fmt.Printf("control channel:    %d sent, %d dropped, %d duplicated\n",
+			r.CtrlSent, r.CtrlDropped, r.CtrlDuplicated)
+		fmt.Printf("control protocol:   epoch %d, %d retries, %d dup-suppressed, %d stale-epoch rejections, %d abandoned\n",
+			r.Ctrl.Epoch, r.Ctrl.Retries, r.Ctrl.DupSuppressed, r.Ctrl.EpochRejections, r.Ctrl.Abandoned)
+		fmt.Printf("failure detector:   %d unreachable declaration(s), %d autonomy episode(s), max applications per action %d\n",
+			r.CtrlUnreachableEvents, r.Ctrl.AutonomyEpisodes, r.Ctrl.MaxApplications)
+	}
 	sc := r.Scorecard
 	fmt.Printf("scorecard:          detected=%v (%s, +%.0fs) mitigated=%v (%s, +%.0fs) reverted=%v\n",
 		sc.Detected, sc.DetectKind, sc.TimeToDetect, sc.Mitigated, sc.MitigateKind, sc.TimeToMitigate, sc.Reverted)

@@ -10,10 +10,12 @@ import (
 	"time"
 
 	"outlierlb/internal/admission"
+	"outlierlb/internal/ctrlnet"
 	"outlierlb/internal/experiments"
 	"outlierlb/internal/metrics"
 	"outlierlb/internal/mrc"
 	"outlierlb/internal/obs"
+	"outlierlb/internal/sim"
 	"outlierlb/internal/simcore"
 	"outlierlb/internal/sla"
 )
@@ -291,6 +293,42 @@ func Suite() []Scenario {
 						q.Push(t, simcore.KindArrival, func() {})
 						dead.Cancel()
 						q.Pop() // skips the cancelled head, delivers the live event
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "ctrlnet-send-inline",
+			Kind: "micro",
+			Doc:  "one control-plane message over a perfect link: inline synchronous delivery, no event, no RNG draw — the per-interaction overhead the bit-identity argument pays",
+			Micro: func() (func(int), func()) {
+				s := sim.NewEngine(1)
+				n := ctrlnet.New(s, 1)
+				sink := 0
+				n.Endpoint("ctl", func(from string, payload any) { sink++ })
+				n.Endpoint("srv", func(from string, payload any) { sink++ })
+				return func(ops int) {
+					for k := 0; k < ops; k++ {
+						n.Send("ctl", "srv", k)
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "ctrlnet-send-deliver",
+			Kind: "micro",
+			Doc:  "one control-plane message over a latency-bearing link: jitter draw, KindMessage event push, pop and handler dispatch",
+			Micro: func() (func(int), func()) {
+				s := sim.NewEngine(1)
+				n := ctrlnet.New(s, 1)
+				sink := 0
+				n.Endpoint("ctl", func(from string, payload any) { sink++ })
+				n.Endpoint("srv", func(from string, payload any) { sink++ })
+				n.SetLink("ctl", "srv", ctrlnet.Config{Latency: 0.001, Jitter: 0.001})
+				return func(ops int) {
+					for k := 0; k < ops; k++ {
+						n.Send("ctl", "srv", k)
+						s.Run()
 					}
 				}, nil
 			},

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/engine"
@@ -220,7 +221,18 @@ type Controller struct {
 	reconfirm map[string]bool
 	lastTick  float64
 	started   bool
+
+	// mu guards the debug-endpoint mutators (Suspend, SetClockOffset)
+	// against racing an in-flight tick or a message-driven ack handler:
+	// Tick captures one consistent view of both knobs at its top, and
+	// off-tick readers go through the same lock.
+	mu        sync.Mutex
 	suspended bool
+
+	// cp, when non-nil, is the message-passing control plane: snapshot
+	// collection, heartbeats and every remote retuning action go over
+	// its ctrlnet network instead of direct calls.
+	cp *ControlPlane
 
 	// observer receives the decision trace; observing caches whether it
 	// is a real sink, so the tick path only builds event payloads (maps,
@@ -317,7 +329,11 @@ func (c *Controller) AllocationHistory() []AllocationSample { return c.allocatio
 // stable-state signatures recorded, but no retuning actions are taken.
 // Experiments use it to measure a damaged configuration before allowing
 // the controller to repair it.
-func (c *Controller) Suspend(s bool) { c.suspended = s }
+func (c *Controller) Suspend(s bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.suspended = s
+}
 
 // SetGuard attaches (or, with nil, detaches) the action watchdog
 // consulted around every retuning action.
@@ -331,10 +347,20 @@ func (c *Controller) SetPolicy(p Policy) { c.policy = p }
 // time — the clock-skew fault's injection point. The simulation and the
 // data plane keep true time; only this controller's interval arithmetic
 // is lied to.
-func (c *Controller) SetClockOffset(o float64) { c.clockOffset = o }
+func (c *Controller) SetClockOffset(o float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clockOffset = o
+}
 
 // ClockOffset reports the current controller clock skew.
-func (c *Controller) ClockOffset() float64 { return c.clockOffset }
+func (c *Controller) ClockOffset() float64 { return c.curClockOffset() }
+
+func (c *Controller) curClockOffset() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clockOffset
+}
 
 // guardAllows consults the attached watchdog before an action's side
 // effects run; true (always, when no guard is attached) lets it
@@ -362,6 +388,13 @@ func (c *Controller) Start() {
 	}
 	c.started = true
 	c.lastTick = c.sim.Now().Seconds()
+	// The control plane's agent rounds are scheduled first so that at
+	// every shared timestamp the round's event precedes the tick's (FIFO
+	// tie-break): reports over a perfect channel arrive exactly when the
+	// direct path would have sampled.
+	if c.cp != nil {
+		c.cp.start()
+	}
 	var tick func()
 	tick = func() {
 		c.Tick()
@@ -409,9 +442,18 @@ func (c *Controller) cooldownServer(name string) {
 // to violations. Exposed so tests and tools can drive the controller
 // manually instead of through Start.
 func (c *Controller) Tick() {
-	now := c.sim.Now().Seconds() + c.clockOffset
+	// One consistent view of the debug-mutable knobs per tick: Suspend
+	// and SetClockOffset may be called from another goroutine (the debug
+	// endpoints) while this tick is in flight.
+	c.mu.Lock()
+	suspended, clockOffset := c.suspended, c.clockOffset
+	c.mu.Unlock()
+	now := c.sim.Now().Seconds() + clockOffset
 	if c.guard != nil {
 		c.guard.BeginTick(now)
+	}
+	if c.cp != nil {
+		c.cp.tickBegin(now)
 	}
 	interval := now - c.lastTick
 	if interval <= 0 {
@@ -457,6 +499,191 @@ func (c *Controller) Tick() {
 	cpu := make(map[*server.Server]float64)
 	disk := make(map[*server.Server]float64)
 	blackout := make(map[*server.Server]bool)
+	if c.cp != nil {
+		// Message-passing mode: consume the engine-pushed snapshot
+		// reports that arrived over the control channel. Servers without
+		// a fresh report this interval are dark — handled like a metric
+		// blackout.
+		c.cp.collect(now, clockAnomaly, snaps, cpu, disk, blackout)
+	} else {
+		c.collectDirect(now, interval, clockAnomaly, snaps, cpu, disk, blackout)
+	}
+	c.lastSnaps, c.lastSnapsAt = snaps, now
+
+	var violated []*cluster.Scheduler
+	for _, sched := range c.mgr.Schedulers() {
+		app := sched.App().Name
+		iv := sched.Tracker().CloseInterval(intervalStart, now)
+		c.allocation = append(c.allocation, AllocationSample{
+			Time: now, App: app, Replicas: len(sched.Replicas()),
+		})
+		if c.observing {
+			c.observer.IntervalClosed(obs.IntervalObs{
+				Time: now, App: app,
+				AvgLatency: iv.AvgLatency, P95Latency: iv.P95Latency, P99Latency: iv.P99Latency,
+				Throughput: iv.Throughput, Queries: iv.Queries, Met: iv.Met,
+				Replicas: len(sched.Replicas()),
+			})
+			if adm := sched.Admission(); adm != nil {
+				c.observer.AdmissionSampled(adm.Snapshot(now, app))
+			}
+		}
+		if c.guard != nil {
+			// Feed the watchdog's fitness history and run due
+			// post-action evaluations; rollbacks execute here, between
+			// interval closes, never mid-diagnosis.
+			var rejected int64
+			if adm := sched.Admission(); adm != nil {
+				rejected = adm.TotalRejected()
+			}
+			c.guard.IntervalClosed(now, app, iv, rejected)
+		}
+		if iv.Queries == 0 {
+			continue
+		}
+		if iv.Met {
+			c.violStreak[app] = 0
+			c.stableStreak[app]++
+			if adm := sched.Admission(); adm != nil && !suspended &&
+				c.guardAllows(now, ActionReadmitClass, app, "", "") {
+				// The readmission mutates the application's admission gate,
+				// which lives with its lead replica's engine: a remote
+				// action when a control plane is attached.
+				srvName := ""
+				if reps := sched.Replicas(); len(reps) > 0 {
+					srvName = reps[0].Server().Name()
+				}
+				apply := func() any {
+					id, ok := metrics.ClassID{}, false
+					if c.policy != nil {
+						id, ok = adm.ReadmitTick(c.policy.ReadmitChoice)
+					} else {
+						id, ok = adm.StableTick()
+					}
+					if !ok {
+						return nil
+					}
+					return id
+				}
+				finish := func(at float64, res any) {
+					id, ok := res.(metrics.ClassID)
+					if !ok {
+						return
+					}
+					a := Action{Time: at, Kind: ActionReadmitClass, App: app, Class: id.Class,
+						Detail: fmt.Sprintf("SLA met for %d consecutive interval(s); class re-admitted",
+							adm.Config().ReadmitAfter)}
+					c.record(a)
+					reshed := id
+					c.guardCommitted(a, func() error {
+						if _, ok := adm.ShedClass(reshed); !ok {
+							return fmt.Errorf("re-shed of %v refused", reshed)
+						}
+						return nil
+					})
+				}
+				c.invokeRemote(now, srvName, app, string(ActionReadmitClass), apply, finish)
+			}
+			c.recordStable(now, sched, snaps)
+			c.maybeShrink(now, sched, iv.AvgLatency, cpu, blackout)
+			if c.cfg.MaintainEvery > 0 && c.stableStreak[app]%c.cfg.MaintainEvery == 0 {
+				c.maintainQuotas(now, sched)
+			}
+		} else {
+			c.stableStreak[app] = 0
+			c.violStreak[app]++
+			if adm := sched.Admission(); adm != nil {
+				adm.ViolationTick()
+			}
+			if c.observing {
+				c.observer.Event(obs.Event{
+					Time: now, Kind: obs.EventViolation, App: app,
+					Cause: fmt.Sprintf("avg latency %.3fs over SLA %.2fs (streak %d)",
+						iv.AvgLatency, sched.App().SLA.MaxAvgLatency, c.violStreak[app]),
+					Fields: map[string]float64{
+						"avg_latency": iv.AvgLatency,
+						"p95_latency": iv.P95Latency,
+						"queries":     float64(iv.Queries),
+					},
+				})
+			}
+			violated = append(violated, sched)
+		}
+	}
+	// One retuning action per tick, across all applications: the
+	// diagnosis is incremental — act, then observe the next interval.
+	acted := false
+	// A force-shed policy (the reject-all pathological template) sheds
+	// on every eligible tick, violated or not, in place of diagnosis —
+	// unless the watchdog's storm circuit has opened for the app.
+	if c.policy != nil && c.policy.ForceShed() && !suspended {
+		for _, sched := range c.mgr.Schedulers() {
+			app := sched.App().Name
+			if acted {
+				break
+			}
+			if c.guard != nil && c.guard.Posture(app) != GuardNormal {
+				continue
+			}
+			if c.cooldown[app] > 0 {
+				c.cooldown[app]--
+				continue
+			}
+			if c.brownoutShed(now, sched, snaps) {
+				acted = true
+				c.violStreak[app] = 0
+			}
+		}
+	}
+	for _, sched := range violated {
+		app := sched.App().Name
+		if suspended {
+			continue
+		}
+		if c.policy != nil && c.policy.ForceShed() {
+			continue // the force-shed loop above owns all actions
+		}
+		if c.guard != nil {
+			switch c.guard.Posture(app) {
+			case GuardSuspend:
+				continue
+			case GuardFallback:
+				// The storm circuit's terminal mitigation: reverting
+				// individual actions stopped helping, so coarse-isolate
+				// once and stay suspended while things settle.
+				if !acted {
+					c.coarseFallback(now, sched)
+					acted = true
+					c.violStreak[app] = 0
+				}
+				continue
+			}
+		}
+		if c.cooldown[app] > 0 {
+			c.cooldown[app]--
+			continue
+		}
+		if acted {
+			continue
+		}
+		acted = c.diagnose(now, sched, snaps, cpu, disk, blackout)
+		if acted {
+			// The configuration changed; violation streaks restart so the
+			// coarse fallback only fires when actions stop helping.
+			c.violStreak[app] = 0
+		}
+	}
+	if c.cp != nil {
+		c.cp.sample(now)
+	}
+	c.lastTick = now
+}
+
+// collectDirect is the historical direct-call sampling loop: snapshot
+// every engine exactly once and sample system metrics in place.
+func (c *Controller) collectDirect(now, interval float64, clockAnomaly bool,
+	snaps map[*engine.Engine]map[string]map[metrics.ClassID]metrics.Vector,
+	cpu, disk map[*server.Server]float64, blackout map[*server.Server]bool) {
 	for _, srv := range c.mgr.Servers() {
 		// On a clock-anomaly tick every utilization window is measured
 		// against the jumped clock: sampling would dilute (or invert) the
@@ -561,154 +788,22 @@ func (c *Controller) Tick() {
 			})
 		}
 	}
-	c.lastSnaps, c.lastSnapsAt = snaps, now
+}
 
-	var violated []*cluster.Scheduler
-	for _, sched := range c.mgr.Schedulers() {
-		app := sched.App().Name
-		iv := sched.Tracker().CloseInterval(intervalStart, now)
-		c.allocation = append(c.allocation, AllocationSample{
-			Time: now, App: app, Replicas: len(sched.Replicas()),
-		})
-		if c.observing {
-			c.observer.IntervalClosed(obs.IntervalObs{
-				Time: now, App: app,
-				AvgLatency: iv.AvgLatency, P95Latency: iv.P95Latency, P99Latency: iv.P99Latency,
-				Throughput: iv.Throughput, Queries: iv.Queries, Met: iv.Met,
-				Replicas: len(sched.Replicas()),
-			})
-			if adm := sched.Admission(); adm != nil {
-				c.observer.AdmissionSampled(adm.Snapshot(now, app))
-			}
-		}
-		if c.guard != nil {
-			// Feed the watchdog's fitness history and run due
-			// post-action evaluations; rollbacks execute here, between
-			// interval closes, never mid-diagnosis.
-			var rejected int64
-			if adm := sched.Admission(); adm != nil {
-				rejected = adm.TotalRejected()
-			}
-			c.guard.IntervalClosed(now, app, iv, rejected)
-		}
-		if iv.Queries == 0 {
-			continue
-		}
-		if iv.Met {
-			c.violStreak[app] = 0
-			c.stableStreak[app]++
-			if adm := sched.Admission(); adm != nil && !c.suspended &&
-				c.guardAllows(now, ActionReadmitClass, app, "", "") {
-				id, ok := metrics.ClassID{}, false
-				if c.policy != nil {
-					id, ok = adm.ReadmitTick(c.policy.ReadmitChoice)
-				} else {
-					id, ok = adm.StableTick()
-				}
-				if ok {
-					a := Action{Time: now, Kind: ActionReadmitClass, App: app, Class: id.Class,
-						Detail: fmt.Sprintf("SLA met for %d consecutive interval(s); class re-admitted",
-							adm.Config().ReadmitAfter)}
-					c.record(a)
-					reshed := id
-					c.guardCommitted(a, func() error {
-						if _, ok := adm.ShedClass(reshed); !ok {
-							return fmt.Errorf("re-shed of %v refused", reshed)
-						}
-						return nil
-					})
-				}
-			}
-			c.recordStable(now, sched, snaps)
-			c.maybeShrink(now, sched, iv.AvgLatency, cpu, blackout)
-			if c.cfg.MaintainEvery > 0 && c.stableStreak[app]%c.cfg.MaintainEvery == 0 {
-				c.maintainQuotas(now, sched)
-			}
-		} else {
-			c.stableStreak[app] = 0
-			c.violStreak[app]++
-			if adm := sched.Admission(); adm != nil {
-				adm.ViolationTick()
-			}
-			if c.observing {
-				c.observer.Event(obs.Event{
-					Time: now, Kind: obs.EventViolation, App: app,
-					Cause: fmt.Sprintf("avg latency %.3fs over SLA %.2fs (streak %d)",
-						iv.AvgLatency, sched.App().SLA.MaxAvgLatency, c.violStreak[app]),
-					Fields: map[string]float64{
-						"avg_latency": iv.AvgLatency,
-						"p95_latency": iv.P95Latency,
-						"queries":     float64(iv.Queries),
-					},
-				})
-			}
-			violated = append(violated, sched)
-		}
+// invokeRemote runs one engine-side retuning mutation: over the control
+// plane's network when one is attached, inline otherwise (or when the
+// target server is unknown). apply is the mutation, finish the
+// controller-side bookkeeping once the applied ack arrives — over a
+// perfect channel or the direct path both run synchronously, in the
+// historical order.
+func (c *Controller) invokeRemote(now float64, srv, app, label string,
+	apply func() any, finish func(at float64, res any)) (any, invokeOutcome) {
+	if c.cp == nil || srv == "" {
+		res := apply()
+		finish(now, res)
+		return res, invokeInline
 	}
-	// One retuning action per tick, across all applications: the
-	// diagnosis is incremental — act, then observe the next interval.
-	acted := false
-	// A force-shed policy (the reject-all pathological template) sheds
-	// on every eligible tick, violated or not, in place of diagnosis —
-	// unless the watchdog's storm circuit has opened for the app.
-	if c.policy != nil && c.policy.ForceShed() && !c.suspended {
-		for _, sched := range c.mgr.Schedulers() {
-			app := sched.App().Name
-			if acted {
-				break
-			}
-			if c.guard != nil && c.guard.Posture(app) != GuardNormal {
-				continue
-			}
-			if c.cooldown[app] > 0 {
-				c.cooldown[app]--
-				continue
-			}
-			if c.brownoutShed(now, sched, snaps) {
-				acted = true
-				c.violStreak[app] = 0
-			}
-		}
-	}
-	for _, sched := range violated {
-		app := sched.App().Name
-		if c.suspended {
-			continue
-		}
-		if c.policy != nil && c.policy.ForceShed() {
-			continue // the force-shed loop above owns all actions
-		}
-		if c.guard != nil {
-			switch c.guard.Posture(app) {
-			case GuardSuspend:
-				continue
-			case GuardFallback:
-				// The storm circuit's terminal mitigation: reverting
-				// individual actions stopped helping, so coarse-isolate
-				// once and stay suspended while things settle.
-				if !acted {
-					c.coarseFallback(now, sched)
-					acted = true
-					c.violStreak[app] = 0
-				}
-				continue
-			}
-		}
-		if c.cooldown[app] > 0 {
-			c.cooldown[app]--
-			continue
-		}
-		if acted {
-			continue
-		}
-		acted = c.diagnose(now, sched, snaps, cpu, disk, blackout)
-		if acted {
-			// The configuration changed; violation streaks restart so the
-			// coarse fallback only fires when actions stop helping.
-			c.violStreak[app] = 0
-		}
-	}
-	c.lastTick = now
+	return c.cp.invoke(now, srv, app, label, apply, finish)
 }
 
 // frozenServerSample advances srv's frozen-metrics fingerprint and
@@ -905,40 +1000,61 @@ func (c *Controller) maintainQuotas(now float64, sched *cluster.Scheduler) {
 	app := sched.App().Name
 	for _, r := range sched.Replicas() {
 		eng := r.Engine()
-		for key, q := range eng.Pool().Quotas() {
-			id, ok := parseKey(key)
-			if !ok || id.App != app {
-				continue
-			}
-			if _, registered := eng.Class(id); !registered {
-				eng.Pool().RemoveQuota(key)
-				c.record(Action{Time: now, Kind: ActionMaintain, App: app,
-					Server: r.Server().Name(), Class: id.Class,
-					Detail: "class no longer placed here; quota dissolved"})
-				continue
-			}
-			_, params, okMRC := c.analyzer(eng).RecomputeMRC(id, eng.Pool().Capacity(), c.cfg.MRCThreshold)
-			if !okMRC {
-				continue
-			}
-			need := params.AcceptableMemory
-			factor := c.cfg.MRCChangeFactor
-			switch {
-			case float64(need) > factor*float64(q):
-				// The class has outgrown its cage; containment is no
-				// longer the right shape for it.
-				eng.Pool().RemoveQuota(key)
-				c.record(Action{Time: now, Kind: ActionMaintain, App: app,
-					Server: r.Server().Name(), Class: id.Class,
-					Detail: fmt.Sprintf("needs %d pages > quota %d; quota dissolved", need, q)})
-			case float64(q) > factor*float64(need):
-				if err := eng.Pool().SetQuota(key, need); err == nil {
-					c.record(Action{Time: now, Kind: ActionMaintain, App: app,
-						Server: r.Server().Name(), Class: id.Class,
-						Detail: fmt.Sprintf("quota %d -> %d pages", q, need)})
+		srvName := r.Server().Name()
+		// The whole per-replica sweep is one engine-side mutation: the
+		// MRC re-derivation reads the engine's access log (the analyzer
+		// is colocated with it) and the quota adjustments touch its pool,
+		// so the sweep ships to the engine's server when a control plane
+		// is attached. The applied adjustments come back for recording.
+		apply := func() any {
+			var acts []Action
+			for key, q := range eng.Pool().Quotas() {
+				id, ok := parseKey(key)
+				if !ok || id.App != app {
+					continue
+				}
+				if _, registered := eng.Class(id); !registered {
+					eng.Pool().RemoveQuota(key)
+					acts = append(acts, Action{Kind: ActionMaintain, App: app,
+						Server: srvName, Class: id.Class,
+						Detail: "class no longer placed here; quota dissolved"})
+					continue
+				}
+				_, params, okMRC := c.analyzer(eng).RecomputeMRC(id, eng.Pool().Capacity(), c.cfg.MRCThreshold)
+				if !okMRC {
+					continue
+				}
+				need := params.AcceptableMemory
+				factor := c.cfg.MRCChangeFactor
+				switch {
+				case float64(need) > factor*float64(q):
+					// The class has outgrown its cage; containment is no
+					// longer the right shape for it.
+					eng.Pool().RemoveQuota(key)
+					acts = append(acts, Action{Kind: ActionMaintain, App: app,
+						Server: srvName, Class: id.Class,
+						Detail: fmt.Sprintf("needs %d pages > quota %d; quota dissolved", need, q)})
+				case float64(q) > factor*float64(need):
+					if err := eng.Pool().SetQuota(key, need); err == nil {
+						acts = append(acts, Action{Kind: ActionMaintain, App: app,
+							Server: srvName, Class: id.Class,
+							Detail: fmt.Sprintf("quota %d -> %d pages", q, need)})
+					}
 				}
 			}
+			return acts
 		}
+		finish := func(at float64, res any) {
+			acts, ok := res.([]Action)
+			if !ok {
+				return
+			}
+			for _, a := range acts {
+				a.Time = at
+				c.record(a)
+			}
+		}
+		c.invokeRemote(now, srvName, app, string(ActionMaintain), apply, finish)
 	}
 }
 
@@ -1152,29 +1268,60 @@ func (c *Controller) brownoutShed(now float64, sched *cluster.Scheduler,
 	if !c.guardAllows(now, ActionShedClass, app, "", victim.Class) {
 		return false
 	}
-	ord, ok := adm.ShedClass(victim)
-	if !ok {
+	// The shed mutates the admission gate at the app's lead replica: a
+	// remote action when a control plane is attached.
+	srvName := ""
+	if reps := sched.Replicas(); len(reps) > 0 {
+		srvName = reps[0].Server().Name()
+	}
+	apply := func() any {
+		ord, ok := adm.ShedClass(victim)
+		if !ok {
+			return nil
+		}
+		return ord
+	}
+	finish := func(at float64, res any) {
+		ord, ok := res.(int)
+		if !ok {
+			return
+		}
+		detail := fmt.Sprintf("no rebalancing move; lowest impact %.3g, shed #%d", best, ord)
+		if c.policy != nil {
+			detail = fmt.Sprintf("policy %s chose impact %.3g, shed #%d", c.policy.Name(), best, ord)
+		}
+		a := Action{Time: at, Kind: ActionShedClass, App: app, Class: victim.Class, Detail: detail}
+		c.record(a)
+		c.guardCommitted(a, func() error {
+			if !adm.Readmit(victim) {
+				return fmt.Errorf("readmit of %v refused: not on shed list", victim)
+			}
+			return nil
+		})
+	}
+	res, outcome := c.invokeRemote(now, srvName, app, string(ActionShedClass), apply, finish)
+	switch outcome {
+	case invokeInline:
+		return res != nil
+	case invokeInFlight:
+		// The request is traveling; count it as this tick's one action.
+		return true
+	default:
 		return false
 	}
-	detail := fmt.Sprintf("no rebalancing move; lowest impact %.3g, shed #%d", best, ord)
-	if c.policy != nil {
-		detail = fmt.Sprintf("policy %s chose impact %.3g, shed #%d", c.policy.Name(), best, ord)
-	}
-	a := Action{Time: now, Kind: ActionShedClass, App: app, Class: victim.Class, Detail: detail}
-	c.record(a)
-	c.guardCommitted(a, func() error {
-		if !adm.Readmit(victim) {
-			return fmt.Errorf("readmit of %v refused: not on shed list", victim)
-		}
-		return nil
-	})
-	return true
 }
 
 // problem is one diagnosed problem query class.
 type problem struct {
 	id     metrics.ClassID
 	params mrc.Params
+}
+
+// quotaApplied is the engine-side result of applying a quota plan: what
+// was set, and the prior quota set for the watchdog's rollback.
+type quotaApplied struct {
+	applied []string
+	prior   map[string]int
 }
 
 // diagnoseMemory performs outlier context detection and MRC-based memory
@@ -1301,49 +1448,68 @@ func (c *Controller) diagnoseMemory(now float64, sched *cluster.Scheduler, r *cl
 			}
 			return false
 		}
-		// The watchdog's rollback restores the pool's quota set exactly
-		// as it stood before this plan was applied.
-		priorQuotas := make(map[string]int)
-		for key, q := range eng.Pool().Quotas() {
-			priorQuotas[key] = q
-		}
-		// Dissolve quotas from earlier plans that the new plan does not
-		// include, so the pool reflects exactly the current diagnosis.
-		inPlan := make(map[string]bool, len(plan.Quotas))
-		for id := range plan.Quotas {
-			inPlan[id.String()] = true
-		}
-		for key := range eng.Pool().Quotas() {
-			if !inPlan[key] {
-				eng.Pool().RemoveQuota(key)
+		// The plan's application is one engine-side mutation; the prior
+		// quota set rides back in the result so the watchdog's rollback
+		// can restore the pool exactly as it stood.
+		apply := func() any {
+			priorQuotas := make(map[string]int)
+			for key, q := range eng.Pool().Quotas() {
+				priorQuotas[key] = q
 			}
-		}
-		applied := make([]string, 0, len(plan.Quotas))
-		for id, q := range plan.Quotas {
-			if err := eng.Pool().SetQuota(id.String(), q); err != nil {
-				continue
+			// Dissolve quotas from earlier plans that the new plan does not
+			// include, so the pool reflects exactly the current diagnosis.
+			inPlan := make(map[string]bool, len(plan.Quotas))
+			for id := range plan.Quotas {
+				inPlan[id.String()] = true
 			}
-			applied = append(applied, fmt.Sprintf("%s=%d", id.Class, q))
-		}
-		sort.Strings(applied)
-		a := Action{Time: now, Kind: ActionQuota, App: app, Server: srv.Name(),
-			Detail: fmt.Sprintf("quotas %s, rest %d pages", strings.Join(applied, " "), plan.RestPages)}
-		c.record(a)
-		c.guardCommitted(a, func() error {
-			pool := eng.Pool()
-			for key := range pool.Quotas() {
-				if _, had := priorQuotas[key]; !had {
-					pool.RemoveQuota(key)
+			for key := range eng.Pool().Quotas() {
+				if !inPlan[key] {
+					eng.Pool().RemoveQuota(key)
 				}
 			}
-			for key, q := range priorQuotas {
-				if err := pool.SetQuota(key, q); err != nil {
-					return err
+			applied := make([]string, 0, len(plan.Quotas))
+			for id, q := range plan.Quotas {
+				if err := eng.Pool().SetQuota(id.String(), q); err != nil {
+					continue
 				}
+				applied = append(applied, fmt.Sprintf("%s=%d", id.Class, q))
 			}
-			return nil
-		})
-		c.cooldownServer(srv.Name())
+			sort.Strings(applied)
+			return quotaApplied{applied: applied, prior: priorQuotas}
+		}
+		finish := func(at float64, res any) {
+			qa, ok := res.(quotaApplied)
+			if !ok {
+				return
+			}
+			a := Action{Time: at, Kind: ActionQuota, App: app, Server: srv.Name(),
+				Detail: fmt.Sprintf("quotas %s, rest %d pages", strings.Join(qa.applied, " "), plan.RestPages)}
+			c.record(a)
+			priorQuotas := qa.prior
+			c.guardCommitted(a, func() error {
+				pool := eng.Pool()
+				for key := range pool.Quotas() {
+					if _, had := priorQuotas[key]; !had {
+						pool.RemoveQuota(key)
+					}
+				}
+				for key, q := range priorQuotas {
+					if err := pool.SetQuota(key, q); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			c.cooldownServer(srv.Name())
+		}
+		if _, outcome := c.invokeRemote(now, srv.Name(), app, string(ActionQuota), apply, finish); outcome == invokeRefused {
+			// Nothing was sent: the diagnosis was consumed into the
+			// signature but nothing was repaired — same as a guard veto.
+			for _, p := range problems {
+				c.markReconfirm(p.id, srv.Name())
+			}
+			return false
+		}
 		return true
 	}
 
@@ -1523,27 +1689,52 @@ func (c *Controller) rescheduleClass(now float64, id metrics.ClassID, from *serv
 		}
 		target = rep
 	}
-	if err := owner.PlaceClass(id, target); err != nil {
+	// The placement change itself ships to the from-server's engine
+	// when a control plane is attached (target selection and any
+	// provisioning above stay controller-side — the pool is the
+	// controller's own resource).
+	moveTarget := target
+	apply := func() any {
+		if err := owner.PlaceClass(id, moveTarget); err != nil {
+			return nil
+		}
+		return true
+	}
+	finish := func(at float64, res any) {
+		if moved, ok := res.(bool); !ok || !moved {
+			return
+		}
+		a := Action{Time: at, Kind: kind, App: id.App, Server: moveTarget.Server().Name(),
+			Class: id.Class, Detail: detail + fmt.Sprintf("; moved off %s", from.Name())}
+		c.record(a)
+		c.guardCommitted(a, func() error {
+			if len(prior) == 0 {
+				return fmt.Errorf("no prior placement for %v recorded", id)
+			}
+			if err := owner.PlaceClass(id, prior...); err != nil {
+				return err
+			}
+			// The move is undone, so the diagnosis it answered is unanswered
+			// again: let the controller re-confirm the problem (and, with a
+			// sane policy, pick a better target).
+			c.markReconfirm(id, from.Name())
+			return nil
+		})
+		c.cooldownServer(from.Name())
+	}
+	res, outcome := c.invokeRemote(now, from.Name(), id.App, string(kind), apply, finish)
+	switch outcome {
+	case invokeInline:
+		moved, ok := res.(bool)
+		return ok && moved
+	case invokeInFlight:
+		return true
+	default:
+		// Target unreachable: the move never left the controller, so the
+		// diagnosis goes back on the table.
+		c.markReconfirm(id, from.Name())
 		return false
 	}
-	a := Action{Time: now, Kind: kind, App: id.App, Server: target.Server().Name(),
-		Class: id.Class, Detail: detail + fmt.Sprintf("; moved off %s", from.Name())}
-	c.record(a)
-	c.guardCommitted(a, func() error {
-		if len(prior) == 0 {
-			return fmt.Errorf("no prior placement for %v recorded", id)
-		}
-		if err := owner.PlaceClass(id, prior...); err != nil {
-			return err
-		}
-		// The move is undone, so the diagnosis it answered is unanswered
-		// again: let the controller re-confirm the problem (and, with a
-		// sane policy, pick a better target).
-		c.markReconfirm(id, from.Name())
-		return nil
-	})
-	c.cooldownServer(from.Name())
-	return true
 }
 
 // ApplyIOHeuristic applies the §3.3.3 I/O interference remedy on srv:

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"outlierlb/internal/admission"
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/core"
 	"outlierlb/internal/faults"
@@ -51,6 +52,17 @@ type ChaosResult struct {
 	// TargetHealthy reports whether the attacked replica ended the run
 	// back in the healthy state with the fault cleared.
 	TargetHealthy bool
+	// Ctrl holds the control plane's protocol-safety counters (zero-
+	// valued when the run used the direct-call path); CtrlSent /
+	// CtrlDropped / CtrlDuplicated are the channel's message totals.
+	Ctrl                                  core.CtrlInvariants
+	CtrlSent, CtrlDropped, CtrlDuplicated uint64
+	// CtrlUnreachableEvents / CtrlAutonomyEvents count narrated failure-
+	// detector declarations and engine autonomy entries.
+	CtrlUnreachableEvents, CtrlAutonomyEvents int
+	// FinalMetStreak is the consecutive SLA-met interval streak at the
+	// end of the run — the recovery-after-heal criterion.
+	FinalMetStreak int
 	// Scorecard is the run reduced to its resilience milestones with
 	// the injected fault window as ground truth.
 	Scorecard resil.Scorecard
@@ -83,6 +95,14 @@ type chaosOpts struct {
 	name   string
 	mutate func(cfg *core.Config)
 	inject func(in *faults.Injector, tb *testbed, target *cluster.Replica)
+	// admission attaches an admission controller to the application so
+	// the brownout shed/readmit paths — remote actions over the control
+	// channel — participate in the run.
+	admission bool
+	// clients overrides the constant client population (nil keeps
+	// workload.Constant(chaosClients)); the lossy-channel scenario uses
+	// a pulse so overload forces a stream of retuning actions.
+	clients workload.LoadFunction
 }
 
 // runChaos builds the shared chaos testbed — TPC-W on two of three
@@ -136,13 +156,27 @@ func runChaosOpts(seed uint64, faultAt, clearAt, endAt float64, opts chaosOpts) 
 	sched.SetHealthConfig(cluster.DefaultHealthConfig(chaosDeadline))
 	sched.SetClock(func() float64 { return tb.sim.Now().Seconds() })
 	sched.SetObserver(observer)
+	if opts.admission {
+		sched.SetAdmission(admission.NewController(admission.Config{
+			// Generous token gate: the brownout, not blind throttling, is
+			// the overload response under test.
+			Rate: 2000, Burst: 2000,
+			QueueCap:     256,
+			Deadline:     chaosDeadline,
+			ReadmitAfter: 3,
+		}))
+	}
 
 	target := sched.Replicas()[1]
 	in := faults.New(tb.sim)
 	in.SetObserver(observer)
 	opts.inject(in, tb, target)
 
-	em := tb.emulate(sched, tpcw.Mix(), chaosThink, workload.Constant(chaosClients))
+	clients := opts.clients
+	if clients == nil {
+		clients = workload.Constant(chaosClients)
+	}
+	em := tb.emulate(sched, tpcw.Mix(), chaosThink, clients)
 	em.Start()
 	tb.sim.ScheduleKind(simcore.KindControlAction, chaosCtlStart, tb.ctl.Start)
 	tb.sim.RunUntil(sim.Time(endAt))
@@ -180,7 +214,24 @@ func runChaosOpts(seed uint64, faultAt, clearAt, endAt float64, opts chaosOpts) 
 			if onTarget && e.Time >= faultAt && e.Time <= clearAt {
 				res.TargetOutlierDiagnoses++
 			}
+		case obs.EventCtrlUnreachable:
+			res.CtrlUnreachableEvents++
+		case obs.EventCtrlAutonomy:
+			res.CtrlAutonomyEvents++
 		}
+	}
+	for i := len(res.Intervals) - 1; i >= 0; i-- {
+		if !res.Intervals[i].Met {
+			break
+		}
+		res.FinalMetStreak++
+	}
+	if tb.cp != nil {
+		res.Ctrl = tb.cp.Invariants()
+		ns := tb.net.Stats()
+		res.CtrlSent = ns.Sent
+		res.CtrlDropped = ns.Dropped + ns.PartitionDropped + ns.PartitionCancelled
+		res.CtrlDuplicated = ns.Duplicated
 	}
 	res.TargetHealthy = !target.Down() && sched.Health(target) == cluster.HealthHealthy
 	res.Scorecard = resil.Score(resil.Input{

@@ -18,6 +18,7 @@ import (
 	"outlierlb/internal/bufferpool"
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/core"
+	"outlierlb/internal/ctrlnet"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
@@ -56,6 +57,10 @@ type testbed struct {
 	sim *sim.Engine
 	mgr *cluster.Manager
 	ctl *core.Controller
+	// net and cp are non-nil when the message-passing control plane is
+	// on (the default): the control channel and its protocol endpoint.
+	net *ctrlnet.Network
+	cp  *core.ControlPlane
 }
 
 // obsHooks lets callers (the command-line tools) attach observability to
@@ -114,6 +119,31 @@ var eventCore = true
 // reason as the other hooks: scenario functions take only a seed.
 func SetEventCore(on bool) { eventCore = on }
 
+// ctrlHook configures the message-passing control plane for
+// subsequently built testbeds. On by default with a perfect channel —
+// bit-identical to the direct-call path (ctrlnet_test.go asserts it),
+// the same transition-flag discipline as -sim.eventcore. The link
+// config lets tools and chaos scenarios degrade every link.
+var ctrlHook = struct {
+	on   bool
+	link ctrlnet.Config
+}{on: true} // the zero Config is the perfect channel
+
+// SetCtrlNet selects the controller↔engine interaction path for
+// subsequently built testbeds: true (default, the -ctrl.net toggle)
+// routes snapshot collection, heartbeats and retuning actions over a
+// simulated message channel; false restores the direct-call path.
+func SetCtrlNet(on bool) { ctrlHook.on = on }
+
+// SetCtrlLink sets the default link characteristics (latency, jitter,
+// drop, duplication, reordering) of every control channel built after
+// the call. Ignored when SetCtrlNet(false) is in effect.
+func SetCtrlLink(link ctrlnet.Config) { ctrlHook.link = link }
+
+// ctrlNetSeed decorrelates the control network's private RNG stream
+// from the simulation's workload stream.
+const ctrlNetSeed = 0x6374726c
+
 func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	s := sim.NewEngine(seed)
 	mgr := cluster.NewManager()
@@ -136,7 +166,14 @@ func newTestbed(seed uint64, servers, poolPages int, cfg core.Config) *testbed {
 	if obsHooks.onTestbed != nil {
 		obsHooks.onTestbed(ctl, mgr, s)
 	}
-	return &testbed{sim: s, mgr: mgr, ctl: ctl}
+	tb := &testbed{sim: s, mgr: mgr, ctl: ctl}
+	if ctrlHook.on {
+		tb.net = ctrlnet.New(s, seed^ctrlNetSeed)
+		tb.net.SetDefaults(ctrlHook.link)
+		tb.cp = ctl.AttachControlPlane(tb.net, core.CtrlConfig{})
+		tb.cp.SetTracer(tracer)
+	}
+	return tb
 }
 
 // close stops the engines' statistics goroutines at the end of a

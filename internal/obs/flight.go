@@ -93,6 +93,9 @@ func (f *FlightRecorder) ClassLatency(ClassLatencyObs) {}
 // AdmissionSampled implements Observer.
 func (f *FlightRecorder) AdmissionSampled(AdmissionObs) {}
 
+// CtrlSampled implements Observer.
+func (f *FlightRecorder) CtrlSampled(CtrlObs) {}
+
 // IntervalClosed implements Observer: the first interval closing at a
 // new tick time seals the previous tick — by then every app's latency,
 // admission and server samples for it reached the registry.

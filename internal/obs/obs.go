@@ -131,6 +131,48 @@ const (
 	EventGuardTripped EventKind = "guard-tripped"
 )
 
+// Control-channel events (the message-passing control plane,
+// internal/ctrlnet + core.ControlPlane): failure-detector transitions,
+// lease autonomy, epoch fencing and action-delivery outcomes. Per-
+// message traffic is deliberately NOT narrated here — it flows through
+// the CtrlSampled counters — so a lossy run's decision trace stays
+// readable.
+const (
+	// EventCtrlSuspect marks the controller's failure detector moving a
+	// server from reachable to suspect (missed heartbeat acks).
+	EventCtrlSuspect EventKind = "ctrl-suspect"
+	// EventCtrlUnreachable marks a server declared unreachable:
+	// diagnosis for it is suspended and its pending actions abandoned.
+	EventCtrlUnreachable EventKind = "ctrl-unreachable"
+	// EventCtrlReachable marks a suspect/unreachable server acking a
+	// heartbeat again.
+	EventCtrlReachable EventKind = "ctrl-reachable"
+	// EventCtrlAutonomy marks an engine-side agent's lease expiring:
+	// the engine holds its last-leased configuration (admission gates,
+	// brownout state — never widened) and rejects actions until a fresh
+	// heartbeat re-establishes the lease.
+	EventCtrlAutonomy EventKind = "ctrl-autonomy"
+	// EventCtrlLeaseRenewed marks an autonomous agent receiving a
+	// heartbeat again and leaving autonomy.
+	EventCtrlLeaseRenewed EventKind = "ctrl-lease-renewed"
+	// EventCtrlEpoch marks the controller advancing its epoch after
+	// deposing a server's view (an unreachable declaration): in-flight
+	// actions from earlier epochs are fenced off at the engines.
+	EventCtrlEpoch EventKind = "ctrl-epoch-advanced"
+	// EventCtrlRetry marks one action RPC retransmission after an ack
+	// timeout (capped exponential backoff).
+	EventCtrlRetry EventKind = "ctrl-action-retry"
+	// EventCtrlStaleEpoch marks an engine rejecting an action stamped
+	// with a deposed epoch — the fencing working as intended.
+	EventCtrlStaleEpoch EventKind = "ctrl-stale-epoch-rejected"
+	// EventCtrlDupAction marks an engine suppressing a duplicate
+	// delivery of an already-applied action (idempotent re-ack).
+	EventCtrlDupAction EventKind = "ctrl-duplicate-suppressed"
+	// EventCtrlAbandoned marks the controller giving up on an action
+	// whose retries exhausted (or whose target went unreachable).
+	EventCtrlAbandoned EventKind = "ctrl-action-abandoned"
+)
+
 // Event is one structured decision-trace record.
 type Event struct {
 	// Seq is assigned by the event log: a monotonically increasing
@@ -280,6 +322,41 @@ type AdmissionObs struct {
 	Classes     []AdmissionClassObs `json:"classes,omitempty"`
 }
 
+// CtrlServerObs is one server's control-channel health as the
+// controller's failure detector sees it at a tick.
+type CtrlServerObs struct {
+	Server string `json:"server"`
+	// State is the failure-detector verdict: "reachable", "suspect" or
+	// "unreachable".
+	State string `json:"state"`
+	// MissedAcks counts consecutive unacknowledged heartbeats.
+	MissedAcks int `json:"missed_acks,omitempty"`
+	// Autonomous reports that the server's agent is known (from its last
+	// report) to be running on its local lease, rejecting actions.
+	Autonomous bool `json:"autonomous,omitempty"`
+}
+
+// CtrlObs is the control plane's per-tick sample: cumulative transport
+// and protocol counters plus the failure detector's view of each server.
+// Counters are lifetime totals (the recorder Sets them, matching the
+// Prometheus counter convention for replayed samples).
+type CtrlObs struct {
+	Time float64 `json:"time"`
+	// Epoch is the controller's current fencing epoch.
+	Epoch uint64 `json:"epoch"`
+	// Transport counters (internal/ctrlnet lifetime stats).
+	Sent       uint64 `json:"sent"`
+	Delivered  uint64 `json:"delivered"`
+	Dropped    uint64 `json:"dropped,omitempty"`
+	Duplicated uint64 `json:"duplicated,omitempty"`
+	// Protocol counters.
+	ActionRetries   uint64 `json:"action_retries,omitempty"`
+	EpochRejections uint64 `json:"epoch_rejections,omitempty"`
+	DupSuppressed   uint64 `json:"dup_suppressed,omitempty"`
+	// Servers is the failure detector's per-server state.
+	Servers []CtrlServerObs `json:"servers,omitempty"`
+}
+
 // Observer receives the decision trace and periodic samples. All methods
 // are called from the (single-threaded) simulation loop; implementations
 // that expose data to other goroutines must synchronize internally.
@@ -296,6 +373,10 @@ type Observer interface {
 	// AdmissionSampled delivers an application's overload-protection
 	// sample.
 	AdmissionSampled(a AdmissionObs)
+	// CtrlSampled delivers the control plane's transport/failure-detector
+	// sample. Only emitted when the message-passing control plane is
+	// active.
+	CtrlSampled(c CtrlObs)
 }
 
 // Nop is the no-op Observer: every method returns immediately. It is the
@@ -317,6 +398,9 @@ func (Nop) ClassLatency(ClassLatencyObs) {}
 
 // AdmissionSampled implements Observer.
 func (Nop) AdmissionSampled(AdmissionObs) {}
+
+// CtrlSampled implements Observer.
+func (Nop) CtrlSampled(CtrlObs) {}
 
 var _ Observer = Nop{}
 
@@ -346,6 +430,11 @@ func (t tee) ClassLatency(cl ClassLatencyObs) {
 func (t tee) AdmissionSampled(a AdmissionObs) {
 	for _, o := range t.outs {
 		o.AdmissionSampled(a)
+	}
+}
+func (t tee) CtrlSampled(c CtrlObs) {
+	for _, o := range t.outs {
+		o.CtrlSampled(c)
 	}
 }
 

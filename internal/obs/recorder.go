@@ -41,6 +41,15 @@ const (
 	MetricGuardReverts  = "outlierlb_guard_reverts_total"
 	MetricGuardVetoes   = "outlierlb_guard_vetoes_total"
 	MetricGuardTrips    = "outlierlb_guard_trips_total"
+
+	// Control-channel metrics (message-passing control plane).
+	MetricCtrlMessages     = "outlierlb_ctrl_messages_total"
+	MetricCtrlRetries      = "outlierlb_ctrl_action_retries_total"
+	MetricCtrlEpochRejects = "outlierlb_ctrl_epoch_rejections_total"
+	MetricCtrlDupActions   = "outlierlb_ctrl_dup_actions_suppressed_total"
+	MetricCtrlFDState      = "outlierlb_ctrl_failure_detector_state"
+	MetricCtrlEpoch        = "outlierlb_ctrl_epoch"
+	MetricCtrlAutonomous   = "outlierlb_ctrl_autonomous_engines"
 )
 
 // Recorder is the standard Observer: it appends every decision-trace
@@ -86,6 +95,13 @@ func NewRecorder(capacity int) *Recorder {
 	r.reg.Help(MetricGuardReverts, "Controller actions rolled back by the action watchdog, per application.")
 	r.reg.Help(MetricGuardVetoes, "Controller actions blocked by guardrails before running, by reason.")
 	r.reg.Help(MetricGuardTrips, "Action-storm circuit openings (diagnosis suspended), per application.")
+	r.reg.Help(MetricCtrlMessages, "Control-channel messages since startup, by transport outcome.")
+	r.reg.Help(MetricCtrlRetries, "Control-action RPC retransmissions after ack timeout.")
+	r.reg.Help(MetricCtrlEpochRejects, "Actions rejected engine-side for carrying a deposed control epoch.")
+	r.reg.Help(MetricCtrlDupActions, "Duplicate action deliveries suppressed engine-side (idempotent re-ack).")
+	r.reg.Help(MetricCtrlFDState, "Controller failure-detector verdict per server (0 reachable, 1 suspect, 2 unreachable).")
+	r.reg.Help(MetricCtrlEpoch, "Current control-plane fencing epoch.")
+	r.reg.Help(MetricCtrlAutonomous, "Engines currently running on their local lease (rejecting actions).")
 	return r
 }
 
@@ -201,6 +217,39 @@ func (r *Recorder) AdmissionSampled(a AdmissionObs) {
 		set(string(ReasonQueueFullLabel), c.QueueRejected)
 		set(string(ReasonDeadlineLabel), c.DeadlineRejected)
 	}
+}
+
+// CtrlSampled implements Observer. Transport and protocol counters are
+// lifetime totals, so the registry Sets them (same replayed-counter
+// convention as AdmissionSampled).
+func (r *Recorder) CtrlSampled(c CtrlObs) {
+	r.reg.Set(MetricCtrlMessages, L("result", "sent"), float64(c.Sent))
+	r.reg.Set(MetricCtrlMessages, L("result", "delivered"), float64(c.Delivered))
+	if c.Dropped > 0 {
+		r.reg.Set(MetricCtrlMessages, L("result", "dropped"), float64(c.Dropped))
+	}
+	if c.Duplicated > 0 {
+		r.reg.Set(MetricCtrlMessages, L("result", "duplicated"), float64(c.Duplicated))
+	}
+	r.reg.Set(MetricCtrlRetries, nil, float64(c.ActionRetries))
+	r.reg.Set(MetricCtrlEpochRejects, nil, float64(c.EpochRejections))
+	r.reg.Set(MetricCtrlDupActions, nil, float64(c.DupSuppressed))
+	r.reg.Set(MetricCtrlEpoch, nil, float64(c.Epoch))
+	autonomous := 0
+	for _, s := range c.Servers {
+		var v float64
+		switch s.State {
+		case "suspect":
+			v = 1
+		case "unreachable":
+			v = 2
+		}
+		r.reg.Set(MetricCtrlFDState, L("server", s.Server), v)
+		if s.Autonomous {
+			autonomous++
+		}
+	}
+	r.reg.Set(MetricCtrlAutonomous, nil, float64(autonomous))
 }
 
 // Rejection-reason label values, shared with internal/admission's

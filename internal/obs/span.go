@@ -47,6 +47,13 @@ const (
 	// controller action was reverted. Created by Tracer.StartMarker, never
 	// by StartQuery.
 	SpanGuard SpanKind = "guard"
+	// SpanCtrlAction is a control-plane marker root span covering one
+	// remote action delivery over the message-passing control channel:
+	// its events are the message hops (send, retry, ack, rejection).
+	// Only created for non-inline deliveries — a perfect channel adds no
+	// spans, keeping perfect-channel traces identical to direct-call
+	// traces. Created by Tracer.StartMarker.
+	SpanCtrlAction SpanKind = "ctrl-action"
 )
 
 // SpanEvent is a point-in-time annotation on a span — admission
@@ -77,6 +84,14 @@ const (
 	EventSlotCommit EventKind = "slot-commit"
 	// EventSlotCancel marks a losing candidate's slot released.
 	EventSlotCancel EventKind = "slot-cancel"
+	// EventCtrlSend marks one request message handed to the control
+	// channel on a SpanCtrlAction span (initial send or retransmission;
+	// Fields carry the attempt number).
+	EventCtrlSend EventKind = "ctrl-send"
+	// EventCtrlAck marks the engine's acknowledgement arriving back at
+	// the controller; Detail carries the engine's verdict (applied,
+	// stale-epoch, no-lease, duplicate).
+	EventCtrlAck EventKind = "ctrl-ack"
 )
 
 // Span is one timed node in a query's trace tree. Spans are built

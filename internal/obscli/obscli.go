@@ -22,6 +22,7 @@ import (
 
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/core"
+	"outlierlb/internal/ctrlnet"
 	"outlierlb/internal/experiments"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/sim"
@@ -52,6 +53,57 @@ func FlagWasSet(name string) bool {
 		}
 	})
 	return set
+}
+
+// CtrlFlags is the shared -ctrl.* flag set: the control-plane transition
+// toggle plus the channel's default link characteristics. Registered
+// here so every tool documents the flags identically and the suites can
+// reject the whole family by name.
+type CtrlFlags struct {
+	net     *bool
+	latency *float64
+	jitter  *float64
+	drop    *float64
+	dup     *float64
+}
+
+// ctrlFlagNames is every flag RegisterCtrlFlags defines, for AnySet.
+var ctrlFlagNames = []string{"ctrl.net", "ctrl.latency", "ctrl.jitter", "ctrl.drop", "ctrl.dup"}
+
+// RegisterCtrlFlags registers the shared -ctrl.* flags. The caller
+// applies the parsed values with Apply after flag.Parse.
+func RegisterCtrlFlags() *CtrlFlags {
+	return &CtrlFlags{
+		net: flag.Bool("ctrl.net", true,
+			"route controller↔engine snapshots, heartbeats and actions over a simulated message channel "+
+				"(transition flag: =false restores the direct-call path; with a perfect channel both are bit-identical)"),
+		latency: flag.Float64("ctrl.latency", 0, "control channel: one-way delivery latency in seconds"),
+		jitter:  flag.Float64("ctrl.jitter", 0, "control channel: uniform latency jitter in seconds"),
+		drop:    flag.Float64("ctrl.drop", 0, "control channel: message loss probability in [0, 1)"),
+		dup:     flag.Float64("ctrl.dup", 0, "control channel: message duplication probability in [0, 1)"),
+	}
+}
+
+// Apply pushes the parsed -ctrl.* values into the experiments hooks so
+// every subsequently built testbed uses them.
+func (c *CtrlFlags) Apply() {
+	experiments.SetCtrlNet(*c.net)
+	experiments.SetCtrlLink(ctrlnet.Config{
+		Latency: *c.latency, Jitter: *c.jitter, Drop: *c.drop, Dup: *c.dup,
+	})
+}
+
+// AnySet reports whether any -ctrl.* flag was passed explicitly (call
+// after flag.Parse). The suites refuse the whole family: their baselines
+// pin a perfect channel, and a silently ignored degradation flag would
+// be worse than an error.
+func (c *CtrlFlags) AnySet() (string, bool) {
+	for _, name := range ctrlFlagNames {
+		if FlagWasSet(name) {
+			return "-" + name, true
+		}
+	}
+	return "", false
 }
 
 // Options configures a Session from the tools' flags. The zero value

@@ -20,9 +20,10 @@ import (
 )
 
 // detectKinds are the events that count as the control plane NOTICING
-// something is wrong — failure-detector suspicion, breaker trips,
-// degraded-analysis guards, outlier diagnoses, SLA violations, and the
-// watchdog flagging one of its own actions.
+// something is wrong — failure-detector suspicion (replica- or
+// channel-level), breaker trips, degraded-analysis guards, outlier
+// diagnoses, SLA violations, engines noticing their controller has gone
+// dark, and the watchdog flagging one of its own actions.
 var detectKinds = map[obs.EventKind]bool{
 	obs.EventReplicaSuspected: true,
 	obs.EventReplicaFailed:    true,
@@ -32,10 +33,14 @@ var detectKinds = map[obs.EventKind]bool{
 	obs.EventViolation:        true,
 	obs.EventActionSuspect:    true,
 	obs.EventGuardTripped:     true,
+	obs.EventCtrlSuspect:      true,
+	obs.EventCtrlUnreachable:  true,
+	obs.EventCtrlAutonomy:     true,
 }
 
 // mitigateKinds are the events that count as the control plane DOING
-// something about it — retuning actions, query retries, and the
+// something about it — retuning actions, query retries, retransmitting
+// an action over a lossy channel, fencing a deposed epoch, and the
 // watchdog rolling a harmful action back.
 var mitigateKinds = map[obs.EventKind]bool{
 	obs.EventProvision:      true,
@@ -47,6 +52,8 @@ var mitigateKinds = map[obs.EventKind]bool{
 	obs.EventReadmitClass:   true,
 	obs.EventQueryRetry:     true,
 	obs.EventActionReverted: true,
+	obs.EventCtrlRetry:      true,
+	obs.EventCtrlEpoch:      true,
 }
 
 // Input is everything Score needs about one scenario run.

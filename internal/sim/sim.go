@@ -12,8 +12,8 @@
 // a seeded random source and the Event/Time API the rest of the
 // repository schedules against. ScheduleKind tags events with their
 // simcore.Kind (arrival, phase-complete, interval-tick, fault,
-// control-action) so a run can account for its event composition;
-// plain Schedule is the generic-kind shorthand.
+// control-action, message) so a run can account for its event
+// composition; plain Schedule is the generic-kind shorthand.
 //
 // Concurrency: the event loop is strictly single-threaded, and every
 // object scheduled on it (servers, engines' query paths, emulators, the

@@ -1,0 +1,47 @@
+package simcore
+
+import "testing"
+
+// TestKindMessage pins the control-plane message kind's identity: its
+// name, its place inside the counted kind space, and its per-kind
+// accounting — the ctrlnet transport and the tools' queue statistics
+// both key on it.
+func TestKindMessage(t *testing.T) {
+	if KindMessage.String() != "message" {
+		t.Fatalf("KindMessage = %q, want \"message\"", KindMessage)
+	}
+	if int(KindMessage) >= NumKinds {
+		t.Fatalf("KindMessage %d outside NumKinds %d; per-kind counters would miss it", KindMessage, NumKinds)
+	}
+	q := NewQueue()
+	q.Push(1, KindMessage, func() {})
+	tm := q.Push(2, KindMessage, func() {})
+	tm.Cancel()
+	collect(q)
+	s := q.Stats()
+	if s.PerKind[KindMessage] != 2 {
+		t.Fatalf("KindMessage pushes = %d, want 2", s.PerKind[KindMessage])
+	}
+	if s.Pops != 1 || s.Cancels != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestMessageFIFOAmongKinds checks the delivery-order contract the
+// control plane's bit-identity argument leans on: a message pushed at a
+// timestamp before another event at the same timestamp pops first, kind
+// notwithstanding — ties break strictly by push sequence.
+func TestMessageFIFOAmongKinds(t *testing.T) {
+	q := NewQueue()
+	var got []string
+	q.Push(5, KindMessage, func() { got = append(got, "msg1") })
+	q.Push(5, KindIntervalTick, func() { got = append(got, "tick") })
+	q.Push(5, KindMessage, func() { got = append(got, "msg2") })
+	collect(q)
+	want := []string{"msg1", "tick", "msg2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-time pop order = %v, want %v", got, want)
+		}
+	}
+}

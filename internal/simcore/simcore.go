@@ -11,7 +11,8 @@
 // (KindArrival), a CPU/disk/lock-wait service phase completing inside a
 // database engine (KindPhaseComplete), the controller's measurement
 // interval closing (KindIntervalTick), a fault injection firing
-// (KindFault), or a control-plane action (KindControlAction). The kinds
+// (KindFault), a control-plane action (KindControlAction), or a
+// control-plane message being delivered (KindMessage). The kinds
 // are observability: the queue treats all events identically, but the
 // per-kind counters in Stats let a run prove its composition ("this
 // scenario was 92% arrivals, 7% phase completions, 41 fault events").
@@ -75,13 +76,17 @@ const (
 	// starting the controller, switching a policy, or any other
 	// operator-scheduled intervention.
 	KindControlAction
+	// KindMessage is a control-plane message in flight between a
+	// controller and an engine endpoint (internal/ctrlnet): the event
+	// fires when the message is delivered to its destination.
+	KindMessage
 
 	// NumKinds bounds the Kind space (for per-kind counters).
-	NumKinds = int(KindControlAction) + 1
+	NumKinds = int(KindMessage) + 1
 )
 
 var kindNames = [NumKinds]string{
-	"generic", "arrival", "phase-complete", "interval-tick", "fault", "control-action",
+	"generic", "arrival", "phase-complete", "interval-tick", "fault", "control-action", "message",
 }
 
 func (k Kind) String() string {
