@@ -64,17 +64,38 @@ go run ./cmd/benchrunner -suite.short -out "$BENCH_TMP/BENCH_ci.json" -baseline 
 go run ./cmd/outlierlb -scenario cpu -trace.sample 1.0 -run.out "$BENCH_TMP/RUN_ci.json" >/dev/null
 go run ./cmd/tracetool -run "$BENCH_TMP/RUN_ci.json" -phases >/dev/null
 
+# Temporal workload smoke: one flash-crowd surge under seed 1 through
+# benchrunner's experiment runner — the open-loop driver, the surge
+# provisioning, and the decay-side shrink all exercised the way an
+# operator would invoke them (the full 3-seed suite already ran under
+# -race above).
+go run ./cmd/benchrunner -exp flash-crowd -seed 1 >/dev/null
+
+# Trace record/replay identity: record the flash-crowd offered load to
+# a workload-trace-v2 file via -wl.record, replay it via -wl.replay,
+# and require byte-identical stdout. This gates the whole recording
+# seam end to end — CLI flags, trace codec, replayer scheduling — on
+# top of the in-process TestFig3RecordReplayIdentity that already ran
+# in the test suite. See WORKLOADS.md §6.
+go run ./cmd/outlierlb -scenario flash-crowd -seed 1 \
+	-wl.record "$BENCH_TMP/fc_ci.trace" >"$BENCH_TMP/fc_live.txt"
+go run ./cmd/outlierlb -scenario flash-crowd -seed 1 \
+	-wl.replay "$BENCH_TMP/fc_ci.trace" >"$BENCH_TMP/fc_replay.txt"
+diff "$BENCH_TMP/fc_live.txt" "$BENCH_TMP/fc_replay.txt"
+
 # Resilience gate: one adversarial fault (clock skew), one pathological
-# policy (reject-all admission), and two control-channel faults (full
-# controller partition, lossy channel under a load pulse) across the
-# pinned 3 seeds. -assert fails the run unless every scorecard shows
-# the fault detected, visible mitigation where demanded (retries and
-# epoch fences for the channel faults, watchdog rollback for guard-*),
+# policy (reject-all admission), two control-channel faults (full
+# controller partition, lossy channel under a load pulse), and one
+# temporal surge (flash crowd, which also asserts replay fidelity via
+# trace-replay-identity above) across the pinned 3 seeds. -assert fails
+# the run unless every scorecard shows the fault detected, visible
+# mitigation where demanded (retries and epoch fences for the channel
+# faults, watchdog rollback for guard-*, provisioning for the surge),
 # and steady state recovered within the 300 s budget; the scorecards
 # are then persisted as a RESIL_*.json and round-tripped through
 # tracetool's strict loader.
 go run ./cmd/benchrunner -resil \
-	-resil.scenarios clock-skew,guard-reject-all-admission,ctrl-partition,ctrl-lossy \
+	-resil.scenarios clock-skew,guard-reject-all-admission,ctrl-partition,ctrl-lossy,flash-crowd,trace-replay-identity \
 	-resil.seeds 1,2,3 -assert -out "$BENCH_TMP/RESIL_ci.json"
 go run ./cmd/tracetool -resil "$BENCH_TMP/RESIL_ci.json" >/dev/null
 

@@ -6,7 +6,12 @@
 //	benchrunner -exp fig5 -csv    # machine-readable series
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, ablations,
-// chaos, overload.
+// chaos, overload, flash-crowd, diurnal-shift, olap-antagonist,
+// trace-replay.
+//
+// Experiment runs also accept -wl.record FILE / -wl.replay FILE to
+// capture the offered load as a workload-trace-v2 or feed a recorded
+// trace back in (see WORKLOADS.md).
 //
 // It also hosts the performance suite (see internal/benchsuite and
 // PERFORMANCE.md):
@@ -32,7 +37,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig3|fig4|fig5|fig6|table1|table2|table3|ablations|chaos|overload|all")
+	exp := flag.String("exp", "all",
+		"experiment to run: fig3|fig4|fig5|fig6|table1|table2|table3|ablations|chaos|overload|"+
+			"flash-crowd|diurnal-shift|olap-antagonist|trace-replay|all")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit figures as CSV series instead of aligned text")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug endpoints on this address (e.g. :9090)")
@@ -61,6 +68,7 @@ func main() {
 	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
 	eventCore := obscli.EventCoreFlag()
 	ctrlFlags := obscli.RegisterCtrlFlags()
+	wlFlags := obscli.RegisterWlFlags()
 	flag.Parse()
 
 	if *suite || *suiteShort || *resilMode {
@@ -88,6 +96,13 @@ func main() {
 				"benchrunner: %s applies only to experiment runs, not -suite/-suite.short/-resil\n", name)
 			os.Exit(2)
 		}
+		// The suites pin their own offered load; a trace flag here would
+		// either be silently ignored or quietly reshape every baseline.
+		if name, set := wlFlags.AnySet(); set {
+			fmt.Fprintf(os.Stderr,
+				"benchrunner: %s applies only to experiment runs, not -suite/-suite.short/-resil\n", name)
+			os.Exit(2)
+		}
 		if *resilMode {
 			if *suite || *suiteShort {
 				fmt.Fprintln(os.Stderr, "benchrunner: -resil and -suite are mutually exclusive")
@@ -103,6 +118,10 @@ func main() {
 	experiments.SetStatWorkers(*statWorkers)
 	experiments.SetEventCore(*eventCore)
 	ctrlFlags.Apply()
+	if err := wlFlags.Apply(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(2)
+	}
 
 	session, err := obscli.Start(obscli.Options{
 		Addr:        *obsAddr,
@@ -119,23 +138,32 @@ func main() {
 		os.Exit(1)
 	}
 	defer func() {
+		if err := wlFlags.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
 		session.Finish()
 		session.WaitForInterrupt()
 	}()
 
 	runners := map[string]func(uint64, bool){
-		"fig3":      runFig3,
-		"fig4":      runFig4,
-		"fig5":      runFig5,
-		"fig6":      runFig6,
-		"table1":    runTable1,
-		"table2":    runTable2,
-		"table3":    runTable3,
-		"ablations": runAblations,
-		"chaos":     runChaosSuite,
-		"overload":  runOverload,
+		"fig3":            runFig3,
+		"fig4":            runFig4,
+		"fig5":            runFig5,
+		"fig6":            runFig6,
+		"table1":          runTable1,
+		"table2":          runTable2,
+		"table3":          runTable3,
+		"ablations":       runAblations,
+		"chaos":           runChaosSuite,
+		"overload":        runOverload,
+		"flash-crowd":     runTemporal("flash-crowd", experiments.FlashCrowd),
+		"diurnal-shift":   runTemporal("diurnal-shift", experiments.DiurnalShift),
+		"olap-antagonist": runTemporal("olap-antagonist", experiments.OLAPAntagonist),
+		"trace-replay":    runTemporal("trace-replay-identity", experiments.TraceReplayIdentity),
 	}
-	names := []string{"fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "ablations", "chaos", "overload"}
+	names := []string{"fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "ablations", "chaos", "overload",
+		"flash-crowd", "diurnal-shift", "olap-antagonist", "trace-replay"}
 
 	want := strings.ToLower(*exp)
 	if want == "all" {
@@ -338,6 +366,42 @@ func runOverload(seed uint64, csv bool) {
 	fmt.Printf("client errors: %d, still shed at end: %v\n", r.ClientErrors, r.FinalShedClasses)
 	fmt.Println("invariants: lowest-impact classes shed first, protected class keeps its SLA,")
 	fmt.Println("everything readmitted and zero rejections once load returns to nominal")
+}
+
+// runTemporal adapts one temporal-workload scenario (flash-crowd,
+// diurnal-shift, olap-antagonist, trace-replay-identity) to the -exp
+// runner shape. The CSV form emits one row per run for sweeps.
+func runTemporal(name string, fn func(uint64) (*experiments.TemporalResult, error)) func(uint64, bool) {
+	return func(seed uint64, csv bool) {
+		r, err := fn(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		sc := r.Scorecard
+		if csv {
+			fmt.Println("scenario,seed,baseline,surge,final,errors,offered,shed,provisions,shrinks,detected,mitigated,recovered,t_detect,t_mitigate,t_recover")
+			fmt.Printf("%s,%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%v,%v,%v,%.0f,%.0f,%.0f\n",
+				name, seed, r.BaselineLatency, r.SurgeLatency, r.FinalLatency, r.ClientErrors,
+				r.Offered, r.Shed, r.Provisions, r.Shrinks,
+				sc.Detected, sc.Mitigated, sc.Recovered,
+				sc.TimeToDetect, sc.TimeToMitigate, sc.TimeToRecover)
+			return
+		}
+		fmt.Printf("=== Temporal: %s ===\n", name)
+		fmt.Printf("latency: baseline %.3fs → surge %.3fs → final %.3fs\n",
+			r.BaselineLatency, r.SurgeLatency, r.FinalLatency)
+		fmt.Printf("offered: %d interactions (%d shed by admission), client errors %d\n",
+			r.Offered, r.Shed, r.ClientErrors)
+		fmt.Printf("capacity: %d provision(s), %d shrink(s); final met streak %d interval(s)\n",
+			r.Provisions, r.Shrinks, r.FinalMetStreak)
+		fmt.Printf("scorecard: detected=%v (%s, +%.0fs) mitigated=%v (%s, +%.0fs) recovered=%v (+%.0fs after clear)\n",
+			sc.Detected, sc.DetectKind, sc.TimeToDetect, sc.Mitigated, sc.MitigateKind, sc.TimeToMitigate,
+			sc.Recovered, sc.TimeToRecover)
+		for _, a := range r.Actions {
+			fmt.Println("  action:", a)
+		}
+	}
 }
 
 func runAblations(seed uint64, _ bool) {

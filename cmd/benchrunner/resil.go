@@ -60,6 +60,28 @@ func resilScenarios() []resilScenario {
 		{name: "ctrl-lossy", wantMitigate: true, run: chaos(experiments.ChaosCtrlLossy)},
 		{name: "ctrl-delayed-snapshots", run: chaos(experiments.ChaosCtrlDelayedSnapshots)},
 	}
+	// The temporal scenarios stress the control plane with load shape
+	// rather than injected faults: the surge window is the scorecard's
+	// fault window, and every one of them demands visible mitigation
+	// (provisioning, brownout shedding, or coarse isolation).
+	// trace-replay-identity additionally fails outright if the replayed
+	// run diverges from the recorded one, so replay fidelity is gated
+	// here too.
+	temporal := func(fn func(uint64) (*experiments.TemporalResult, error)) func(uint64) (resil.Scorecard, error) {
+		return func(seed uint64) (resil.Scorecard, error) {
+			r, err := fn(seed)
+			if err != nil {
+				return resil.Scorecard{}, err
+			}
+			return r.Scorecard, nil
+		}
+	}
+	defs = append(defs,
+		resilScenario{name: "flash-crowd", wantMitigate: true, run: temporal(experiments.FlashCrowd)},
+		resilScenario{name: "diurnal-shift", wantMitigate: true, run: temporal(experiments.DiurnalShift)},
+		resilScenario{name: "olap-antagonist", wantMitigate: true, run: temporal(experiments.OLAPAntagonist)},
+		resilScenario{name: "trace-replay-identity", wantMitigate: true, run: temporal(experiments.TraceReplayIdentity)},
+	)
 	for _, tpl := range experiments.GuardTemplates() {
 		tpl := tpl
 		defs = append(defs, resilScenario{

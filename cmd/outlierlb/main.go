@@ -14,8 +14,16 @@
 //	outlierlb -scenario byzantine      # adversarial: one replica's monitoring lies
 //	outlierlb -scenario snapcorrupt    # adversarial: dropped + duplicated snapshots
 //	outlierlb -scenario clockskew      # adversarial: the controller's clock jumps
+//	outlierlb -scenario flash-crowd    # temporal: referral surge over an OLTP baseline
+//	outlierlb -scenario diurnal-shift  # temporal: day/night cycle, provision/shrink
+//	outlierlb -scenario olap-antagonist # temporal: scan-heavy OLAP beside OLTP (§5.4)
+//	outlierlb -scenario trace-replay-identity # record→replay bit-identity check
 //	outlierlb -scenario guard-...      # pathological policy under the action watchdog
 //	outlierlb -record tpcw.trace       # dump a TPC-W page-access trace for mrctool
+//
+// With -wl.record FILE any scenario's offered load is captured as a
+// workload-trace-v2; -wl.replay FILE feeds a recorded trace back in
+// place of the live load generators (see WORKLOADS.md).
 //
 // With -sig.store FILE the controller warm-starts from signatures saved
 // by a previous run and saves its own back on completion.
@@ -99,6 +107,27 @@ func scenarios() []scenarioDef {
 				"the staleness guard must reject them while the failure detector stays reachable",
 				experiments.ChaosCtrlDelayedSnapshots)
 		}},
+		{"flash-crowd", "temporal: referral-event crowd surges over an OLTP baseline in MMPP bursts", func(seed uint64) {
+			runTemporal(seed, "a flash crowd lands on a steady OLTP baseline at t=300s — 10s ramp to a "+
+				"160 qps peak, power-law decay — and the controller must provision into the surge",
+				experiments.FlashCrowd)
+		}},
+		{"diurnal-shift", "temporal: closed-loop clients follow a day/night cycle; provision into the peak, shrink after", func(seed uint64) {
+			runTemporal(seed, "closed-loop clients follow a diurnal cycle: the trough fits one replica, "+
+				"the midday peak does not — capacity must follow the pattern in both directions",
+				experiments.DiurnalShift)
+		}},
+		{"olap-antagonist", "temporal: a scan-heavy OLAP app co-located inside one TPC-W replica's engine", func(seed uint64) {
+			runTemporal(seed, "a scan-heavy OLAP antagonist attaches inside the second TPC-W replica's "+
+				"database engine for [300s, 500s), polluting the shared buffer pool (§5.4 co-location)",
+				experiments.OLAPAntagonist)
+		}},
+		{"trace-replay-identity", "temporal: record flash-crowd's offered load, replay it, require a bit-identical run", func(seed uint64) {
+			runTemporal(seed, "flash-crowd runs once while its offered load is recorded as workload-trace-v2, "+
+				"then the trace is replayed into a fresh identically-seeded testbed; the replayed "+
+				"run must reproduce the recorded intervals and actions byte-for-byte",
+				experiments.TraceReplayIdentity)
+		}},
 	}
 	for _, tpl := range experiments.GuardTemplates() {
 		tpl := tpl
@@ -138,11 +167,18 @@ func main() {
 	pprof := flag.Bool("obs.pprof", false, "mount net/http/pprof under /debug/pprof/ on -obs.addr")
 	eventCore := obscli.EventCoreFlag()
 	ctrlFlags := obscli.RegisterCtrlFlags()
+	wlFlags := obscli.RegisterWlFlags()
 	flag.Parse()
 	experiments.SetEventCore(*eventCore)
 	ctrlFlags.Apply()
 
 	if *record != "" {
+		// -record dumps a page-access trace and exits without running a
+		// scenario, so a -wl.* flag would be silently ignored.
+		if name, set := wlFlags.AnySet(); set {
+			fmt.Fprintf(os.Stderr, "outlierlb: %s applies only to scenario runs, not -record\n", name)
+			os.Exit(2)
+		}
 		if err := recordTrace(*record, *recordApp, *recordN, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "outlierlb:", err)
 			os.Exit(1)
@@ -190,11 +226,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "outlierlb:", err)
 		os.Exit(1)
 	}
+	if err := wlFlags.Apply(); err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(2)
+	}
 
 	chosen.run(*seed)
 
+	if err := wlFlags.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(1)
+	}
 	session.Finish()
 	session.WaitForInterrupt()
+}
+
+func runTemporal(seed uint64, desc string, fn func(uint64) (*experiments.TemporalResult, error)) {
+	fmt.Println("scenario:", desc)
+	fmt.Println()
+	r, err := fn(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "outlierlb:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("baseline latency:   %.3fs\n", r.BaselineLatency)
+	fmt.Printf("surge latency:      %.3fs\n", r.SurgeLatency)
+	fmt.Printf("final latency:      %.3fs\n", r.FinalLatency)
+	fmt.Printf("client errors:      %d\n", r.ClientErrors)
+	fmt.Printf("offered load:       %d interactions (%d shed by admission)\n", r.Offered, r.Shed)
+	fmt.Printf("capacity actions:   %d provision(s), %d shrink(s)\n", r.Provisions, r.Shrinks)
+	fmt.Printf("final met streak:   %d interval(s)\n", r.FinalMetStreak)
+	sc := r.Scorecard
+	fmt.Printf("scorecard:          detected=%v (%s, +%.0fs) mitigated=%v (%s, +%.0fs)\n",
+		sc.Detected, sc.DetectKind, sc.TimeToDetect, sc.Mitigated, sc.MitigateKind, sc.TimeToMitigate)
+	fmt.Printf("recovery:           recovered=%v time-to-recover=%.0fs steady-state deviation %+.1f%%\n",
+		sc.Recovered, sc.TimeToRecover, 100*sc.SteadyStateDeviation)
+	fmt.Println()
+	for _, a := range r.Actions {
+		fmt.Println("action:", a)
+	}
 }
 
 func runGuard(seed uint64, template string) {

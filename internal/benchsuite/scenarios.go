@@ -18,6 +18,7 @@ import (
 	"outlierlb/internal/sim"
 	"outlierlb/internal/simcore"
 	"outlierlb/internal/sla"
+	"outlierlb/internal/wltemporal"
 )
 
 // benchClasses registers n query classes with c and returns their ids
@@ -328,6 +329,53 @@ func Suite() []Scenario {
 				return func(ops int) {
 					for k := 0; k < ops; k++ {
 						n.Send("ctl", "srv", k)
+						s.Run()
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "temporal-arrival-gen",
+			Kind: "micro",
+			Doc:  "one open-loop arrival draw: composed diurnal+flash-crowd rate-shape evaluation plus an MMPP phase-tracked interarrival draw",
+			Micro: func() (func(int), func()) {
+				rng := sim.NewRNG(1)
+				shape := wltemporal.Add(
+					wltemporal.Diurnal(40, 20, 600),
+					wltemporal.FlashCrowd(120, 300, 10, 1.5),
+				)
+				proc := &wltemporal.MMPP{}
+				now := 0.0
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						delay, _ := proc.Next(rng, now, shape(now))
+						now += delay
+					}
+				}, nil
+			},
+		},
+		{
+			Name: "tracev2-replay-feed",
+			Kind: "micro",
+			Doc:  "one op = feeding a 512-arrival workload-trace-v2 through a fresh event core into a counting submit (chained KindArrival scheduling included)",
+			Micro: func() (func(int), func()) {
+				tr := &wltemporal.Trace{
+					Cohorts: []string{"bench"},
+					Classes: []metrics.ClassID{{App: "bench", Class: "Aa"}},
+				}
+				for i := 0; i < 512; i++ {
+					tr.Arrivals = append(tr.Arrivals, wltemporal.Arrival{T: float64(i) * 0.01})
+				}
+				sink := 0
+				submit := func(string, float64, metrics.ClassID) error { sink++; return nil }
+				return func(n int) {
+					for k := 0; k < n; k++ {
+						s := sim.NewEngine(1)
+						rep, err := wltemporal.NewReplayer(s, tr, submit)
+						if err != nil {
+							panic(err)
+						}
+						rep.Start()
 						s.Run()
 					}
 				}, nil

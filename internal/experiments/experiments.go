@@ -19,10 +19,12 @@ import (
 	"outlierlb/internal/cluster"
 	"outlierlb/internal/core"
 	"outlierlb/internal/ctrlnet"
+	"outlierlb/internal/metrics"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/server"
 	"outlierlb/internal/sim"
 	"outlierlb/internal/storage"
+	"outlierlb/internal/wltemporal"
 	"outlierlb/internal/workload"
 )
 
@@ -140,6 +142,30 @@ func SetCtrlNet(on bool) { ctrlHook.on = on }
 // the call. Ignored when SetCtrlNet(false) is in effect.
 func SetCtrlLink(link ctrlnet.Config) { ctrlHook.link = link }
 
+// arrivalHook, when set, receives every client submission any
+// subsequently run scenario makes — cohort (application) name, exact
+// virtual time, query class — before the scheduler sees it. The tools
+// point a wltemporal.Recorder here (-wl.record) to capture any live run
+// as a workload-trace-v2 file. Process-global for the same reason as
+// the other hooks: scenario functions take only a seed.
+var arrivalHook func(cohort string, t float64, class metrics.ClassID)
+
+// SetArrivalHook installs (or, with nil, clears) the submission hook.
+func SetArrivalHook(fn func(cohort string, t float64, class metrics.ClassID)) {
+	arrivalHook = fn
+}
+
+// replayTrace, when set, swaps every subsequently built emulator for a
+// wltemporal.Replayer feeding the trace's recorded arrivals instead of
+// generating load. Replay preserves RNG fork parity for single-
+// application scenarios (one emulate call, one trace cohort); see
+// WORKLOADS.md for the contract.
+var replayTrace *wltemporal.Trace
+
+// SetReplay installs (or, with nil, clears) a recorded trace to feed in
+// place of generated client load.
+func SetReplay(tr *wltemporal.Trace) { replayTrace = tr }
+
 // ctrlNetSeed decorrelates the control network's private RNG stream
 // from the simulation's workload stream.
 const ctrlNetSeed = 0x6374726c
@@ -210,12 +236,51 @@ func (tb *testbed) registerApp(app *cluster.Application) *cluster.Scheduler {
 	return sched
 }
 
-// emulate attaches a client emulator to sched.
+// loadgen is what a scenario needs from its load source: the closed-
+// loop workload.Emulator, the open-loop wltemporal.Driver and the
+// wltemporal.Replayer all satisfy it, so scenarios run unchanged
+// whether their load is generated live or replayed from a trace.
+type loadgen interface {
+	Start()
+	Stop()
+	Interactions() int64
+	Shed() int64
+	Errors() []error
+}
+
+// emulate attaches a client load source to sched: a closed-loop
+// emulator normally, or a trace replayer when SetReplay is in effect.
+// Either way the arrival hook (SetArrivalHook) sees every submission
+// under the application's name as its cohort.
 func (tb *testbed) emulate(sched *cluster.Scheduler, mix []workload.MixEntry,
-	think float64, load workload.LoadFunction) *workload.Emulator {
-	em, err := workload.NewEmulator(tb.sim, sched, workload.Config{
+	think float64, load workload.LoadFunction) loadgen {
+	name := sched.App().Name
+	if replayTrace != nil {
+		rep, err := wltemporal.NewReplayer(tb.sim, replayTrace,
+			func(cohort string, now float64, class metrics.ClassID) error {
+				if cohort != name {
+					// A multi-application trace: this replayer only feeds
+					// its own application's cohort.
+					return nil
+				}
+				if arrivalHook != nil {
+					arrivalHook(cohort, now, class)
+				}
+				_, err := sched.Submit(now, class)
+				return err
+			})
+		if err != nil {
+			panic(err)
+		}
+		return rep
+	}
+	cfg := workload.Config{
 		Mix: mix, ThinkTime: think, ThinkNoise: 0.3, Load: load,
-	})
+	}
+	if arrivalHook != nil {
+		cfg.OnArrival = func(t float64, class metrics.ClassID) { arrivalHook(name, t, class) }
+	}
+	em, err := workload.NewEmulator(tb.sim, sched, cfg)
 	if err != nil {
 		panic(err)
 	}

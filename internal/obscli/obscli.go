@@ -26,6 +26,7 @@ import (
 	"outlierlb/internal/experiments"
 	"outlierlb/internal/obs"
 	"outlierlb/internal/sim"
+	"outlierlb/internal/wltemporal"
 )
 
 // EventLogCapacity is how many decision-trace events the tools retain.
@@ -99,6 +100,84 @@ func (c *CtrlFlags) Apply() {
 // be worse than an error.
 func (c *CtrlFlags) AnySet() (string, bool) {
 	for _, name := range ctrlFlagNames {
+		if FlagWasSet(name) {
+			return "-" + name, true
+		}
+	}
+	return "", false
+}
+
+// WlFlags is the shared -wl.* flag pair: record the run's offered load
+// as a workload-trace-v2 file, or replay a previously recorded one in
+// place of the live load generators (see WORKLOADS.md). Registered here
+// so both tools document the flags identically and the suites can
+// refuse the family by name.
+type WlFlags struct {
+	record *string
+	replay *string
+	// rec captures arrivals when -wl.record is set; Finish writes it out.
+	rec *wltemporal.Recorder
+}
+
+// wlFlagNames is every flag RegisterWlFlags defines, for AnySet.
+var wlFlagNames = []string{"wl.record", "wl.replay"}
+
+// RegisterWlFlags registers the shared -wl.* flags. The caller applies
+// the parsed values with Apply after flag.Parse and, for -wl.record,
+// writes the captured trace with Finish once the run completes.
+func RegisterWlFlags() *WlFlags {
+	return &WlFlags{
+		record: flag.String("wl.record", "",
+			"record the scenario's offered load (per-cohort arrival times + classes) to FILE as workload-trace-v2"),
+		replay: flag.String("wl.replay", "",
+			"replay offered load from a workload-trace-v2 FILE in place of the live generators "+
+				"(same seed + same trace reproduces the recorded run bit-exactly)"),
+	}
+}
+
+// Apply validates the parsed -wl.* values and installs them into the
+// experiments hooks: -wl.replay loads the trace up front so a bad file
+// fails before any simulation state exists; -wl.record attaches a
+// recorder to the arrival hook.
+func (w *WlFlags) Apply() error {
+	if *w.record != "" && *w.replay != "" {
+		return errors.New("-wl.record and -wl.replay are mutually exclusive")
+	}
+	if *w.replay != "" {
+		tr, err := wltemporal.ReadTraceFile(*w.replay)
+		if err != nil {
+			return fmt.Errorf("-wl.replay: %w", err)
+		}
+		experiments.SetReplay(tr)
+		fmt.Fprintf(os.Stderr, "workload: replaying %d arrivals (%d cohorts, %d classes) from %s\n",
+			len(tr.Arrivals), len(tr.Cohorts), len(tr.Classes), *w.replay)
+	}
+	if *w.record != "" {
+		w.rec = wltemporal.NewRecorder()
+		experiments.SetArrivalHook(w.rec.Observe)
+	}
+	return nil
+}
+
+// Finish writes the trace captured under -wl.record. A no-op otherwise.
+func (w *WlFlags) Finish() error {
+	if w.rec == nil {
+		return nil
+	}
+	tr := w.rec.Trace()
+	if err := tr.WriteFile(*w.record); err != nil {
+		return fmt.Errorf("-wl.record: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "workload: %d arrivals (%d cohorts, %d classes) saved to %s\n",
+		len(tr.Arrivals), len(tr.Cohorts), len(tr.Classes), *w.record)
+	return nil
+}
+
+// AnySet reports whether any -wl.* flag was passed explicitly (call
+// after flag.Parse). Modes that never build a load generator refuse the
+// family rather than silently ignore it.
+func (w *WlFlags) AnySet() (string, bool) {
+	for _, name := range wlFlagNames {
 		if FlagWasSet(name) {
 			return "-" + name, true
 		}

@@ -107,14 +107,21 @@ func (e *Engine) ScheduleKind(kind simcore.Kind, delay float64, fn func()) *Even
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
-// clamped to now.
+// clamped to now. The timestamp is used bit-exactly (no now+delta round
+// trip), so replaying a recorded event time reproduces the original
+// schedule to the last ulp.
 func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
-	return e.Schedule(float64(at)-e.loop.Now(), fn)
+	return e.ScheduleKindAt(simcore.KindGeneric, at, fn)
 }
 
 // ScheduleKindAt is ScheduleAt with an explicit event kind.
 func (e *Engine) ScheduleKindAt(kind simcore.Kind, at Time, fn func()) *Event {
-	return e.ScheduleKind(kind, float64(at)-e.loop.Now(), fn)
+	t := e.loop.ScheduleAt(float64(at), kind, fn)
+	eventAt := at
+	if float64(at) < e.loop.Now() {
+		eventAt = Time(e.loop.Now())
+	}
+	return &Event{at: eventAt, timer: t}
 }
 
 // Pending reports the number of events waiting to run (including cancelled

@@ -410,10 +410,16 @@ func (l *Loop) Schedule(delay float64, kind Kind, fn func()) Timer {
 	return l.q.Push(l.now+delay, kind, fn)
 }
 
-// ScheduleAt runs fn at absolute virtual time at; times in the past are
-// clamped to now.
+// ScheduleAt runs fn at absolute virtual time at; times in the past and
+// NaN are clamped to now. The timestamp is used bit-exactly — no
+// now+delta round trip — so replaying a recorded event time reproduces
+// the original queue ordering to the last ulp (the workload trace-v2
+// replayer depends on this; see internal/wltemporal).
 func (l *Loop) ScheduleAt(at float64, kind Kind, fn func()) Timer {
-	return l.Schedule(at-l.now, kind, fn)
+	if !(at > l.now) { // catches at ≤ now and NaN
+		at = l.now
+	}
+	return l.q.Push(at, kind, fn)
 }
 
 // Pending reports the number of queued events, including cancelled

@@ -260,6 +260,38 @@ func TestNaNAndNegativeClamping(t *testing.T) {
 	}
 }
 
+// TestScheduleAtExact pins the bit-exactness contract of ScheduleAt:
+// the callback fires at the given float64 timestamp to the last ulp,
+// with no now+delta round trip that could perturb it. The trace-v2
+// replayer (internal/wltemporal) leans on this to reproduce recorded
+// arrival times exactly.
+func TestScheduleAtExact(t *testing.T) {
+	l := NewLoop()
+	// Advance the clock to a non-zero, "ugly" float so at-now would lose
+	// bits if ScheduleAt still went through the delta path.
+	l.Schedule(0.1, KindGeneric, func() {})
+	l.Run()
+	at := 0.1 + 0.7 // 0.7999999999999999, not representable relative to 0.1
+	var fired float64
+	l.ScheduleAt(at, KindArrival, func() { fired = l.Now() })
+	l.Run()
+	if fired != at {
+		t.Fatalf("ScheduleAt(%b) fired at %b — not bit-exact", at, fired)
+	}
+	// Past and NaN timestamps clamp to now instead of rewinding the clock.
+	var clamped float64
+	l.ScheduleAt(0.05, KindArrival, func() { clamped = l.Now() })
+	l.Run()
+	if clamped != at {
+		t.Fatalf("past timestamp ran at %v, want clamped to now=%v", clamped, at)
+	}
+	l.ScheduleAt(math.NaN(), KindArrival, func() { clamped = l.Now() })
+	l.Run()
+	if clamped != at {
+		t.Fatalf("NaN timestamp ran at %v, want clamped to now=%v", clamped, at)
+	}
+}
+
 func TestLoopClockAdvance(t *testing.T) {
 	l := NewLoop()
 	var seen []float64

@@ -1,0 +1,91 @@
+package wltemporal_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/wltemporal"
+)
+
+// ExampleFlashCrowd composes a multi-period load function: a diurnal
+// baseline with a flash crowd added on top, sampled at the moments that
+// matter. This is the generator half of the temporal engine — the shape
+// feeds a Driver (open loop) or, via Clients, a workload.Emulator.
+func ExampleFlashCrowd() {
+	shape := wltemporal.Add(
+		wltemporal.Diurnal(40, 20, 600),          // day/night cycle, trough at t=0
+		wltemporal.FlashCrowd(120, 300, 10, 1.5), // crowd lands at t=300
+	)
+	for _, t := range []float64{0, 150, 300, 310, 340, 600} {
+		fmt.Printf("t=%3.0f  %6.1f qps\n", t, shape(t))
+	}
+	// Output:
+	// t=  0    20.0 qps
+	// t=150    40.0 qps
+	// t=300    60.0 qps
+	// t=310   179.9 qps
+	// t=340    73.3 qps
+	// t=600    20.7 qps
+}
+
+// ExampleRecorder captures an arrival stream through the OnArrival hook
+// shape shared by workload.Emulator and wltemporal.Driver, then encodes
+// it as workload-trace-v2.
+func ExampleRecorder() {
+	rec := wltemporal.NewRecorder()
+	rec.Register("oltp") // a slot even if the cohort stays silent
+	browse := metrics.ClassID{App: "shop", Class: "Browse"}
+	rec.Observe("oltp", 0.25, browse)
+	rec.Observe("oltp", 0.75, browse)
+
+	var buf bytes.Buffer
+	if err := rec.Trace().Write(&buf); err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr, err := wltemporal.ReadTrace(&buf)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cohorts=%v classes=%d arrivals=%d first at t=%v\n",
+		tr.Cohorts, len(tr.Classes), len(tr.Arrivals), tr.Arrivals[0].T)
+	// Output:
+	// cohorts=[oltp] classes=1 arrivals=2 first at t=0.25
+}
+
+// ExampleReplayer feeds a recorded trace back through a SubmitFunc.
+// In a real run the function routes to a cluster.Scheduler and the
+// engine interleaves the arrivals with service and control events; here
+// a print stands in for the scheduler.
+func ExampleReplayer() {
+	tr := &wltemporal.Trace{
+		Cohorts: []string{"crowd"},
+		Classes: []metrics.ClassID{{App: "shop", Class: "Search"}},
+		Arrivals: []wltemporal.Arrival{
+			{T: 1.5, Cohort: 0, Class: 0},
+			{T: 2.25, Cohort: 0, Class: 0},
+		},
+	}
+	eng := newExampleEngine()
+	rep, err := wltemporal.NewReplayer(eng, tr,
+		func(cohort string, now float64, class metrics.ClassID) error {
+			fmt.Printf("t=%v %s %s/%s\n", now, cohort, class.App, class.Class)
+			return nil
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep.Start()
+	eng.Run()
+	fmt.Println("fed:", rep.Fed())
+	// Output:
+	// t=1.5 crowd shop/Search
+	// t=2.25 crowd shop/Search
+	// fed: 2
+}
+
+func newExampleEngine() *sim.Engine { return sim.NewEngine(1) }

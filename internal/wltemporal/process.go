@@ -1,0 +1,108 @@
+package wltemporal
+
+import "outlierlb/internal/sim"
+
+// Process turns an instantaneous rate into concrete arrival instants.
+// Next is called once per driver step with the cohort's forked RNG, the
+// current virtual time and the shape's rate at that time (queries per
+// second); it returns how long to sleep and whether an arrival fires
+// when the sleep ends. Returning arrival=false makes the step a poll: a
+// rate re-evaluation with no submission, used while idle or when a draw
+// crosses an internal phase boundary.
+//
+// Implementations must draw randomness only from the rng argument, and
+// stateful implementations (MMPP) must not be shared across cohorts.
+type Process interface {
+	Next(rng *sim.RNG, now, lambda float64) (delay float64, arrival bool)
+}
+
+// Poisson is the memoryless arrival process: exponential inter-arrival
+// gaps at the shape's current rate. It is stateless, so the zero value
+// is ready to use and one instance may serve many cohorts. The rate is
+// sampled at each draw, which approximates an inhomogeneous Poisson
+// process well when the shape varies slowly relative to 1/rate (the
+// poll cadence bounds staleness while the rate is zero).
+type Poisson struct{}
+
+// Next implements Process.
+func (Poisson) Next(rng *sim.RNG, now, lambda float64) (float64, bool) {
+	if lambda <= 0 {
+		return pollEvery, false
+	}
+	return rng.Exp(1 / lambda), true
+}
+
+// MMPP is a two-state Markov-modulated Poisson process: the cohort
+// alternates between a calm phase, arriving at the shape's rate, and a
+// burst phase, arriving at Burst times that rate. Phase sojourns are
+// exponential with means CalmMean and BurstMean seconds, drawn from the
+// cohort's RNG at each transition. The result has the same shape-driven
+// envelope as Poisson but clumps arrivals — the bursty traffic that
+// makes outlier detection earn its keep.
+//
+// MMPP carries phase state across calls: give every cohort its own
+// instance. The zero value defaults to Burst 4, CalmMean 20s,
+// BurstMean 5s.
+type MMPP struct {
+	// Burst multiplies the shape's rate during the burst phase.
+	// Values ≤ 1 make the "burst" a lull, which is allowed.
+	Burst float64
+	// CalmMean and BurstMean are the mean phase sojourns in seconds.
+	CalmMean  float64
+	BurstMean float64
+
+	started  bool
+	inBurst  bool
+	phaseEnd float64
+}
+
+func (m *MMPP) burst() float64 {
+	if m.Burst <= 0 {
+		return 4
+	}
+	return m.Burst
+}
+
+func (m *MMPP) sojourn() float64 {
+	if m.inBurst {
+		if m.BurstMean <= 0 {
+			return 5
+		}
+		return m.BurstMean
+	}
+	if m.CalmMean <= 0 {
+		return 20
+	}
+	return m.CalmMean
+}
+
+// Next implements Process. Draws that would land beyond the current
+// phase are discarded and re-entered at the boundary with the next
+// phase's rate — exact for exponential gaps, which are memoryless.
+func (m *MMPP) Next(rng *sim.RNG, now, lambda float64) (float64, bool) {
+	if !m.started {
+		m.started = true
+		m.inBurst = false
+		m.phaseEnd = now + rng.Exp(m.sojourn())
+	}
+	for now >= m.phaseEnd {
+		m.inBurst = !m.inBurst
+		m.phaseEnd += rng.Exp(m.sojourn())
+	}
+	eff := lambda
+	if m.inBurst {
+		eff *= m.burst()
+	}
+	if eff <= 0 {
+		d := m.phaseEnd - now
+		if d > pollEvery {
+			d = pollEvery
+		}
+		return d, false
+	}
+	d := rng.Exp(1 / eff)
+	if now+d >= m.phaseEnd {
+		return m.phaseEnd - now, false
+	}
+	return d, true
+}

@@ -1,0 +1,132 @@
+package wltemporal
+
+import (
+	"math"
+
+	"outlierlb/internal/workload"
+)
+
+// RateShape maps virtual time to an instantaneous arrival rate in
+// queries per second. Shapes never return a negative rate; combinators
+// clamp at zero.
+type RateShape func(t float64) float64
+
+// Flat returns a constant rate of qps queries per second.
+func Flat(qps float64) RateShape {
+	if qps < 0 {
+		qps = 0
+	}
+	return func(float64) float64 { return qps }
+}
+
+// Diurnal returns a day/night cycle: base - amplitude*cos(2πt/period),
+// clamped at zero. The cycle starts at its trough (t=0 is "night",
+// rate base-amplitude) and peaks at t=period/2 ("midday", rate
+// base+amplitude), so experiments that warm up from low load get the
+// quiet half-cycle first.
+func Diurnal(base, amplitude, period float64) RateShape {
+	return func(t float64) float64 {
+		r := base - amplitude*math.Cos(2*math.Pi*t/period)
+		if r < 0 {
+			r = 0
+		}
+		return r
+	}
+}
+
+// Ramp returns a rate that is r0 before t0, r1 from t1 on, and linearly
+// interpolated in between. A degenerate window (t1 ≤ t0) behaves as a
+// step at t0, closed on the right like workload.Step.
+func Ramp(r0, r1, t0, t1 float64) RateShape {
+	return func(t float64) float64 {
+		switch {
+		case t < t0:
+			return r0
+		case t >= t1:
+			return r1
+		default:
+			return r0 + (r1-r0)*(t-t0)/(t1-t0)
+		}
+	}
+}
+
+// Spike returns a rate that is zero outside the half-open window
+// [t0, t1) and add inside — a rectangular burst meant to be Add-ed on
+// top of a baseline shape. Edge semantics match workload.Pulse: on at
+// exactly t0, off at exactly t1, and a degenerate window never fires.
+func Spike(add, t0, t1 float64) RateShape {
+	return func(t float64) float64 {
+		if t >= t0 && t < t1 && add > 0 {
+			return add
+		}
+		return 0
+	}
+}
+
+// FlashCrowd models a sudden crowd arriving and losing interest: zero
+// before onset, a linear climb to peak qps over ramp seconds, then a
+// power-law decay peak*((t-onset)/ramp)^(-alpha) — the heavy tail
+// observed after slashdot-style referral events. alpha controls how
+// fast interest fades (larger is faster); alpha ≤ 0 is treated as 1.
+// The shape is continuous at the peak.
+func FlashCrowd(peak, onset, ramp, alpha float64) RateShape {
+	if ramp <= 0 {
+		ramp = 1e-9
+	}
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return func(t float64) float64 {
+		if t < onset || peak <= 0 {
+			return 0
+		}
+		x := (t - onset) / ramp
+		if x < 1 {
+			return peak * x
+		}
+		return peak * math.Pow(x, -alpha)
+	}
+}
+
+// Add sums shapes pointwise: the rate at t is the sum of every
+// component's rate at t. With no arguments it is Flat(0).
+func Add(shapes ...RateShape) RateShape {
+	return func(t float64) float64 {
+		sum := 0.0
+		for _, s := range shapes {
+			sum += s(t)
+		}
+		return sum
+	}
+}
+
+// Scale multiplies a shape by k, clamping at zero (so a negative k
+// yields Flat(0), not a negative rate).
+func Scale(s RateShape, k float64) RateShape {
+	return func(t float64) float64 {
+		r := s(t) * k
+		if r < 0 {
+			r = 0
+		}
+		return r
+	}
+}
+
+// Clients bridges a rate shape to the closed-loop client populations of
+// internal/workload: the population at t is the shape's rate divided by
+// qpsPerClient (the throughput one session sustains, roughly
+// 1/(think time + mean latency)), rounded to the nearest client. Use it
+// to drive a workload.Emulator with a Diurnal or FlashCrowd profile
+// while keeping closed-loop backpressure semantics.
+func Clients(s RateShape, qpsPerClient float64) workload.LoadFunction {
+	if qpsPerClient <= 0 {
+		qpsPerClient = 1
+	}
+	return func(t float64) int {
+		n := int(math.Round(s(t) / qpsPerClient))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+}

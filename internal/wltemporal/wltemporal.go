@@ -1,0 +1,95 @@
+// Package wltemporal is the temporal workload engine: open-loop cohort
+// drivers with composable multi-period rate shapes, stochastic arrival
+// processes, and a versioned binary trace format (workload-trace-v2)
+// whose recorder and replayer reproduce a run's offered load
+// bit-identically.
+//
+// The package splits "how much load" from "when exactly each query
+// lands":
+//
+//   - A RateShape maps virtual time to an instantaneous arrival rate in
+//     queries per second. Shapes compose: Diurnal cycles, Ramps, Spikes
+//     and FlashCrowd onsets combine through Add and Scale into
+//     multi-period load functions. Clients bridges a shape back to the
+//     closed-loop client populations of internal/workload.
+//   - A Process turns that rate into concrete arrival instants: Poisson
+//     draws exponential gaps at the shape's current rate; MMPP overlays
+//     a two-state Markov-modulated burst structure so the same average
+//     rate arrives in clumps.
+//   - A Driver runs one or more named Cohorts — each a (mix, shape,
+//     process, active window) tuple — against a scheduler, submitting
+//     directly in open loop (no think times, no sessions). This is the
+//     antagonist half of co-location experiments: a scan-heavy OLAP
+//     cohort can run beside a closed-loop OLTP emulator on the same
+//     replicas.
+//   - A Recorder captures every submission (cohort, exact virtual time,
+//     query class) from any live run via the OnArrival hooks, and a
+//     Replayer feeds a recorded Trace back into a fresh simulation as
+//     simcore.KindArrival events at the recorded float64 timestamps,
+//     bit for bit.
+//
+// # Determinism and RNG stream parity
+//
+// Everything here follows the repository's virtual-time ownership rules
+// (see internal/sim): single goroutine, forked RNG streams, no wall
+// clock. Two contracts matter for bit-identical replay:
+//
+//  1. Exact timestamps. Recorded arrival times are raw float64 event
+//     times; the replayer schedules them through Engine.ScheduleKindAt,
+//     which pushes the exact value with no now+delta float round trip.
+//  2. Fork parity. NewDriver draws exactly one RNG fork from the
+//     engine's main stream per cohort, in cohort order; NewReplayer
+//     draws exactly one fork per trace cohort the same way. A replayed
+//     run therefore leaves the engine's main RNG stream in the same
+//     state as the recorded run, so everything downstream (service
+//     noise, fault timing, controller jitter) draws identical values.
+//     The caveat: a cohort must appear in the trace even when it
+//     produced no arrivals, or the fork counts diverge — Recorder.
+//     Register exists for exactly that, and Driver-facing recorders
+//     should register every cohort up front.
+//
+// Stateful processes (MMPP) carry phase across calls, so each cohort
+// needs its own Process instance; sharing one *MMPP between cohorts
+// makes their burst phases interfere and is a configuration bug.
+//
+// WORKLOADS.md is the cookbook: every shape and process with its
+// parameters, the trace-v2 format field by field, and a recipe per
+// experiment scenario.
+package wltemporal
+
+import (
+	"outlierlb/internal/metrics"
+	"outlierlb/internal/sim"
+	"outlierlb/internal/workload"
+)
+
+// pollEvery is how often an idle cohort (zero effective rate) re-checks
+// its rate shape, in virtual seconds. Polls are cheap heap events; the
+// value only bounds how stale a shape evaluation can get while idle.
+const pollEvery = 0.25
+
+// pick draws one class from a weighted mix. It mirrors the closed-loop
+// emulator's draw (single Float64 per pick) so cohort streams stay
+// cheap and deterministic.
+func pick(rng *sim.RNG, mix []workload.MixEntry) (metrics.ClassID, bool) {
+	total := 0.0
+	for _, e := range mix {
+		if e.Weight > 0 {
+			total += e.Weight
+		}
+	}
+	if total <= 0 {
+		return metrics.ClassID{}, false
+	}
+	r := rng.Float64() * total
+	for _, e := range mix {
+		if e.Weight <= 0 {
+			continue
+		}
+		r -= e.Weight
+		if r < 0 {
+			return e.ID, true
+		}
+	}
+	return mix[len(mix)-1].ID, true
+}

@@ -1,12 +1,22 @@
 // Package workload drives applications with synthetic clients: a
 // closed-loop client emulator (sessions with think times), configurable
 // interaction mixes, and time-varying load functions such as the sinusoid
-// with random noise used in the paper's §5.2 experiment.
+// with random noise used in the paper's §5.2 experiment. The temporal
+// layer — open-loop cohort drivers, diurnal/flash-crowd shapes and the
+// trace-v2 arrival recorder/replayer — lives in internal/wltemporal and
+// builds on this package's MixEntry and OnArrival surfaces; WORKLOADS.md
+// is the cookbook covering both.
 //
-// Concurrency: emulators schedule their sessions on the simulation loop
-// (internal/sim) and are single-owner like everything in virtual time;
-// the "clients" are concurrent only in simulated time, not in real
-// threads.
+// Concurrency and ownership: emulators schedule their sessions on the
+// simulation loop (internal/sim) and are single-owner like everything in
+// virtual time; the "clients" are concurrent only in simulated time, not
+// in real threads. An emulator owns its slot bookkeeping and its forked
+// RNG stream (NewEmulator draws exactly one fork from the engine's main
+// stream — replayers mirror that draw for stream parity). The OnArrival
+// hook runs inline on the simulation goroutine at submit time and must
+// not retain the callback arguments beyond the call or touch the RNG;
+// recorders append to plain slices, which is safe because nothing else
+// runs concurrently in virtual time.
 package workload
 
 import (
@@ -41,7 +51,10 @@ func Sinusoid(base, amplitude, period float64) LoadFunction {
 	}
 }
 
-// Step returns a load function that is n0 clients before t0 and n1 after.
+// Step returns a load function that is n0 clients before t0 and n1 from
+// t0 on. The boundary is closed on the right: Step(a, b, t0) evaluated
+// at exactly t0 returns n1. An emulator adjustment tick scheduled at
+// exactly t0 therefore already sees the post-step population.
 func Step(n0, n1 int, t0 float64) LoadFunction {
 	return func(t float64) int {
 		if t < t0 {
@@ -51,9 +64,13 @@ func Step(n0, n1 int, t0 float64) LoadFunction {
 	}
 }
 
-// Pulse returns a load function that is n0 clients outside [t0, t1) and
-// n1 inside — the overload experiments' shape: nominal load, a burst,
-// then back to nominal.
+// Pulse returns a load function that is n0 clients outside the
+// half-open window [t0, t1) and n1 inside — the overload experiments'
+// shape: nominal load, a burst, then back to nominal. The edges follow
+// the half-open convention exactly: at t0 the pulse is already on (n1),
+// at t1 it is already off (n0), so back-to-back pulses
+// Pulse(..., a, b) and Pulse(..., b, c) never double-count the shared
+// instant b. A degenerate window (t1 ≤ t0) never fires.
 func Pulse(n0, n1 int, t0, t1 float64) LoadFunction {
 	return func(t float64) int {
 		if t >= t0 && t < t1 {
@@ -93,6 +110,14 @@ type Config struct {
 	// Real benchmark clients navigate this way — TPC-W specifies a
 	// transition matrix between web interactions.
 	Transitions map[metrics.ClassID][]MixEntry
+	// OnArrival, when non-nil, is called once per interaction submission
+	// — immediately before the scheduler sees it, with the submission's
+	// virtual time and query class. Shed-and-retried interactions invoke
+	// it again on the retry, so a recorder capturing this stream replays
+	// the exact offered load, not just the admitted one. The hook must
+	// not draw from any RNG or schedule events; the trace-v2 recorder
+	// (internal/wltemporal) is the intended consumer.
+	OnArrival func(t float64, class metrics.ClassID)
 }
 
 // Emulator runs closed-loop clients against one application's scheduler
@@ -252,6 +277,9 @@ func (e *Emulator) clientStep(slot int) {
 	}
 	now := e.sim.Now().Seconds()
 	class := e.pick(slot)
+	if e.cfg.OnArrival != nil {
+		e.cfg.OnArrival(now, class)
+	}
 	done, err := e.sched.Submit(now, class)
 	if err != nil {
 		if _, rejected := admission.IsRejection(err); rejected {

@@ -65,6 +65,83 @@ func TestLoadFunctions(t *testing.T) {
 	}
 }
 
+// TestStepPulseEdges pins the boundary semantics: Step is closed on the
+// right at t0 (the new population applies at exactly t0), Pulse is the
+// half-open window [t0, t1) — on at exactly t0, off at exactly t1 — so
+// adjacent pulses sharing an endpoint never overlap or leave a gap.
+func TestStepPulseEdges(t *testing.T) {
+	st := Step(2, 8, 100)
+	for _, tc := range []struct {
+		t    float64
+		want int
+	}{
+		{99.999999, 2}, {100, 8}, {100.000001, 8},
+	} {
+		if got := st(tc.t); got != tc.want {
+			t.Errorf("Step(2,8,100)(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	p := Pulse(3, 30, 100, 200)
+	for _, tc := range []struct {
+		t    float64
+		want int
+	}{
+		{0, 3}, {99.999999, 3},
+		{100, 30}, // left edge: inside
+		{150, 30},
+		{199.999999, 30},
+		{200, 3}, // right edge: outside
+		{200.000001, 3},
+	} {
+		if got := p(tc.t); got != tc.want {
+			t.Errorf("Pulse(3,30,100,200)(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	// Back-to-back pulses over a shared endpoint: exactly one is on at
+	// the seam.
+	a, b := Pulse(0, 1, 100, 200), Pulse(0, 1, 200, 300)
+	if a(200)+b(200) != 1 {
+		t.Errorf("adjacent pulses at shared endpoint: %d + %d, want exactly 1 on", a(200), b(200))
+	}
+	// A degenerate window never fires.
+	if d := Pulse(5, 50, 300, 300); d(300) != 5 {
+		t.Error("degenerate pulse (t1 == t0) fired")
+	}
+}
+
+// TestEmulatorOnArrivalHook checks the hook sees every submission — one
+// call per completed interaction plus one per shed retry — at the
+// submitting virtual time, without perturbing the run.
+func TestEmulatorOnArrivalHook(t *testing.T) {
+	eng, sched := testSetup(t)
+	type arrival struct {
+		t     float64
+		class metrics.ClassID
+	}
+	var seen []arrival
+	em, err := NewEmulator(eng, sched, Config{
+		Mix:       []MixEntry{{ID: browse, Weight: 1}},
+		ThinkTime: 0.5,
+		Load:      Constant(10),
+		OnArrival: func(tm float64, class metrics.ClassID) { seen = append(seen, arrival{tm, class}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Start()
+	eng.RunUntil(60)
+	em.Stop()
+	if int64(len(seen)) != em.Interactions()+em.Shed() {
+		t.Fatalf("hook saw %d arrivals, want interactions+shed = %d",
+			len(seen), em.Interactions()+em.Shed())
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i].t < seen[i-1].t {
+			t.Fatalf("arrival %d at t=%v before predecessor at t=%v", i, seen[i].t, seen[i-1].t)
+		}
+	}
+}
+
 func TestNewEmulatorValidation(t *testing.T) {
 	eng, sched := testSetup(t)
 	if _, err := NewEmulator(nil, sched, Config{Mix: []MixEntry{{ID: browse, Weight: 1}}}); err == nil {
